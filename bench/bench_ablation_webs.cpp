@@ -1,0 +1,70 @@
+//===- bench/bench_ablation_webs.cpp - Ablation A: web granularity --------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for the paper's §4.2 claim that "finer grained units of
+/// promotion expose more opportunities": runs the promoter per SSA web
+/// (the paper's design) and with all webs of a variable merged into one
+/// unit (whole-variable promotion), comparing dynamic memory operation
+/// counts and promoted-web counts across the workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadUtil.h"
+#include "pipeline/Pipeline.h"
+#include <cstdio>
+
+using namespace srp;
+using namespace srp::bench;
+
+int main() {
+  std::printf("Ablation A: SSA-web granularity vs whole-variable units\n\n");
+  std::printf("%-9s %12s %12s %12s | %9s %9s\n", "bench", "mem-none",
+              "mem-webs", "mem-whole", "webs-prom", "whole-prom");
+
+  bool AllOk = true;
+  uint64_t SumWebs = 0, SumWhole = 0;
+  auto runAll = [&](const std::vector<Workload> &List) {
+    for (const Workload &W : List) {
+      std::string Src = loadWorkload(W.File);
+
+      PipelineOptions WebOpts;
+      PipelineResult RW = runPipeline(Src, WebOpts);
+
+      PipelineOptions WholeOpts;
+      WholeOpts.Promo.WebGranularity = false;
+      PipelineResult RV = runPipeline(Src, WholeOpts);
+
+      if (!RW.Ok || !RV.Ok) {
+        std::printf("%-9s FAILED: %s\n", W.Name,
+                    (!RW.Ok ? (RW.Errors.empty() ? "?" : RW.Errors[0])
+                            : (RV.Errors.empty() ? "?" : RV.Errors[0]))
+                        .c_str());
+        AllOk = false;
+        continue;
+      }
+      uint64_t None = RW.RunBefore.Counts.memOps();
+      uint64_t Webs = RW.RunAfter.Counts.memOps();
+      uint64_t Whole = RV.RunAfter.Counts.memOps();
+      SumWebs += Webs;
+      SumWhole += Whole;
+      std::printf("%-9s %12llu %12llu %12llu | %9u %9u\n", W.Name,
+                  static_cast<unsigned long long>(None),
+                  static_cast<unsigned long long>(Webs),
+                  static_cast<unsigned long long>(Whole),
+                  RW.Promo.WebsPromoted, RV.Promo.WebsPromoted);
+    }
+  };
+  runAll(paperWorkloads());
+  runAll(extraWorkloads());
+
+  std::printf("\nsuite memops:  webs=%llu  whole-variable=%llu  (webs "
+              "should be <= whole)\n",
+              static_cast<unsigned long long>(SumWebs),
+              static_cast<unsigned long long>(SumWhole));
+  std::printf("\n%s\n", AllOk ? "ablation-webs: OK" : "ablation-webs: FAILURES");
+  return AllOk ? 0 : 1;
+}

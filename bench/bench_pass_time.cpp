@@ -1,0 +1,104 @@
+//===- bench/bench_pass_time.cpp - Promotion pass wall-clock cost ---------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the compile-time cost of each pipeline stage (mem2reg +
+/// canonicalisation, memory SSA construction, the register promoter) on
+/// the SPECInt95-like workloads, with google-benchmark. Not a table in
+/// the paper, but the pass was built for a production compiler, so its
+/// cost profile is part of the reproduction story.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadUtil.h"
+#include "analysis/CFGCanonicalize.h"
+#include "frontend/Lowering.h"
+#include "ir/Module.h"
+#include "interp/Interpreter.h"
+#include "profile/ProfileInfo.h"
+#include "promotion/RegisterPromotion.h"
+#include "ssa/Mem2Reg.h"
+#include "ssa/MemorySSA.h"
+#include <benchmark/benchmark.h>
+
+using namespace srp;
+using namespace srp::bench;
+
+namespace {
+
+/// Prepared (pre-promotion) state for one workload.
+struct Prepared {
+  std::unique_ptr<Module> M;
+  struct FnState {
+    Function *F;
+    CanonicalCFG CFG;
+  };
+  std::vector<FnState> Fns;
+  ProfileInfo PI;
+
+  explicit Prepared(const char *File) {
+    std::vector<std::string> Errors;
+    M = compileMiniC(loadWorkload(File), Errors);
+    for (const auto &F : M->functions()) {
+      DominatorTree DT(*F);
+      promoteLocalsToSSA(*F, DT);
+      Fns.push_back({F.get(), canonicalize(*F)});
+    }
+    Interpreter I(*M);
+    PI = ProfileInfo::fromExecution(I.run());
+  }
+};
+
+void BM_Frontend(benchmark::State &State, const char *File) {
+  std::string Src = loadWorkload(File);
+  for (auto _ : State) {
+    std::vector<std::string> Errors;
+    auto M = compileMiniC(Src, Errors);
+    benchmark::DoNotOptimize(M);
+  }
+}
+
+void BM_MemorySSA(benchmark::State &State, const char *File) {
+  Prepared P(File);
+  for (auto _ : State) {
+    for (auto &S : P.Fns)
+      buildMemorySSA(*S.F, S.CFG.DT);
+  }
+}
+
+void BM_Promotion(benchmark::State &State, const char *File) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    Prepared P(File);
+    for (auto &S : P.Fns)
+      buildMemorySSA(*S.F, S.CFG.DT);
+    State.ResumeTiming();
+    for (auto &S : P.Fns) {
+      PromotionStats Stats =
+          promoteRegisters(*S.F, S.CFG.DT, S.CFG.IT, P.PI, {});
+      benchmark::DoNotOptimize(Stats);
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const Workload &W : paperWorkloads()) {
+    benchmark::RegisterBenchmark(
+        (std::string("frontend/") + W.Name).c_str(),
+        [File = W.File](benchmark::State &S) { BM_Frontend(S, File); });
+    benchmark::RegisterBenchmark(
+        (std::string("memssa/") + W.Name).c_str(),
+        [File = W.File](benchmark::State &S) { BM_MemorySSA(S, File); });
+    benchmark::RegisterBenchmark(
+        (std::string("promotion/") + W.Name).c_str(),
+        [File = W.File](benchmark::State &S) { BM_Promotion(S, File); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- examples/cold_call_path.cpp - the paper's Figure 7/8 scenario ------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates profile-driven partial promotion (the paper's Fig. 7/8):
+/// a loop increments a global on every iteration but calls a function only
+/// on a rarely taken path. Complete promotion is impossible (the call may
+/// read and write the global), yet the promoter keeps the HOT path free of
+/// loads/stores by placing a compensating store before the call and a
+/// reload after it — both on the COLD path.
+///
+/// The example runs the same program with two different profiles (cold
+/// call vs hot call) and shows how the placement decision flips.
+///
+/// Build & run:  ./build/examples/cold_call_path
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "ir/Printer.h"
+#include <cstdio>
+
+using namespace srp;
+
+namespace {
+
+/// The Fig. 7 shape, with the branch condition controlled by `cutoff` so
+/// the profile can make the call path cold (cutoff small) or hot (cutoff
+/// large).
+std::string program(int Cutoff) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf), R"(
+    int x = 0;
+    void foo() { x = x | 1; }
+    void main() {
+      int i;
+      for (i = 0; i < 100; i++) {
+        x++;
+        if (x < %d) foo();
+      }
+      print(x);
+    }
+  )",
+                Cutoff);
+  return Buf;
+}
+
+void runCase(const char *Label, int Cutoff) {
+  PipelineOptions Opts;
+  Opts.Mode = PromotionMode::Paper;
+  PipelineResult R = runPipeline(program(Cutoff), Opts);
+  if (!R.Ok) {
+    for (const auto &E : R.Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return;
+  }
+  std::printf("---- %s (call taken on x < %d) ----\n", Label, Cutoff);
+  std::printf("  webs promoted: %u, stores eliminated in: %u webs\n",
+              R.Promo.WebsPromoted, R.Promo.WebsStoreEliminated);
+  std::printf("  compensating stores inserted: %u, reloads inserted: %u\n",
+              R.Promo.StoresInserted, R.Promo.LoadsInserted);
+  std::printf("  dynamic scalar memops: %llu -> %llu\n",
+              static_cast<unsigned long long>(R.RunBefore.Counts.memOps()),
+              static_cast<unsigned long long>(R.RunAfter.Counts.memOps()));
+  std::printf("  program prints %lld\n\n",
+              static_cast<long long>(R.RunAfter.Output.at(0)));
+}
+
+} // namespace
+
+int main() {
+  std::printf("Profile-driven load/store placement (paper Fig. 7/8)\n\n");
+  // Cold call path: the branch is taken only while x < 30, i.e. in the
+  // first few iterations. Promotion pays for loads/stores on that path
+  // to clear 100 hot-path loads and stores.
+  runCase("cold call path", 30);
+  // Hot call path: the call happens on (almost) every iteration; the
+  // compensation would cost as much as it saves, so the profit model
+  // keeps the variable in memory on that path.
+  runCase("hot call path", 1000);
+
+  std::printf("With the cold profile the hot loop runs entirely in a "
+              "register;\nwith the hot profile the promoter backs off "
+              "instead of slowing the loop down.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- examples/incremental_ssa.cpp - the paper's Example 2 (Fig. 9/10) ---===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the incremental SSA updater on the paper's Example 2 directly:
+/// a six-block CFG with one existing definition of x (in b1) and three
+/// uses (b3, b4, b5); register promotion then clones two stores into b2
+/// and b3. The batch updater places phis at the iterated dominance
+/// frontier, renames each use to its reaching definition, and deletes the
+/// definitions the cloning made dead — all with ONE IDF computation.
+///
+/// Build & run:  ./build/examples/incremental_ssa
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ssa/SSAUpdater.h"
+#include <cstdio>
+
+using namespace srp;
+
+int main() {
+  Module M;
+  MemoryObject *X = M.createGlobal("x", 0);
+  Function *F = M.createFunction("f", Type::Void);
+
+  //        b1 (x0 = st)
+  //       /  \ .
+  //      b2    b3 (use)
+  //     /  \     |
+  //    b4   \    |        b2 -> b5 directly, as in the paper's figure
+  //     \    \   |
+  //      ----- b5 (use)
+  //             |
+  //            b6
+  BasicBlock *B1 = F->createBlock("b1");
+  BasicBlock *B2 = F->createBlock("b2");
+  BasicBlock *B3 = F->createBlock("b3");
+  BasicBlock *B4 = F->createBlock("b4");
+  BasicBlock *B5 = F->createBlock("b5");
+  BasicBlock *B6 = F->createBlock("b6");
+
+  IRBuilder B(B1);
+  StoreInst *St0 = B.store(X, M.constant(10));
+  B.condBr(M.constant(1), B2, B3);
+  B.setInsertPoint(B2);
+  B.condBr(M.constant(1), B4, B5);
+  B.setInsertPoint(B3);
+  LoadInst *U3 = B.load(X, "u3");
+  B.print(U3);
+  B.br(B5);
+  B.setInsertPoint(B4);
+  LoadInst *U4 = B.load(X, "u4");
+  B.print(U4);
+  B.br(B5);
+  B.setInsertPoint(B5);
+  LoadInst *U5 = B.load(X, "u5");
+  B.print(U5);
+  B.br(B6);
+  B.setInsertPoint(B6);
+  B.ret();
+
+  // Memory SSA by hand: x0 defined in b1, used by all three loads.
+  MemoryName *Entry = F->createMemoryName(X);
+  F->setEntryMemoryName(X, Entry);
+  MemoryName *X0 = F->createMemoryName(X);
+  St0->addMemDef(X0);
+  U3->addMemOperand(X0);
+  U4->addMemOperand(X0);
+  U5->addMemOperand(X0);
+
+  std::printf("== before cloning ==\n%s\n", toString(*F).c_str());
+
+  // "Assume register promotion creates two stores: one in b2 and the
+  // other in b3" — clone them and let the updater repair SSA form.
+  auto clone = [&](BasicBlock *BB, int64_t V) {
+    auto St = std::make_unique<StoreInst>(X, M.constant(V));
+    MemoryName *N = F->createMemoryName(X);
+    St->addMemDef(N);
+    BB->prepend(std::move(St));
+    return N;
+  };
+  MemoryName *X1 = clone(B2, 20);
+  MemoryName *X2 = clone(B3, 30);
+
+  std::printf("== after inserting clones (SSA temporarily stale) ==\n%s\n",
+              toString(*F).c_str());
+
+  DominatorTree DT(*F);
+  SSAUpdateStats Stats = updateSSAForClonedResources(*F, DT, {X0}, {X1, X2});
+
+  std::printf("== after updateSSAForClonedResources ==\n%s\n",
+              toString(*F).c_str());
+  std::printf("IDF computations : %u (one batch, not one per clone)\n",
+              Stats.IDFComputations);
+  std::printf("phis inserted    : %u (at the iterated dominance frontier)\n",
+              Stats.PhisInserted);
+  std::printf("phis deleted     : %u (the dead one in b6)\n",
+              Stats.PhisDeleted);
+  std::printf("defs deleted     : %u (the original store in b1 died)\n",
+              Stats.DefsDeleted);
+  std::printf("uses renamed     : %u\n", Stats.UsesRenamed);
+  return 0;
+}

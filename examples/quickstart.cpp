@@ -1,0 +1,72 @@
+//===- examples/quickstart.cpp - five-minute tour of the library ----------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a small Mini-C program, run the full promotion
+/// pipeline (mem2reg -> canonical CFG -> memory SSA -> profile -> the
+/// paper's interval/web promoter), and print what changed.
+///
+/// Build & run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "ir/Printer.h"
+#include <cstdio>
+
+using namespace srp;
+
+int main() {
+  const char *Source = R"(
+    int counter = 0;
+
+    void tick() { counter = counter + 1; }
+
+    void main() {
+      int i;
+      for (i = 0; i < 1000; i++) counter = counter + 2;
+      tick();
+      print(counter);
+    }
+  )";
+
+  PipelineOptions Opts;
+  Opts.Mode = PromotionMode::Paper;
+  PipelineResult R = runPipeline(Source, Opts);
+  if (!R.Ok) {
+    for (const auto &E : R.Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+
+  std::printf("== program output ==\n");
+  for (int64_t V : R.RunAfter.Output)
+    std::printf("  %lld\n", static_cast<long long>(V));
+
+  std::printf("\n== what promotion did ==\n");
+  std::printf("  webs considered / promoted : %u / %u\n",
+              R.Promo.WebsConsidered, R.Promo.WebsPromoted);
+  std::printf("  loads replaced by copies   : %u\n", R.Promo.LoadsReplaced);
+  std::printf("  stores deleted             : %u\n", R.Promo.StoresDeleted);
+  std::printf("  boundary loads inserted    : %u\n", R.Promo.LoadsInserted);
+  std::printf("  boundary stores inserted   : %u\n", R.Promo.StoresInserted);
+
+  std::printf("\n== dynamic memory operations (interpreted) ==\n");
+  std::printf("  before: %llu loads, %llu stores\n",
+              static_cast<unsigned long long>(
+                  R.RunBefore.Counts.SingletonLoads),
+              static_cast<unsigned long long>(
+                  R.RunBefore.Counts.SingletonStores));
+  std::printf("  after : %llu loads, %llu stores\n",
+              static_cast<unsigned long long>(
+                  R.RunAfter.Counts.SingletonLoads),
+              static_cast<unsigned long long>(
+                  R.RunAfter.Counts.SingletonStores));
+
+  std::printf("\n== IR of main() after promotion ==\n%s\n",
+              toString(*R.M->getFunction("main")).c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- examples/register_pressure.cpp - pressure vs memops trade-off ------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows the trade-off the paper's Table 3 quantifies: promotion removes
+/// memory operations but raises register pressure, because every promoted
+/// variable becomes a live virtual register across its interval. This
+/// example promotes an increasing number of globals in the same loop and
+/// reports, for each configuration, the dynamic memory operations and the
+/// colors needed to color the interference graph of main().
+///
+/// Build & run:  ./build/examples/register_pressure
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "regalloc/Coloring.h"
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+using namespace srp;
+
+namespace {
+
+/// A loop that updates the first \p Hot of eight globals each iteration.
+/// The call to flush() after the loop fences the epilogue so promotion is
+/// scoped to the loop and pressure tracks the hot-variable count.
+std::string program(unsigned Hot) {
+  std::ostringstream OS;
+  for (unsigned I = 0; I != 8; ++I)
+    OS << "int g" << I << " = " << I << ";\n";
+  OS << "int flushes = 0;\n";
+  OS << "void flush() { flushes = flushes + 1; }\n";
+  OS << "void main() {\n  int i;\n  for (i = 0; i < 50; i++) {\n";
+  for (unsigned I = 0; I != Hot; ++I)
+    OS << "    g" << I << " = g" << I << " + " << (I + 1) << ";\n";
+  OS << "  }\n  flush();\n";
+  for (unsigned I = 0; I != 8; ++I)
+    OS << "  print(g" << I << ");\n";
+  OS << "  flush();\n}\n";
+  return OS.str();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Promotion raises register pressure as it removes memops "
+              "(cf. paper Table 3)\n\n");
+  std::printf("%-10s %12s %12s %10s %10s\n", "hot vars", "memops-none",
+              "memops-promo", "colors-none", "colors-promo");
+
+  for (unsigned Hot = 1; Hot <= 8; ++Hot) {
+    std::string Src = program(Hot);
+
+    PipelineOptions None;
+    None.Mode = PromotionMode::None;
+    PipelineResult R0 = runPipeline(Src, None);
+
+    PipelineOptions Promo;
+    Promo.Mode = PromotionMode::Paper;
+    PipelineResult R1 = runPipeline(Src, Promo);
+
+    if (!R0.Ok || !R1.Ok) {
+      std::fprintf(stderr, "pipeline failed for Hot=%u\n", Hot);
+      return 1;
+    }
+
+    PressureReport P0 = measureRegisterPressure(*R0.M->getFunction("main"));
+    PressureReport P1 = measureRegisterPressure(*R1.M->getFunction("main"));
+    std::printf("%-10u %12llu %12llu %10u %10u\n", Hot,
+                static_cast<unsigned long long>(R0.RunAfter.Counts.memOps()),
+                static_cast<unsigned long long>(R1.RunAfter.Counts.memOps()),
+                P0.ColorsNeeded, P1.ColorsNeeded);
+  }
+
+  std::printf("\nEach promoted global buys ~100 fewer memory operations "
+              "for one more color.\n");
+  return 0;
+}

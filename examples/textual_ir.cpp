@@ -1,0 +1,82 @@
+//===- examples/textual_ir.cpp - working with IR as text ------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows the textual-IR workflow: author a function in the printer's
+/// syntax (no frontend involved), parse it, run the full promotion
+/// pipeline on it, and print the result. Useful for constructing CFG
+/// shapes Mini-C cannot express — this example uses an irreducible
+/// two-entry cycle, which becomes an improper interval whose promotion
+/// preheader is the least common dominator of its entries (§4.1).
+///
+/// Build & run:  ./build/examples/textual_ir
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "pipeline/Pipeline.h"
+#include <cstdio>
+
+using namespace srp;
+
+int main() {
+  const char *Text = R"(
+global g = 0
+global which = 1
+func void @main() {
+entry:
+  %w = ld [which]
+  condbr %w, left, right
+left:
+  %g1 = ld [g]
+  %s1 = add %g1, 1
+  st [g], %s1
+  %c1 = cmplt %s1, 40
+  condbr %c1, right, out1
+right:
+  %g2 = ld [g]
+  %s2 = add %g2, 2
+  st [g], %s2
+  %c2 = cmplt %s2, 40
+  condbr %c2, left, out2
+out1:
+  print %s1
+  ret
+out2:
+  print %s2
+  ret
+}
+)";
+
+  std::vector<std::string> Errors;
+  auto M = parseIR(Text, Errors);
+  if (!M) {
+    for (const auto &E : Errors)
+      std::fprintf(stderr, "parse error: %s\n", E.c_str());
+    return 1;
+  }
+  std::printf("== parsed (an irreducible left<->right cycle) ==\n%s\n",
+              toString(*M).c_str());
+
+  PipelineOptions Opts;
+  PipelineResult R = runPipeline(std::move(M), Opts);
+  if (!R.Ok) {
+    for (const auto &E : R.Errors)
+      std::fprintf(stderr, "pipeline error: %s\n", E.c_str());
+    return 1;
+  }
+
+  std::printf("== after promotion ==\n%s\n",
+              toString(*R.M->getFunction("main")).c_str());
+  std::printf("program printed %lld; dynamic scalar memops %llu -> %llu\n",
+              static_cast<long long>(R.RunAfter.Output.at(0)),
+              static_cast<unsigned long long>(R.RunBefore.Counts.memOps()),
+              static_cast<unsigned long long>(R.RunAfter.Counts.memOps()));
+  std::printf("(improper intervals promote conservatively: behaviour is "
+              "preserved either way)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+//===- analysis/CFGCanonicalize.h - Promotion-ready CFG shape --*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Puts a function's CFG in the shape the promotion algorithm assumes
+/// (§4.1): no interval entry or exit edge is critical, every proper interval
+/// has a dedicated preheader block, and the function entry block has no
+/// predecessors. Runs to a fixpoint (splitting can change the interval
+/// tree only by adding trivial blocks) and returns the final analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_ANALYSIS_CFGCANONICALIZE_H
+#define SRP_ANALYSIS_CFGCANONICALIZE_H
+
+#include "analysis/Dominators.h"
+#include "analysis/Intervals.h"
+
+namespace srp {
+
+class Function;
+
+/// Result of canonicalisation: fresh dominator tree and interval tree with
+/// preheaders assigned.
+struct CanonicalCFG {
+  DominatorTree DT;
+  IntervalTree IT;
+};
+
+/// Canonicalises \p F in place. Safe to run before or after memory SSA
+/// construction (phi incoming lists are maintained), but the standard
+/// pipeline runs it before.
+CanonicalCFG canonicalize(Function &F);
+
+} // namespace srp
+
+#endif // SRP_ANALYSIS_CFGCANONICALIZE_H

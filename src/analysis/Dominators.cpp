@@ -1,0 +1,257 @@
+//===- analysis/Dominators.cpp - Dominator tree and frontiers ------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace srp;
+
+void DominatorTree::recompute(Function &Fn) {
+  F = &Fn;
+  PostOrder.clear();
+  RPO.clear();
+  RPONum.clear();
+  IDom.clear();
+  Children.clear();
+  Frontier.clear();
+  DfsIn.clear();
+  DfsOut.clear();
+
+  computePostOrder();
+  computeIDoms();
+  computeTreeNumbers();
+  computeFrontiers();
+}
+
+void DominatorTree::computePostOrder() {
+  // Iterative DFS from the entry block.
+  std::unordered_map<const BasicBlock *, bool> Visited;
+  struct Frame {
+    BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    unsigned Next = 0;
+  };
+  std::vector<Frame> Stack;
+  BasicBlock *Entry = F->entry();
+  Visited[Entry] = true;
+  Stack.push_back({Entry, Entry->succs()});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next == Top.Succs.size()) {
+      PostOrder.push_back(Top.BB);
+      Stack.pop_back();
+      continue;
+    }
+    BasicBlock *S = Top.Succs[Top.Next++];
+    if (!Visited[S]) {
+      Visited[S] = true;
+      Stack.push_back({S, S->succs()});
+    }
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I)
+    RPONum[RPO[I]] = I;
+}
+
+void DominatorTree::computeIDoms() {
+  // Cooper-Harvey-Kennedy: iterate intersect() over RPO until fixpoint.
+  BasicBlock *Entry = F->entry();
+  IDom[Entry] = Entry; // temporarily self, fixed up below
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPONum.at(A) > RPONum.at(B))
+        A = IDom.at(A);
+      while (RPONum.at(B) > RPONum.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : BB->preds()) {
+        if (!RPONum.count(P) || !IDom.count(P))
+          continue; // unreachable or not yet processed
+        NewIDom = NewIDom ? Intersect(NewIDom, P) : P;
+      }
+      assert(NewIDom && "reachable block with no processed predecessor");
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  IDom[Entry] = nullptr;
+  for (auto &[BB, Dom] : IDom)
+    if (Dom)
+      Children[Dom].push_back(const_cast<BasicBlock *>(BB));
+  // Deterministic child order.
+  for (auto &[BB, Kids] : Children)
+    std::sort(Kids.begin(), Kids.end(),
+              [&](BasicBlock *A, BasicBlock *B) {
+                return RPONum.at(A) < RPONum.at(B);
+              });
+}
+
+void DominatorTree::computeTreeNumbers() {
+  unsigned Counter = 0;
+  struct Frame {
+    BasicBlock *BB;
+    unsigned NextChild = 0;
+  };
+  std::vector<Frame> Stack;
+  BasicBlock *Entry = F->entry();
+  DfsIn[Entry] = Counter++;
+  Stack.push_back({Entry});
+  static const std::vector<BasicBlock *> Empty;
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    auto It = Children.find(Top.BB);
+    const std::vector<BasicBlock *> &Kids =
+        It == Children.end() ? Empty : It->second;
+    if (Top.NextChild == Kids.size()) {
+      DfsOut[Top.BB] = Counter++;
+      Stack.pop_back();
+      continue;
+    }
+    BasicBlock *Child = Kids[Top.NextChild++];
+    DfsIn[Child] = Counter++;
+    Stack.push_back({Child});
+  }
+}
+
+void DominatorTree::computeFrontiers() {
+  // Cooper-Harvey-Kennedy dominance frontier computation. Join blocks are
+  // those with two or more reachable predecessors — plus the entry block
+  // when it has any predecessor at all (un-canonicalised CFGs may loop
+  // back to the entry, making it part of its own frontier).
+  for (BasicBlock *BB : RPO) {
+    unsigned ReachablePreds = 0;
+    for (BasicBlock *P : BB->preds())
+      if (contains(P))
+        ++ReachablePreds;
+    bool IsJoin = ReachablePreds >= 2 ||
+                  (BB == F->entry() && ReachablePreds >= 1);
+    if (!IsJoin)
+      continue;
+    for (BasicBlock *P : BB->preds()) {
+      if (!contains(P))
+        continue;
+      BasicBlock *Runner = P;
+      while (Runner && Runner != IDom.at(BB)) {
+        Frontier[Runner].push_back(BB);
+        Runner = IDom.at(Runner);
+      }
+    }
+  }
+  // Deduplicate while keeping deterministic order.
+  for (auto &[BB, DF] : Frontier) {
+    std::sort(DF.begin(), DF.end(), [&](BasicBlock *A, BasicBlock *B) {
+      return RPONum.at(A) < RPONum.at(B);
+    });
+    DF.erase(std::unique(DF.begin(), DF.end()), DF.end());
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  assert(It != IDom.end() && "block not in dominator tree");
+  return It->second;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::children(const BasicBlock *BB) const {
+  static const std::vector<BasicBlock *> Empty;
+  auto It = Children.find(BB);
+  return It == Children.end() ? Empty : It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  assert(contains(A) && contains(B) && "block not in dominator tree");
+  return DfsIn.at(A) <= DfsIn.at(B) && DfsOut.at(B) <= DfsOut.at(A);
+}
+
+bool DominatorTree::strictlyDominates(const BasicBlock *A,
+                                      const BasicBlock *B) const {
+  return A != B && dominates(A, B);
+}
+
+bool DominatorTree::dominates(const Instruction *A,
+                              const Instruction *B) const {
+  const BasicBlock *ABB = A->parent(), *BBB = B->parent();
+  if (ABB == BBB)
+    return ABB->comesBefore(A, B);
+  return strictlyDominates(ABB, BBB);
+}
+
+BasicBlock *DominatorTree::commonDominator(BasicBlock *A,
+                                           BasicBlock *B) const {
+  assert(contains(A) && contains(B) && "block not in dominator tree");
+  while (A != B) {
+    if (RPONum.at(A) > RPONum.at(B))
+      A = idom(A);
+    else
+      B = idom(B);
+  }
+  return A;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::frontier(const BasicBlock *BB) const {
+  static const std::vector<BasicBlock *> Empty;
+  auto It = Frontier.find(BB);
+  return It == Frontier.end() ? Empty : It->second;
+}
+
+std::vector<BasicBlock *> DominatorTree::iteratedFrontier(
+    const std::vector<BasicBlock *> &Defs) const {
+  std::vector<BasicBlock *> Result;
+  std::unordered_map<const BasicBlock *, bool> InResult;
+  std::vector<BasicBlock *> Work;
+  std::unordered_map<const BasicBlock *, bool> Queued;
+  for (BasicBlock *BB : Defs) {
+    if (!contains(BB) || Queued[BB])
+      continue;
+    Queued[BB] = true;
+    Work.push_back(BB);
+  }
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (BasicBlock *DF : frontier(BB)) {
+      if (InResult[DF])
+        continue;
+      InResult[DF] = true;
+      Result.push_back(DF);
+      if (!Queued[DF]) {
+        Queued[DF] = true;
+        Work.push_back(DF);
+      }
+    }
+  }
+  std::sort(Result.begin(), Result.end(),
+            [&](BasicBlock *A, BasicBlock *B) {
+              return RPONum.at(A) < RPONum.at(B);
+            });
+  return Result;
+}
+
+unsigned DominatorTree::rpoNumber(const BasicBlock *BB) const {
+  auto It = RPONum.find(BB);
+  assert(It != RPONum.end() && "block not reachable");
+  return It->second;
+}

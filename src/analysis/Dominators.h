@@ -1,0 +1,88 @@
+//===- analysis/Dominators.h - Dominator tree and frontiers ----*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree (Cooper-Harvey-Kennedy iterative algorithm), dominance
+/// frontiers [CFR+91], and iterated dominance frontiers for multi-definition
+/// phi placement (the role [SrG95] plays in the paper: one IDF computation
+/// for a whole set of definition blocks, §4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_ANALYSIS_DOMINATORS_H
+#define SRP_ANALYSIS_DOMINATORS_H
+
+#include <unordered_map>
+#include <vector>
+
+namespace srp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+class DominatorTree {
+  Function *F = nullptr;
+  std::vector<BasicBlock *> PostOrder;  ///< Blocks in postorder.
+  std::vector<BasicBlock *> RPO;        ///< Blocks in reverse postorder.
+  std::unordered_map<const BasicBlock *, unsigned> RPONum;
+  std::unordered_map<const BasicBlock *, BasicBlock *> IDom;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Children;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Frontier;
+  // Preorder in/out numbering of the dominator tree for O(1) dominance
+  // queries.
+  std::unordered_map<const BasicBlock *, unsigned> DfsIn, DfsOut;
+
+  void computePostOrder();
+  void computeIDoms();
+  void computeTreeNumbers();
+  void computeFrontiers();
+
+public:
+  DominatorTree() = default;
+  explicit DominatorTree(Function &Fn) { recompute(Fn); }
+
+  /// (Re)builds all structures for \p Fn. Unreachable blocks are excluded;
+  /// contains() reports reachability.
+  void recompute(Function &Fn);
+
+  Function *function() const { return F; }
+
+  bool contains(const BasicBlock *BB) const { return IDom.count(BB) != 0; }
+
+  /// Immediate dominator; null for the entry block.
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  const std::vector<BasicBlock *> &children(const BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+  /// True if \p A strictly dominates \p B.
+  bool strictlyDominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Instruction-level dominance: true if \p A's definition is available at
+  /// \p B (same block: A strictly precedes B; else block dominance).
+  bool dominates(const Instruction *A, const Instruction *B) const;
+
+  /// Nearest common dominator of \p A and \p B.
+  BasicBlock *commonDominator(BasicBlock *A, BasicBlock *B) const;
+
+  /// Dominance frontier of \p BB.
+  const std::vector<BasicBlock *> &frontier(const BasicBlock *BB) const;
+
+  /// Iterated dominance frontier of a set of blocks; the phi-placement set
+  /// for definitions occurring in \p Defs. Deterministic order (RPO).
+  std::vector<BasicBlock *>
+  iteratedFrontier(const std::vector<BasicBlock *> &Defs) const;
+
+  /// Blocks in reverse postorder (deterministic iteration order for passes).
+  const std::vector<BasicBlock *> &rpo() const { return RPO; }
+  unsigned rpoNumber(const BasicBlock *BB) const;
+};
+
+} // namespace srp
+
+#endif // SRP_ANALYSIS_DOMINATORS_H

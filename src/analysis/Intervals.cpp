@@ -1,0 +1,259 @@
+//===- analysis/Intervals.cpp - Interval (loop nesting) tree -------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Intervals.h"
+#include "ir/Function.h"
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace srp;
+
+namespace {
+
+/// Iterative Tarjan SCC over an arbitrary block subset. Successor edges are
+/// restricted to the subset.
+class SCCFinder {
+  const std::unordered_set<const BasicBlock *> &Subset;
+  std::unordered_map<const BasicBlock *, unsigned> Index, LowLink;
+  std::unordered_map<const BasicBlock *, bool> OnStack;
+  std::vector<BasicBlock *> Stack;
+  unsigned Counter = 0;
+
+public:
+  /// SCCs in discovery order; each is a vector of blocks.
+  std::vector<std::vector<BasicBlock *>> SCCs;
+
+  explicit SCCFinder(const std::unordered_set<const BasicBlock *> &Subset)
+      : Subset(Subset) {}
+
+  void run(const std::vector<BasicBlock *> &Blocks) {
+    for (BasicBlock *BB : Blocks)
+      if (!Index.count(BB))
+        strongConnect(BB);
+  }
+
+private:
+  void strongConnect(BasicBlock *Root) {
+    struct Frame {
+      BasicBlock *BB;
+      std::vector<BasicBlock *> Succs;
+      unsigned Next = 0;
+    };
+    std::vector<Frame> Frames;
+
+    auto push = [&](BasicBlock *BB) {
+      Index[BB] = LowLink[BB] = Counter++;
+      Stack.push_back(BB);
+      OnStack[BB] = true;
+      std::vector<BasicBlock *> Succs;
+      for (BasicBlock *S : BB->succs())
+        if (Subset.count(S))
+          Succs.push_back(S);
+      Frames.push_back({BB, std::move(Succs)});
+    };
+
+    push(Root);
+    while (!Frames.empty()) {
+      Frame &Top = Frames.back();
+      if (Top.Next < Top.Succs.size()) {
+        BasicBlock *S = Top.Succs[Top.Next++];
+        if (!Index.count(S)) {
+          push(S);
+        } else if (OnStack[S]) {
+          LowLink[Top.BB] = std::min(LowLink[Top.BB], Index[S]);
+        }
+        continue;
+      }
+      // All successors processed: maybe pop an SCC, then propagate lowlink.
+      if (LowLink[Top.BB] == Index[Top.BB]) {
+        std::vector<BasicBlock *> SCC;
+        while (true) {
+          BasicBlock *W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SCC.push_back(W);
+          if (W == Top.BB)
+            break;
+        }
+        SCCs.push_back(std::move(SCC));
+      }
+      BasicBlock *Done = Top.BB;
+      Frames.pop_back();
+      if (!Frames.empty())
+        LowLink[Frames.back().BB] =
+            std::min(LowLink[Frames.back().BB], LowLink[Done]);
+    }
+  }
+};
+
+bool hasSelfLoop(const BasicBlock *BB) {
+  for (const BasicBlock *S : BB->succs())
+    if (S == BB)
+      return true;
+  return false;
+}
+
+} // namespace
+
+Interval *IntervalTree::makeInterval() {
+  Storage.push_back(std::make_unique<Interval>());
+  return Storage.back().get();
+}
+
+void IntervalTree::recompute(Function &Fn, const DominatorTree &DT) {
+  F = &Fn;
+  Storage.clear();
+
+  RootIv = makeInterval();
+  RootIv->Root = true;
+  RootIv->Depth = 0;
+  RootIv->Header = Fn.entry();
+  RootIv->Entries = {Fn.entry()};
+  for (BasicBlock *BB : DT.rpo()) {
+    RootIv->Blocks.push_back(BB);
+    RootIv->BlockSet.insert(BB);
+  }
+
+  decompose(RootIv->Blocks, RootIv, DT);
+  finalize(RootIv, DT);
+}
+
+void IntervalTree::decompose(const std::vector<BasicBlock *> &Subgraph,
+                             Interval *Parent, const DominatorTree &DT) {
+  std::unordered_set<const BasicBlock *> Subset(Subgraph.begin(),
+                                                Subgraph.end());
+  SCCFinder Finder(Subset);
+  Finder.run(Subgraph);
+
+  for (auto &SCC : Finder.SCCs) {
+    if (SCC.size() == 1 && !hasSelfLoop(SCC.front()))
+      continue; // trivial component
+
+    Interval *Iv = makeInterval();
+    Iv->Parent = Parent;
+    Iv->Depth = Parent->Depth + 1;
+    Parent->Children.push_back(Iv);
+
+    // Blocks in RPO for determinism.
+    std::sort(SCC.begin(), SCC.end(), [&](BasicBlock *A, BasicBlock *B) {
+      return DT.rpoNumber(A) < DT.rpoNumber(B);
+    });
+    Iv->Blocks = SCC;
+    Iv->BlockSet.insert(SCC.begin(), SCC.end());
+
+    // Entries: blocks with a predecessor outside the SCC.
+    for (BasicBlock *BB : SCC) {
+      bool IsEntry = false;
+      for (BasicBlock *P : BB->preds())
+        if (!Iv->BlockSet.count(P) && DT.contains(P))
+          IsEntry = true;
+      if (IsEntry)
+        Iv->Entries.push_back(BB);
+    }
+    // A loop unreachable from outside (can happen only for the function
+    // entry being in the SCC, which canonicalisation prevents): fall back
+    // to the RPO-first block.
+    if (Iv->Entries.empty())
+      Iv->Entries.push_back(SCC.front());
+    Iv->Header = Iv->Entries.front();
+
+    // Recurse with the header removed to expose nested intervals.
+    std::vector<BasicBlock *> Inner;
+    for (BasicBlock *BB : SCC)
+      if (BB != Iv->Header)
+        Inner.push_back(BB);
+    if (!Inner.empty())
+      decompose(Inner, Iv, DT);
+  }
+
+  // Deterministic child order: by header RPO number.
+  std::sort(Parent->Children.begin(), Parent->Children.end(),
+            [&](Interval *A, Interval *B) {
+              return DT.rpoNumber(A->Header) < DT.rpoNumber(B->Header);
+            });
+}
+
+void IntervalTree::finalize(Interval *Iv, const DominatorTree &DT) {
+  // Exit edges: any edge from inside to outside.
+  Iv->ExitEdges.clear();
+  for (BasicBlock *BB : Iv->Blocks)
+    for (BasicBlock *S : BB->succs())
+      if (!Iv->BlockSet.count(S))
+        Iv->ExitEdges.emplace_back(BB, S);
+  for (Interval *Child : Iv->Children)
+    finalize(Child, DT);
+}
+
+Interval *IntervalTree::intervalFor(const BasicBlock *BB) const {
+  Interval *Best = RootIv && RootIv->contains(BB) ? RootIv : nullptr;
+  if (!Best)
+    return nullptr;
+  bool Descended = true;
+  while (Descended) {
+    Descended = false;
+    for (Interval *Child : Best->children()) {
+      if (Child->contains(BB)) {
+        Best = Child;
+        Descended = true;
+        break;
+      }
+    }
+  }
+  return Best;
+}
+
+std::vector<Interval *> IntervalTree::postorder() const {
+  std::vector<Interval *> Result;
+  struct Frame {
+    Interval *Iv;
+    unsigned Next = 0;
+  };
+  std::vector<Frame> Stack;
+  if (RootIv)
+    Stack.push_back({RootIv});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next < Top.Iv->children().size()) {
+      Stack.push_back({Top.Iv->children()[Top.Next++]});
+      continue;
+    }
+    Result.push_back(Top.Iv);
+    Stack.pop_back();
+  }
+  return Result;
+}
+
+void IntervalTree::assignPreheaders(const DominatorTree &DT) {
+  for (Interval *Iv : postorder()) {
+    if (Iv->isRoot()) {
+      Iv->Preheader = F->entry();
+      continue;
+    }
+    if (Iv->isProper()) {
+      // The unique predecessor of the header outside the interval.
+      BasicBlock *PH = nullptr;
+      for (BasicBlock *P : Iv->Header->preds()) {
+        if (Iv->contains(P))
+          continue;
+        assert(!PH && "proper interval with several outside preds; "
+                      "run CFG canonicalisation first");
+        PH = P;
+      }
+      assert(PH && "proper interval without preheader");
+      Iv->Preheader = PH;
+      continue;
+    }
+    // Improper interval: least common dominator of all entries, walked up
+    // until it lies outside the interval (§4.1).
+    BasicBlock *LCD = Iv->Entries.front();
+    for (BasicBlock *E : Iv->Entries)
+      LCD = DT.commonDominator(LCD, E);
+    while (Iv->contains(LCD))
+      LCD = DT.idom(LCD);
+    Iv->Preheader = LCD;
+  }
+}

@@ -1,0 +1,119 @@
+//===- analysis/Intervals.h - Interval (loop nesting) tree -----*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's promotion scope (§4.1): "an interval is a strongly connected
+/// component of a control flow graph". We build a nested interval tree by
+/// recursive SCC decomposition (Bourdoncle-style): every non-trivial SCC at
+/// the top level is an interval; removing its header exposes the nested
+/// intervals, recursively. A proper interval has a single entry block (the
+/// header); an improper interval has several, and its promotion preheader is
+/// the least common dominator of all entries, exactly as the paper
+/// prescribes.
+///
+/// A synthetic root interval covers the whole function so that promotion can
+/// also hoist accesses that are not inside any loop; its "tails" are the
+/// return instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_ANALYSIS_INTERVALS_H
+#define SRP_ANALYSIS_INTERVALS_H
+
+#include "analysis/Dominators.h"
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace srp {
+
+class BasicBlock;
+class Function;
+
+/// One interval (strongly connected region) of the CFG, or the synthetic
+/// whole-function root.
+class Interval {
+  friend class IntervalTree;
+
+  Interval *Parent = nullptr;
+  std::vector<Interval *> Children;
+  std::vector<BasicBlock *> Blocks; ///< In RPO; includes nested intervals.
+  std::unordered_set<const BasicBlock *> BlockSet;
+  BasicBlock *Header = nullptr;     ///< First entry block in RPO.
+  std::vector<BasicBlock *> Entries;
+  BasicBlock *Preheader = nullptr;  ///< Block whose end dominates the body.
+  /// Exit edges (From inside, To outside). After CFG canonicalisation every
+  /// To is a dedicated tail block with a single predecessor.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> ExitEdges;
+  bool Root = false;
+  unsigned Depth = 0;
+
+public:
+  Interval *parent() const { return Parent; }
+  const std::vector<Interval *> &children() const { return Children; }
+  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
+  bool contains(const BasicBlock *BB) const { return BlockSet.count(BB); }
+
+  BasicBlock *header() const { return Header; }
+  const std::vector<BasicBlock *> &entries() const { return Entries; }
+  bool isProper() const { return Entries.size() <= 1; }
+  bool isRoot() const { return Root; }
+  unsigned depth() const { return Depth; }
+
+  /// The block at whose end promotion may place interval-entry loads. For
+  /// the root interval this is the function entry block. Set up by
+  /// canonicalisation (see CFGCanonicalize.h).
+  BasicBlock *preheader() const { return Preheader; }
+
+  const std::vector<std::pair<BasicBlock *, BasicBlock *>> &exitEdges() const {
+    return ExitEdges;
+  }
+
+  /// Tail blocks: the targets of the exit edges (outside the interval).
+  std::vector<BasicBlock *> tails() const {
+    std::vector<BasicBlock *> Result;
+    for (const auto &[From, To] : ExitEdges)
+      Result.push_back(To);
+    return Result;
+  }
+};
+
+/// Builds and owns the interval tree of a function.
+class IntervalTree {
+  Function *F = nullptr;
+  std::vector<std::unique_ptr<Interval>> Storage;
+  Interval *RootIv = nullptr;
+
+  Interval *makeInterval();
+  void decompose(const std::vector<BasicBlock *> &Subgraph, Interval *Parent,
+                 const DominatorTree &DT);
+  void finalize(Interval *Iv, const DominatorTree &DT);
+
+public:
+  IntervalTree() = default;
+  IntervalTree(Function &Fn, const DominatorTree &DT) { recompute(Fn, DT); }
+
+  void recompute(Function &Fn, const DominatorTree &DT);
+
+  Interval *root() const { return RootIv; }
+
+  /// The innermost interval containing \p BB (at least the root).
+  Interval *intervalFor(const BasicBlock *BB) const;
+
+  /// All intervals in postorder (children before parents) — the promotion
+  /// processing order of paper Fig. 2.
+  std::vector<Interval *> postorder() const;
+
+  /// Assigns preheaders: the root gets the entry block; proper intervals use
+  /// the unique non-back-edge predecessor of the header (canonicalisation
+  /// guarantees one); improper intervals use the least common dominator of
+  /// their entries.
+  void assignPreheaders(const DominatorTree &DT);
+};
+
+} // namespace srp
+
+#endif // SRP_ANALYSIS_INTERVALS_H

@@ -1,0 +1,39 @@
+//===- analysis/Verifier.h - IR well-formedness checks ---------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA invariants checker. Run after every transformation in
+/// tests; returns a list of human-readable violations (empty == valid).
+///
+/// Checked invariants:
+///  - every block ends in exactly one terminator, and only at the end
+///  - pred/succ lists are mutually consistent; entry has no preds
+///  - phi/memphi incoming lists match the predecessor multiset
+///  - every value/memory use is dominated by its definition
+///  - memory names have consistent object/def links
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_ANALYSIS_VERIFIER_H
+#define SRP_ANALYSIS_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace srp {
+
+class Function;
+class Module;
+
+/// Returns all invariant violations found in \p F (empty when valid).
+std::vector<std::string> verify(Function &F);
+
+/// Verifies every function in \p M.
+std::vector<std::string> verify(Module &M);
+
+} // namespace srp
+
+#endif // SRP_ANALYSIS_VERIFIER_H

@@ -1,0 +1,168 @@
+//===- frontend/AST.h - Mini-C abstract syntax tree ------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for Mini-C. Nodes carry source lines for diagnostics and resolution
+/// slots that Sema fills in (what an identifier denotes, which memory
+/// object backs it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_FRONTEND_AST_H
+#define SRP_FRONTEND_AST_H
+
+#include "ir/Instruction.h" // BinOpKind
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace srp {
+
+class MemoryObject;
+
+namespace ast {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// What a resolved name denotes.
+enum class SymbolKind : uint8_t {
+  Unresolved,
+  Param,    ///< Formal int parameter.
+  Local,    ///< Local int variable.
+  Global,   ///< Module-scope int variable.
+  Field,    ///< struct component s.f.
+  Array,    ///< Module-scope int array.
+  Function, ///< Callee name.
+};
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,
+    VarRef,    ///< scalar variable or parameter
+    FieldRef,  ///< s.f
+    Index,     ///< a[e]
+    Unary,     ///< -e, !e, *e (deref)
+    AddrOf,    ///< &x, &a[e], &s.f
+    Binary,
+    LogicalAnd, ///< short-circuit
+    LogicalOr,  ///< short-circuit
+    Call,
+  };
+
+  Kind K;
+  unsigned Line = 0;
+
+  // IntLit
+  int64_t IntValue = 0;
+
+  // VarRef / FieldRef / Index / Call / AddrOf target
+  std::string Name;
+  std::string FieldName; ///< for FieldRef / AddrOf of field
+
+  // Resolution (filled by Sema).
+  SymbolKind Sym = SymbolKind::Unresolved;
+  MemoryObject *Object = nullptr; ///< Local/Global/Field/Array backing store.
+  unsigned ParamIndex = 0;
+
+  // Unary: Op in {'-','!','*'}; AddrOf uses Sub expression for &a[e] index.
+  char UnaryOp = 0;
+
+  BinOpKind BinOp = BinOpKind::Add;
+
+  ExprPtr Lhs, Rhs;           ///< Binary/logical operands; Unary uses Lhs.
+  ExprPtr IndexExpr;          ///< Index/AddrOf-of-array-element index.
+  std::vector<ExprPtr> Args;  ///< Call arguments.
+
+  explicit Expr(Kind K, unsigned Line) : K(K), Line(Line) {}
+};
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,
+    LocalDecl, ///< int x; / int x = e;
+    Assign,    ///< lvalue (=|+=|-=|*=|/=|%=) e; also ++/-- desugared
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+    Print,
+    ExprStmt, ///< expression evaluated for effect (calls)
+  };
+
+  Kind K;
+  unsigned Line = 0;
+
+  std::vector<StmtPtr> Body; ///< Block statements.
+
+  // LocalDecl
+  std::string Name;
+  ExprPtr Init; ///< optional
+
+  // Resolution for LocalDecl (filled by Sema).
+  MemoryObject *Object = nullptr;
+
+  // Assign: target lvalue expression (VarRef/FieldRef/Index/Unary-deref)
+  // and value; compound ops are pre-desugared by the parser into
+  // "target = target op value".
+  ExprPtr Target;
+  ExprPtr Value;
+
+  // If / While / DoWhile / For
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Then doubles as loop body.
+  StmtPtr ForInit, ForStep;
+
+  explicit Stmt(Kind K, unsigned Line) : K(K), Line(Line) {}
+};
+
+struct Param {
+  std::string Name;
+  unsigned Line = 0;
+};
+
+struct Function {
+  std::string Name;
+  bool ReturnsValue = false;
+  std::vector<Param> Params;
+  StmtPtr Body;
+  unsigned Line = 0;
+};
+
+struct GlobalVar {
+  std::string Name;
+  int64_t Init = 0;
+  unsigned ArraySize = 0; ///< 0 = scalar
+  unsigned Line = 0;
+};
+
+struct StructField {
+  std::string Name;
+  int64_t Init = 0;
+};
+
+struct StructVar {
+  std::string TypeName;
+  std::string VarName;
+  std::vector<StructField> Fields;
+  unsigned Line = 0;
+};
+
+struct Program {
+  std::vector<GlobalVar> Globals;
+  std::vector<StructVar> Structs;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace ast
+} // namespace srp
+
+#endif // SRP_FRONTEND_AST_H

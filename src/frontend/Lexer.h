@@ -1,0 +1,96 @@
+//===- frontend/Lexer.h - Mini-C lexer -------------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for Mini-C, the small C subset used to author the SPECInt95-
+/// like workloads (globals, arrays, structs with int fields, pointers,
+/// functions, loops, print).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_FRONTEND_LEXER_H
+#define SRP_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srp {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwStruct,
+  KwPrint,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  PlusPlus,
+  MinusMinus,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Bang,
+  Shl,
+  Shr,
+  EQ,
+  NE,
+  LT,
+  LE,
+  GT,
+  GE,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< Identifier spelling.
+  int64_t IntValue = 0;
+  unsigned Line = 0;
+};
+
+/// Tokenizes \p Source. Lexical errors (bad characters) are reported into
+/// \p Errors as "line N: message" strings; scanning continues.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<std::string> &Errors);
+
+/// Printable name of a token kind (diagnostics).
+const char *tokKindName(TokKind K);
+
+} // namespace srp
+
+#endif // SRP_FRONTEND_LEXER_H

@@ -1,0 +1,328 @@
+//===- frontend/Lowering.cpp - AST to IR lowering -------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include <cassert>
+
+using namespace srp;
+using namespace srp::ast;
+
+namespace {
+
+class FunctionLowerer {
+  Module &M;
+  srp::Function &IRF;
+  ast::Function &FnAST;
+  IRBuilder B;
+
+  struct LoopContext {
+    BasicBlock *BreakTarget;
+    BasicBlock *ContinueTarget;
+  };
+  std::vector<LoopContext> Loops;
+
+public:
+  FunctionLowerer(Module &M, srp::Function &IRF, ast::Function &FnAST)
+      : M(M), IRF(IRF), FnAST(FnAST) {}
+
+  void run() {
+    BasicBlock *Entry = IRF.createBlock("entry");
+    B.setInsertPoint(Entry);
+    lowerStmt(*FnAST.Body);
+    // Implicit return at the end of a fall-through body.
+    if (!B.block()->terminator())
+      B.ret(FnAST.ReturnsValue ? static_cast<Value *>(M.constant(0))
+                               : nullptr);
+    sealUnterminatedBlocks();
+  }
+
+private:
+  /// Blocks left unterminated by break/continue/return lowering get an
+  /// unreachable filler terminator so the IR stays structurally valid.
+  void sealUnterminatedBlocks() {
+    for (BasicBlock *BB : IRF.blocks()) {
+      if (!BB->terminator()) {
+        IRBuilder Fix(BB);
+        Fix.ret(IRF.returnType() == Type::Int
+                    ? static_cast<Value *>(M.constant(0))
+                    : nullptr);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===
+  // Statements.
+  //===------------------------------------------------------------------===
+
+  void lowerStmt(Stmt &S) {
+    if (B.block()->terminator())
+      return; // unreachable code after break/continue/return: drop it
+    switch (S.K) {
+    case Stmt::Kind::Block:
+      for (auto &Sub : S.Body)
+        lowerStmt(*Sub);
+      break;
+    case Stmt::Kind::LocalDecl: {
+      Value *Init = S.Init ? lowerExpr(*S.Init)
+                           : static_cast<Value *>(M.constant(0));
+      B.store(S.Object, Init);
+      break;
+    }
+    case Stmt::Kind::Assign:
+      lowerAssign(*S.Target, lowerExpr(*S.Value));
+      break;
+    case Stmt::Kind::If:
+      lowerIf(S);
+      break;
+    case Stmt::Kind::While:
+      lowerWhile(S);
+      break;
+    case Stmt::Kind::DoWhile:
+      lowerDoWhile(S);
+      break;
+    case Stmt::Kind::For:
+      lowerFor(S);
+      break;
+    case Stmt::Kind::Return:
+      B.ret(S.Value ? lowerExpr(*S.Value) : nullptr);
+      break;
+    case Stmt::Kind::Break:
+      assert(!Loops.empty() && "sema admits break only inside loops");
+      B.br(Loops.back().BreakTarget);
+      break;
+    case Stmt::Kind::Continue:
+      assert(!Loops.empty() && "sema admits continue only inside loops");
+      B.br(Loops.back().ContinueTarget);
+      break;
+    case Stmt::Kind::Print:
+      B.print(lowerExpr(*S.Value));
+      break;
+    case Stmt::Kind::ExprStmt:
+      lowerExpr(*S.Value);
+      break;
+    }
+  }
+
+  void lowerIf(Stmt &S) {
+    Value *Cond = lowerExpr(*S.Cond);
+    BasicBlock *ThenBB = IRF.createBlock("if.then");
+    BasicBlock *JoinBB = IRF.createBlock("if.join");
+    BasicBlock *ElseBB = S.Else ? IRF.createBlock("if.else") : JoinBB;
+    B.condBr(Cond, ThenBB, ElseBB);
+
+    B.setInsertPoint(ThenBB);
+    lowerStmt(*S.Then);
+    if (!B.block()->terminator())
+      B.br(JoinBB);
+
+    if (S.Else) {
+      B.setInsertPoint(ElseBB);
+      lowerStmt(*S.Else);
+      if (!B.block()->terminator())
+        B.br(JoinBB);
+    }
+    B.setInsertPoint(JoinBB);
+  }
+
+  void lowerWhile(Stmt &S) {
+    BasicBlock *CondBB = IRF.createBlock("while.cond");
+    BasicBlock *BodyBB = IRF.createBlock("while.body");
+    BasicBlock *ExitBB = IRF.createBlock("while.exit");
+    B.br(CondBB);
+
+    B.setInsertPoint(CondBB);
+    Value *Cond = lowerExpr(*S.Cond);
+    B.condBr(Cond, BodyBB, ExitBB);
+
+    Loops.push_back({ExitBB, CondBB});
+    B.setInsertPoint(BodyBB);
+    lowerStmt(*S.Then);
+    if (!B.block()->terminator())
+      B.br(CondBB);
+    Loops.pop_back();
+
+    B.setInsertPoint(ExitBB);
+  }
+
+  void lowerDoWhile(Stmt &S) {
+    BasicBlock *BodyBB = IRF.createBlock("do.body");
+    BasicBlock *CondBB = IRF.createBlock("do.cond");
+    BasicBlock *ExitBB = IRF.createBlock("do.exit");
+    B.br(BodyBB);
+
+    Loops.push_back({ExitBB, CondBB});
+    B.setInsertPoint(BodyBB);
+    lowerStmt(*S.Then);
+    if (!B.block()->terminator())
+      B.br(CondBB);
+    Loops.pop_back();
+
+    B.setInsertPoint(CondBB);
+    Value *Cond = lowerExpr(*S.Cond);
+    B.condBr(Cond, BodyBB, ExitBB);
+
+    B.setInsertPoint(ExitBB);
+  }
+
+  void lowerFor(Stmt &S) {
+    if (S.ForInit)
+      lowerStmt(*S.ForInit);
+    BasicBlock *CondBB = IRF.createBlock("for.cond");
+    BasicBlock *BodyBB = IRF.createBlock("for.body");
+    BasicBlock *StepBB = IRF.createBlock("for.step");
+    BasicBlock *ExitBB = IRF.createBlock("for.exit");
+    B.br(CondBB);
+
+    B.setInsertPoint(CondBB);
+    if (S.Cond) {
+      Value *Cond = lowerExpr(*S.Cond);
+      B.condBr(Cond, BodyBB, ExitBB);
+    } else {
+      B.br(BodyBB);
+    }
+
+    Loops.push_back({ExitBB, StepBB});
+    B.setInsertPoint(BodyBB);
+    lowerStmt(*S.Then);
+    if (!B.block()->terminator())
+      B.br(StepBB);
+    Loops.pop_back();
+
+    B.setInsertPoint(StepBB);
+    if (S.ForStep)
+      lowerStmt(*S.ForStep);
+    if (!B.block()->terminator())
+      B.br(CondBB);
+
+    B.setInsertPoint(ExitBB);
+  }
+
+  void lowerAssign(Expr &Target, Value *V) {
+    switch (Target.K) {
+    case Expr::Kind::VarRef:
+      assert(Target.Object && "sema left an assignable var unresolved");
+      B.store(Target.Object, V);
+      break;
+    case Expr::Kind::FieldRef:
+      B.store(Target.Object, V);
+      break;
+    case Expr::Kind::Index:
+      B.arrayStore(Target.Object, lowerExpr(*Target.IndexExpr), V);
+      break;
+    case Expr::Kind::Unary:
+      assert(Target.UnaryOp == '*' && "sema checked assignability");
+      B.ptrStore(lowerExpr(*Target.Lhs), V);
+      break;
+    default:
+      assert(false && "not an lvalue");
+    }
+  }
+
+  //===------------------------------------------------------------------===
+  // Expressions.
+  //===------------------------------------------------------------------===
+
+  Value *lowerExpr(Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return M.constant(E.IntValue);
+    case Expr::Kind::VarRef:
+      if (E.Sym == SymbolKind::Param)
+        return IRF.arg(E.ParamIndex);
+      assert(E.Object && "unresolved variable survived sema");
+      return B.load(E.Object);
+    case Expr::Kind::FieldRef:
+      return B.load(E.Object);
+    case Expr::Kind::Index:
+      return B.arrayLoad(E.Object, lowerExpr(*E.IndexExpr));
+    case Expr::Kind::Unary: {
+      if (E.UnaryOp == '*')
+        return B.ptrLoad(lowerExpr(*E.Lhs));
+      Value *V = lowerExpr(*E.Lhs);
+      if (E.UnaryOp == '-')
+        return B.sub(M.constant(0), V);
+      assert(E.UnaryOp == '!' && "unknown unary operator");
+      return B.cmpEQ(V, M.constant(0));
+    }
+    case Expr::Kind::AddrOf: {
+      Value *Base = B.addrOf(E.Object);
+      if (E.IndexExpr)
+        return B.add(Base, lowerExpr(*E.IndexExpr));
+      return Base;
+    }
+    case Expr::Kind::Binary:
+      return B.binop(E.BinOp, lowerExpr(*E.Lhs), lowerExpr(*E.Rhs));
+    case Expr::Kind::LogicalAnd:
+    case Expr::Kind::LogicalOr:
+      return lowerShortCircuit(E);
+    case Expr::Kind::Call: {
+      std::vector<Value *> Args;
+      for (auto &A : E.Args)
+        Args.push_back(lowerExpr(*A));
+      return B.call(M.getFunction(E.Name), std::move(Args));
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return M.constant(0);
+  }
+
+  /// Short-circuit evaluation through control flow and a compiler
+  /// temporary (mem2reg turns the temporary into a phi).
+  Value *lowerShortCircuit(Expr &E) {
+    bool IsAnd = E.K == Expr::Kind::LogicalAnd;
+    MemoryObject *Tmp =
+        IRF.createLocal(IRF.uniqueValueName("sc"), MemoryObject::Kind::Local);
+
+    Value *L = lowerExpr(*E.Lhs);
+    Value *LBool = B.binop(BinOpKind::CmpNE, L, M.constant(0));
+    B.store(Tmp, LBool);
+
+    BasicBlock *RhsBB = IRF.createBlock(IsAnd ? "and.rhs" : "or.rhs");
+    BasicBlock *JoinBB = IRF.createBlock(IsAnd ? "and.join" : "or.join");
+    if (IsAnd)
+      B.condBr(LBool, RhsBB, JoinBB);
+    else
+      B.condBr(LBool, JoinBB, RhsBB);
+
+    B.setInsertPoint(RhsBB);
+    Value *R = lowerExpr(*E.Rhs);
+    Value *RBool = B.binop(BinOpKind::CmpNE, R, M.constant(0));
+    B.store(Tmp, RBool);
+    B.br(JoinBB);
+
+    B.setInsertPoint(JoinBB);
+    return B.load(Tmp);
+  }
+};
+
+} // namespace
+
+void srp::lowerProgram(ast::Program &P, Module &M) {
+  for (auto &F : P.Functions) {
+    srp::Function *IRF = M.getFunction(F->Name);
+    assert(IRF && "sema did not declare the function");
+    FunctionLowerer(M, *IRF, *F).run();
+  }
+}
+
+std::unique_ptr<Module> srp::compileMiniC(const std::string &Source,
+                                          std::vector<std::string> &Errors,
+                                          const std::string &ModuleName) {
+  ast::Program P = parseProgram(Source, Errors);
+  if (!Errors.empty())
+    return nullptr;
+  auto M = std::make_unique<Module>(ModuleName);
+  auto SemaErrors = analyze(P, *M);
+  Errors.insert(Errors.end(), SemaErrors.begin(), SemaErrors.end());
+  if (!Errors.empty())
+    return nullptr;
+  lowerProgram(P, *M);
+  return M;
+}

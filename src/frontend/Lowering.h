@@ -1,0 +1,39 @@
+//===- frontend/Lowering.h - AST to IR lowering ----------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the resolved Mini-C AST into the IR. Every variable with memory
+/// semantics (locals, globals, struct fields) is accessed through explicit
+/// load/store instructions — exactly the "traditional C compiler" starting
+/// point the paper describes; mem2reg and register promotion then lift what
+/// they can into registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_FRONTEND_LOWERING_H
+#define SRP_FRONTEND_LOWERING_H
+
+#include "frontend/AST.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace srp {
+
+class Module;
+
+/// Lowers \p P (already analyzed against \p M) into \p M's functions.
+void lowerProgram(ast::Program &P, Module &M);
+
+/// Convenience front door: parse + analyze + lower. Returns null and fills
+/// \p Errors on any problem.
+std::unique_ptr<Module> compileMiniC(const std::string &Source,
+                                     std::vector<std::string> &Errors,
+                                     const std::string &ModuleName = "mc");
+
+} // namespace srp
+
+#endif // SRP_FRONTEND_LOWERING_H

@@ -1,0 +1,29 @@
+//===- frontend/Parser.h - Mini-C recursive descent parser -----*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the Mini-C AST. Errors are collected
+/// as "line N: message" strings; parsing recovers at statement boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_FRONTEND_PARSER_H
+#define SRP_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include <string>
+#include <vector>
+
+namespace srp {
+
+/// Parses Mini-C \p Source. On any error, the error list is non-empty and
+/// the returned program must not be lowered.
+ast::Program parseProgram(const std::string &Source,
+                          std::vector<std::string> &Errors);
+
+} // namespace srp
+
+#endif // SRP_FRONTEND_PARSER_H

@@ -1,0 +1,357 @@
+//===- frontend/Sema.cpp - Mini-C semantic analysis ----------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+#include "ir/Module.h"
+#include <unordered_map>
+
+using namespace srp;
+using namespace srp::ast;
+
+namespace {
+
+class Analyzer {
+  Program &P;
+  Module &M;
+  std::vector<std::string> Errors;
+
+  // Module-level symbol tables.
+  std::unordered_map<std::string, MemoryObject *> GlobalScalars;
+  std::unordered_map<std::string, MemoryObject *> GlobalArrays;
+  // struct var name -> (field name -> object)
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, MemoryObject *>>
+      StructFields;
+  std::unordered_map<std::string, ast::Function *> Functions;
+  std::unordered_map<std::string, srp::Function *> IRFunctions;
+
+  // Current function state.
+  ast::Function *CurFn = nullptr;
+  srp::Function *CurIRFn = nullptr;
+  /// Scope stack: name -> memory object (locals) or param index.
+  struct LocalInfo {
+    MemoryObject *Obj;
+  };
+  std::vector<std::unordered_map<std::string, LocalInfo>> Scopes;
+  std::unordered_map<std::string, unsigned> ParamIndex;
+  unsigned LoopDepth = 0;
+
+  void error(unsigned Line, const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(Line) + ": " + Msg);
+  }
+
+  LocalInfo *lookupLocal(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+public:
+  Analyzer(Program &P, Module &M) : P(P), M(M) {}
+
+  std::vector<std::string> run() {
+    collectGlobals();
+    collectFunctions();
+    for (auto &F : P.Functions)
+      analyzeFunction(*F);
+    return std::move(Errors);
+  }
+
+private:
+  void collectGlobals() {
+    for (GlobalVar &G : P.Globals) {
+      if (GlobalScalars.count(G.Name) || GlobalArrays.count(G.Name)) {
+        error(G.Line, "redefinition of global '" + G.Name + "'");
+        continue;
+      }
+      if (G.ArraySize > 0)
+        GlobalArrays[G.Name] = M.createGlobalArray(G.Name, G.ArraySize);
+      else
+        GlobalScalars[G.Name] = M.createGlobal(G.Name, G.Init);
+    }
+    for (StructVar &S : P.Structs) {
+      if (StructFields.count(S.VarName)) {
+        error(S.Line, "redefinition of struct variable '" + S.VarName + "'");
+        continue;
+      }
+      auto &Fields = StructFields[S.VarName];
+      for (const StructField &Fld : S.Fields) {
+        if (Fields.count(Fld.Name)) {
+          error(S.Line, "duplicate field '" + Fld.Name + "' in '" +
+                            S.VarName + "'");
+          continue;
+        }
+        Fields[Fld.Name] =
+            M.createField(S.VarName + "." + Fld.Name, Fld.Init);
+      }
+    }
+  }
+
+  void collectFunctions() {
+    for (auto &F : P.Functions) {
+      if (Functions.count(F->Name)) {
+        error(F->Line, "redefinition of function '" + F->Name + "'");
+        continue;
+      }
+      Functions[F->Name] = F.get();
+      srp::Function *IRF = M.createFunction(
+          F->Name, F->ReturnsValue ? Type::Int : Type::Void);
+      for (const Param &Pm : F->Params)
+        IRF->addArgument(Pm.Name);
+      IRFunctions[F->Name] = IRF;
+    }
+  }
+
+  void analyzeFunction(ast::Function &F) {
+    CurFn = &F;
+    CurIRFn = IRFunctions[F.Name];
+    Scopes.clear();
+    Scopes.emplace_back();
+    ParamIndex.clear();
+    LoopDepth = 0;
+    for (unsigned I = 0; I != F.Params.size(); ++I) {
+      if (ParamIndex.count(F.Params[I].Name))
+        error(F.Line, "duplicate parameter '" + F.Params[I].Name + "'");
+      ParamIndex[F.Params[I].Name] = I;
+    }
+    if (F.Body)
+      analyzeStmt(*F.Body);
+  }
+
+  void analyzeStmt(Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Block:
+      Scopes.emplace_back();
+      for (auto &Sub : S.Body)
+        analyzeStmt(*Sub);
+      Scopes.pop_back();
+      break;
+    case Stmt::Kind::LocalDecl: {
+      if (Scopes.back().count(S.Name))
+        error(S.Line, "redefinition of local '" + S.Name + "'");
+      // Every local starts as a memory object; mem2reg turns the
+      // non-address-taken ones into registers.
+      MemoryObject *Obj = CurIRFn->createLocal(
+          S.Name + "#" + std::to_string(S.Line), MemoryObject::Kind::Local);
+      Scopes.back()[S.Name] = {Obj};
+      S.Object = Obj;
+      if (S.Init)
+        analyzeExpr(*S.Init);
+      break;
+    }
+    case Stmt::Kind::Assign:
+      analyzeExpr(*S.Target);
+      checkAssignable(*S.Target);
+      analyzeExpr(*S.Value);
+      break;
+    case Stmt::Kind::If:
+      analyzeExpr(*S.Cond);
+      analyzeStmt(*S.Then);
+      if (S.Else)
+        analyzeStmt(*S.Else);
+      break;
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      analyzeExpr(*S.Cond);
+      ++LoopDepth;
+      analyzeStmt(*S.Then);
+      --LoopDepth;
+      break;
+    case Stmt::Kind::For:
+      Scopes.emplace_back(); // for-init scope
+      if (S.ForInit)
+        analyzeStmt(*S.ForInit);
+      if (S.Cond)
+        analyzeExpr(*S.Cond);
+      if (S.ForStep)
+        analyzeStmt(*S.ForStep);
+      ++LoopDepth;
+      analyzeStmt(*S.Then);
+      --LoopDepth;
+      Scopes.pop_back();
+      break;
+    case Stmt::Kind::Return:
+      if (S.Value) {
+        if (!CurFn->ReturnsValue)
+          error(S.Line, "void function '" + CurFn->Name +
+                            "' returns a value");
+        analyzeExpr(*S.Value);
+      } else if (CurFn->ReturnsValue) {
+        error(S.Line, "non-void function '" + CurFn->Name +
+                          "' returns no value");
+      }
+      break;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      if (LoopDepth == 0)
+        error(S.Line, S.K == Stmt::Kind::Break
+                          ? "break outside of a loop"
+                          : "continue outside of a loop");
+      break;
+    case Stmt::Kind::Print:
+    case Stmt::Kind::ExprStmt:
+      analyzeExpr(*S.Value);
+      break;
+    }
+  }
+
+  void checkAssignable(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::VarRef:
+      if (E.Sym == SymbolKind::Param)
+        error(E.Line, "parameters are read-only in Mini-C; copy '" +
+                          E.Name + "' into a local first");
+      else if (E.Sym == SymbolKind::Array || E.Sym == SymbolKind::Function)
+        error(E.Line, "'" + E.Name + "' is not assignable");
+      break;
+    case Expr::Kind::FieldRef:
+    case Expr::Kind::Index:
+      break;
+    case Expr::Kind::Unary:
+      if (E.UnaryOp == '*')
+        break;
+      [[fallthrough]];
+    default:
+      error(E.Line, "expression is not assignable");
+      break;
+    }
+  }
+
+  void analyzeExpr(Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      break;
+    case Expr::Kind::VarRef:
+      resolveVar(E);
+      break;
+    case Expr::Kind::FieldRef: {
+      auto It = StructFields.find(E.Name);
+      if (It == StructFields.end()) {
+        error(E.Line, "unknown struct variable '" + E.Name + "'");
+        break;
+      }
+      auto FIt = It->second.find(E.FieldName);
+      if (FIt == It->second.end()) {
+        error(E.Line, "no field '" + E.FieldName + "' in '" + E.Name + "'");
+        break;
+      }
+      E.Sym = SymbolKind::Field;
+      E.Object = FIt->second;
+      break;
+    }
+    case Expr::Kind::Index: {
+      auto It = GlobalArrays.find(E.Name);
+      if (It == GlobalArrays.end()) {
+        error(E.Line, "unknown array '" + E.Name + "'");
+      } else {
+        E.Sym = SymbolKind::Array;
+        E.Object = It->second;
+      }
+      analyzeExpr(*E.IndexExpr);
+      break;
+    }
+    case Expr::Kind::Unary:
+      analyzeExpr(*E.Lhs);
+      break;
+    case Expr::Kind::AddrOf: {
+      if (E.IndexExpr) {
+        // &a[e]
+        auto It = GlobalArrays.find(E.Name);
+        if (It == GlobalArrays.end()) {
+          error(E.Line, "unknown array '" + E.Name + "'");
+        } else {
+          E.Sym = SymbolKind::Array;
+          E.Object = It->second;
+          E.Object->setAddressTaken();
+        }
+        analyzeExpr(*E.IndexExpr);
+        break;
+      }
+      if (!E.FieldName.empty()) {
+        auto It = StructFields.find(E.Name);
+        if (It == StructFields.end() ||
+            !It->second.count(E.FieldName)) {
+          error(E.Line, "unknown field '" + E.Name + "." + E.FieldName + "'");
+          break;
+        }
+        E.Sym = SymbolKind::Field;
+        E.Object = It->second[E.FieldName];
+        E.Object->setAddressTaken();
+        break;
+      }
+      // &scalar
+      if (LocalInfo *L = lookupLocal(E.Name)) {
+        E.Sym = SymbolKind::Local;
+        E.Object = L->Obj;
+        E.Object->setAddressTaken();
+        break;
+      }
+      if (auto It = GlobalScalars.find(E.Name); It != GlobalScalars.end()) {
+        E.Sym = SymbolKind::Global;
+        E.Object = It->second;
+        E.Object->setAddressTaken();
+        break;
+      }
+      error(E.Line, "cannot take the address of '" + E.Name + "'");
+      break;
+    }
+    case Expr::Kind::Binary:
+    case Expr::Kind::LogicalAnd:
+    case Expr::Kind::LogicalOr:
+      analyzeExpr(*E.Lhs);
+      analyzeExpr(*E.Rhs);
+      break;
+    case Expr::Kind::Call: {
+      auto It = Functions.find(E.Name);
+      if (It == Functions.end()) {
+        error(E.Line, "call to unknown function '" + E.Name + "'");
+      } else {
+        E.Sym = SymbolKind::Function;
+        if (It->second->Params.size() != E.Args.size())
+          error(E.Line, "'" + E.Name + "' expects " +
+                            std::to_string(It->second->Params.size()) +
+                            " arguments, got " +
+                            std::to_string(E.Args.size()));
+      }
+      for (auto &A : E.Args)
+        analyzeExpr(*A);
+      break;
+    }
+    }
+  }
+
+  void resolveVar(Expr &E) {
+    if (LocalInfo *L = lookupLocal(E.Name)) {
+      E.Sym = SymbolKind::Local;
+      E.Object = L->Obj;
+      return;
+    }
+    if (auto It = ParamIndex.find(E.Name); It != ParamIndex.end()) {
+      E.Sym = SymbolKind::Param;
+      E.ParamIndex = It->second;
+      return;
+    }
+    if (auto It = GlobalScalars.find(E.Name); It != GlobalScalars.end()) {
+      E.Sym = SymbolKind::Global;
+      E.Object = It->second;
+      return;
+    }
+    if (GlobalArrays.count(E.Name)) {
+      error(E.Line, "array '" + E.Name + "' used without an index");
+      return;
+    }
+    error(E.Line, "unknown variable '" + E.Name + "'");
+  }
+};
+
+} // namespace
+
+std::vector<std::string> srp::analyze(ast::Program &P, Module &M) {
+  return Analyzer(P, M).run();
+}

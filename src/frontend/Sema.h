@@ -1,0 +1,33 @@
+//===- frontend/Sema.h - Mini-C semantic analysis --------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and semantic checks for Mini-C. Creates the Module's
+/// memory objects (globals, arrays, struct fields) and function shells,
+/// resolves every identifier in the AST (annotating the nodes in place),
+/// marks address-taken objects, and reports semantic errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_FRONTEND_SEMA_H
+#define SRP_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+#include <string>
+#include <vector>
+
+namespace srp {
+
+class Module;
+
+/// Resolves \p P against a fresh module. On success (empty error list) the
+/// AST is fully annotated and \p M contains the global objects and function
+/// declarations; lowering may proceed.
+std::vector<std::string> analyze(ast::Program &P, Module &M);
+
+} // namespace srp
+
+#endif // SRP_FRONTEND_SEMA_H

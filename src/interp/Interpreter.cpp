@@ -1,0 +1,340 @@
+//===- interp/Interpreter.cpp - IR interpreter -----------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include <unordered_map>
+
+using namespace srp;
+
+namespace {
+
+/// Flat memory image: every object gets a contiguous range of cells;
+/// pointers are absolute cell indices.
+class MemoryImage {
+  std::unordered_map<unsigned, uint64_t> BaseOfObject; ///< object id -> base
+  std::vector<int64_t> Cells;
+  std::vector<const MemoryObject *> Objects;
+
+public:
+  void add(const MemoryObject &Obj) {
+    BaseOfObject[Obj.id()] = Cells.size();
+    Objects.push_back(&Obj);
+    for (unsigned I = 0; I != Obj.size(); ++I)
+      Cells.push_back(I == 0 ? Obj.initialValue() : 0);
+  }
+
+  bool knows(const MemoryObject &Obj) const {
+    return BaseOfObject.count(Obj.id()) != 0;
+  }
+
+  uint64_t base(const MemoryObject &Obj) const {
+    return BaseOfObject.at(Obj.id());
+  }
+
+  bool validAddress(uint64_t Addr) const { return Addr < Cells.size(); }
+
+  int64_t read(uint64_t Addr) const { return Cells[Addr]; }
+  void write(uint64_t Addr, int64_t V) { Cells[Addr] = V; }
+
+  const std::vector<const MemoryObject *> &objects() const { return Objects; }
+};
+
+class Frame {
+public:
+  std::unordered_map<const Value *, int64_t> Regs;
+
+  int64_t get(const Value *V) const {
+    if (auto *C = dyn_cast<ConstantInt>(V))
+      return C->value();
+    if (isa<UndefValue>(V))
+      return 0; // deterministic "undefined"
+    auto It = Regs.find(V);
+    return It == Regs.end() ? 0 : It->second;
+  }
+  void set(const Value *V, int64_t X) { Regs[V] = X; }
+};
+
+class Engine {
+  Module &M;
+  uint64_t FuelLeft;
+  ExecutionResult &R;
+  MemoryImage Mem;
+
+public:
+  Engine(Module &M, uint64_t Fuel, ExecutionResult &R)
+      : M(M), FuelLeft(Fuel), R(R) {
+    for (const auto &G : M.globals())
+      Mem.add(*G);
+    // Address-taken locals get static storage (single activation).
+    for (const auto &F : M.functions())
+      for (const auto &L : F->locals())
+        if (L->isAddressTaken())
+          Mem.add(*L);
+  }
+
+  bool trap(const std::string &Msg) {
+    R.Ok = false;
+    R.Error = Msg;
+    return false;
+  }
+
+  /// Executes \p F; the result lands in \p RetVal. Returns false on trap.
+  bool call(Function &F, const std::vector<int64_t> &Args, int64_t &RetVal,
+            unsigned Depth) {
+    if (Depth > 400)
+      return trap("call stack overflow in " + F.name());
+    if (F.empty())
+      return trap("call to empty function " + F.name());
+    if (Args.size() != F.numArgs())
+      return trap("arity mismatch calling " + F.name());
+
+    Frame Fr;
+    // Frame-local storage for non-address-taken locals that survived in
+    // memory form (normally none after mem2reg, but raw IR may have them).
+    std::unordered_map<const MemoryObject *, std::vector<int64_t>> LocalMem;
+    for (const auto &L : F.locals())
+      if (!L->isAddressTaken())
+        LocalMem[L.get()].assign(L->size(), L->initialValue());
+
+    for (unsigned I = 0; I != F.numArgs(); ++I)
+      Fr.set(F.arg(I), Args[I]);
+
+    auto readObject = [&](const MemoryObject *Obj, uint64_t Off,
+                          int64_t &Out) {
+      if (Off >= Obj->size())
+        return trap("out-of-bounds read of " + Obj->name());
+      if (Mem.knows(*Obj)) {
+        Out = Mem.read(Mem.base(*Obj) + Off);
+        return true;
+      }
+      Out = LocalMem[Obj][Off];
+      return true;
+    };
+    auto writeObject = [&](const MemoryObject *Obj, uint64_t Off, int64_t V) {
+      if (Off >= Obj->size())
+        return trap("out-of-bounds write of " + Obj->name());
+      if (Mem.knows(*Obj))
+        Mem.write(Mem.base(*Obj) + Off, V);
+      else
+        LocalMem[Obj][Off] = V;
+      return true;
+    };
+
+    BasicBlock *BB = F.entry();
+    BasicBlock *PrevBB = nullptr;
+    while (true) {
+      ++R.BlockCounts[BB];
+      if (PrevBB)
+        ++R.EdgeCounts[PrevBB][BB];
+
+      // Phi semantics: all phis in the block read their incoming values
+      // simultaneously on entry.
+      std::vector<std::pair<const Value *, int64_t>> PhiVals;
+      for (auto &I : *BB) {
+        if (auto *P = dyn_cast<PhiInst>(I.get())) {
+          assert(PrevBB && "phi in entry block");
+          PhiVals.emplace_back(P, Fr.get(P->incomingValueFor(PrevBB)));
+        } else if (!isa<MemPhiInst>(I.get())) {
+          break;
+        }
+      }
+      for (auto &[P, V] : PhiVals)
+        Fr.set(P, V);
+
+      for (auto &IP : *BB) {
+        Instruction *I = IP.get();
+        if (isa<PhiInst>(I) || isa<MemPhiInst>(I) || isa<DummyLoadInst>(I))
+          continue;
+        if (FuelLeft-- == 0)
+          return trap("out of fuel (infinite loop?)");
+        ++R.Counts.Instructions;
+
+        switch (I->kind()) {
+        case Value::Kind::BinOp: {
+          auto *B = cast<BinOpInst>(I);
+          int64_t L = Fr.get(B->lhs()), Rv = Fr.get(B->rhs()), Out = 0;
+          // Wrapping arithmetic through uint64_t: random workloads may
+          // overflow, which must stay well defined.
+          auto Wrap = [](uint64_t X) { return static_cast<int64_t>(X); };
+          switch (B->op()) {
+          case BinOpKind::Add:
+            Out = Wrap(static_cast<uint64_t>(L) + static_cast<uint64_t>(Rv));
+            break;
+          case BinOpKind::Sub:
+            Out = Wrap(static_cast<uint64_t>(L) - static_cast<uint64_t>(Rv));
+            break;
+          case BinOpKind::Mul:
+            Out = Wrap(static_cast<uint64_t>(L) * static_cast<uint64_t>(Rv));
+            break;
+          case BinOpKind::Div:
+            if (Rv == 0)
+              return trap("division by zero");
+            Out = L / Rv;
+            break;
+          case BinOpKind::Rem:
+            if (Rv == 0)
+              return trap("remainder by zero");
+            Out = L % Rv;
+            break;
+          case BinOpKind::And: Out = L & Rv; break;
+          case BinOpKind::Or: Out = L | Rv; break;
+          case BinOpKind::Xor: Out = L ^ Rv; break;
+          case BinOpKind::Shl:
+            Out = Wrap(static_cast<uint64_t>(L) << (Rv & 63));
+            break;
+          case BinOpKind::Shr: Out = L >> (Rv & 63); break;
+          case BinOpKind::CmpEQ: Out = L == Rv; break;
+          case BinOpKind::CmpNE: Out = L != Rv; break;
+          case BinOpKind::CmpLT: Out = L < Rv; break;
+          case BinOpKind::CmpLE: Out = L <= Rv; break;
+          case BinOpKind::CmpGT: Out = L > Rv; break;
+          case BinOpKind::CmpGE: Out = L >= Rv; break;
+          }
+          Fr.set(B, Out);
+          break;
+        }
+        case Value::Kind::Copy:
+          ++R.Counts.Copies;
+          Fr.set(I, Fr.get(cast<CopyInst>(I)->source()));
+          break;
+        case Value::Kind::Load: {
+          auto *L = cast<LoadInst>(I);
+          ++R.Counts.SingletonLoads;
+          int64_t V;
+          if (!readObject(L->object(), 0, V))
+            return false;
+          Fr.set(L, V);
+          break;
+        }
+        case Value::Kind::Store: {
+          auto *S = cast<StoreInst>(I);
+          ++R.Counts.SingletonStores;
+          if (!writeObject(S->object(), 0, Fr.get(S->storedValue())))
+            return false;
+          break;
+        }
+        case Value::Kind::AddrOf: {
+          auto *A = cast<AddrOfInst>(I);
+          if (!Mem.knows(*A->object()))
+            return trap("address of object without static storage: " +
+                        A->object()->name());
+          Fr.set(A, static_cast<int64_t>(Mem.base(*A->object())));
+          break;
+        }
+        case Value::Kind::PtrLoad: {
+          auto *P = cast<PtrLoadInst>(I);
+          ++R.Counts.AliasedLoads;
+          uint64_t Addr = static_cast<uint64_t>(Fr.get(P->address()));
+          if (!Mem.validAddress(Addr))
+            return trap("wild pointer read");
+          Fr.set(P, Mem.read(Addr));
+          break;
+        }
+        case Value::Kind::PtrStore: {
+          auto *P = cast<PtrStoreInst>(I);
+          ++R.Counts.AliasedStores;
+          uint64_t Addr = static_cast<uint64_t>(Fr.get(P->address()));
+          if (!Mem.validAddress(Addr))
+            return trap("wild pointer write");
+          Mem.write(Addr, Fr.get(P->storedValue()));
+          break;
+        }
+        case Value::Kind::ArrayLoad: {
+          auto *A = cast<ArrayLoadInst>(I);
+          ++R.Counts.AliasedLoads;
+          int64_t V;
+          if (!readObject(A->object(),
+                          static_cast<uint64_t>(Fr.get(A->index())), V))
+            return false;
+          Fr.set(A, V);
+          break;
+        }
+        case Value::Kind::ArrayStore: {
+          auto *A = cast<ArrayStoreInst>(I);
+          ++R.Counts.AliasedStores;
+          if (!writeObject(A->object(),
+                           static_cast<uint64_t>(Fr.get(A->index())),
+                           Fr.get(A->storedValue())))
+            return false;
+          break;
+        }
+        case Value::Kind::Call: {
+          auto *C = cast<CallInst>(I);
+          std::vector<int64_t> CallArgs;
+          for (Value *A : C->operands())
+            CallArgs.push_back(Fr.get(A));
+          int64_t Out = 0;
+          if (!call(*C->callee(), CallArgs, Out, Depth + 1))
+            return false;
+          if (C->type() != Type::Void)
+            Fr.set(C, Out);
+          break;
+        }
+        case Value::Kind::Print:
+          R.Output.push_back(Fr.get(cast<PrintInst>(I)->value()));
+          break;
+        case Value::Kind::Br:
+          PrevBB = BB;
+          BB = cast<BrInst>(I)->target();
+          break;
+        case Value::Kind::CondBr: {
+          auto *C = cast<CondBrInst>(I);
+          PrevBB = BB;
+          BB = Fr.get(C->condition()) != 0 ? C->trueTarget()
+                                           : C->falseTarget();
+          break;
+        }
+        case Value::Kind::Ret: {
+          auto *Rt = cast<RetInst>(I);
+          RetVal = Rt->returnValue() ? Fr.get(Rt->returnValue()) : 0;
+          return true;
+        }
+        default:
+          return trap("cannot execute: " + toString(*I));
+        }
+        if (I->isTerminator())
+          break; // continue outer loop with new BB
+      }
+      if (!BB->terminator())
+        return trap("fell off the end of block " + BB->name());
+    }
+  }
+
+  void captureFinalMemory() {
+    for (const MemoryObject *Obj : Mem.objects()) {
+      // Only module-scope memory is observable after exit; locals (even
+      // address-taken ones with static storage) are dead, and dead-store
+      // elimination may legitimately leave different garbage in them.
+      if (Obj->owner())
+        continue;
+      std::vector<int64_t> Cells(Obj->size());
+      for (unsigned I = 0; I != Obj->size(); ++I)
+        Cells[I] = Mem.read(Mem.base(*Obj) + I);
+      R.FinalMemory[Obj->id()] = std::move(Cells);
+    }
+  }
+};
+
+} // namespace
+
+ExecutionResult Interpreter::run(const std::string &EntryName,
+                                 const std::vector<int64_t> &Args) {
+  ExecutionResult R;
+  Function *Entry = M.getFunction(EntryName);
+  if (!Entry) {
+    R.Error = "no function named " + EntryName;
+    return R;
+  }
+  Engine E(M, Fuel, R);
+  int64_t Ret = 0;
+  R.Ok = true;
+  if (E.call(*Entry, Args, Ret, 0))
+    R.ExitValue = Ret;
+  E.captureFinalMemory();
+  return R;
+}

@@ -1,0 +1,84 @@
+//===- interp/Interpreter.h - IR interpreter -------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Module directly. Serves three roles in the reproduction:
+///  1. collects block/edge execution frequencies (the paper's profile
+///     feedback),
+///  2. measures dynamic counts of singleton loads/stores before and after
+///     promotion (Table 2),
+///  3. provides the observable-behaviour oracle for the equivalence
+///     property tests (printed output + final memory state).
+///
+/// Memory is a flat cell array indexed by object id / array offset, so
+/// pointer values are plain cell addresses and pointer arithmetic works.
+/// Address-taken locals get static storage (one activation at a time), a
+/// documented simplification; the Mini-C workloads comply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_INTERP_INTERPRETER_H
+#define SRP_INTERP_INTERPRETER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace srp {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// Dynamic operation counters. "Singleton" loads/stores are the paper's
+/// promotion targets; aliased operations are calls/pointer/array accesses.
+struct DynamicCounts {
+  uint64_t SingletonLoads = 0;
+  uint64_t SingletonStores = 0;
+  uint64_t AliasedLoads = 0;
+  uint64_t AliasedStores = 0;
+  uint64_t Copies = 0;
+  uint64_t Instructions = 0;
+
+  uint64_t memOps() const { return SingletonLoads + SingletonStores; }
+};
+
+/// Result of one execution.
+struct ExecutionResult {
+  bool Ok = false;
+  std::string Error;        ///< Set when Ok is false (trap, fuel, ...).
+  int64_t ExitValue = 0;    ///< Return value of main().
+  std::vector<int64_t> Output; ///< Values printed, in order.
+  DynamicCounts Counts;
+  /// Final contents of module-scope memory (object id -> cells).
+  std::unordered_map<unsigned, std::vector<int64_t>> FinalMemory;
+  /// Execution count per basic block.
+  std::unordered_map<const BasicBlock *, uint64_t> BlockCounts;
+  /// Execution count per CFG edge (from, to).
+  std::unordered_map<const BasicBlock *,
+                     std::unordered_map<const BasicBlock *, uint64_t>>
+      EdgeCounts;
+};
+
+class Interpreter {
+  Module &M;
+  uint64_t Fuel;
+
+public:
+  /// \p Fuel bounds the number of executed instructions (default generous;
+  /// protects tests against accidental infinite loops).
+  explicit Interpreter(Module &M, uint64_t Fuel = 200'000'000)
+      : M(M), Fuel(Fuel) {}
+
+  /// Runs \p EntryName (default "main") with the given arguments.
+  ExecutionResult run(const std::string &EntryName = "main",
+                      const std::vector<int64_t> &Args = {});
+};
+
+} // namespace srp
+
+#endif // SRP_INTERP_INTERPRETER_H

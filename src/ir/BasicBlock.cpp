@@ -1,0 +1,111 @@
+//===- ir/BasicBlock.cpp - Basic block implementation --------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include <algorithm>
+
+using namespace srp;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(I && "null instruction");
+  Instruction *Raw = I.get();
+  Insts.push_back(std::move(I));
+  Raw->Parent = this;
+  Raw->SelfIt = std::prev(Insts.end());
+  OrderValid = false;
+  return Raw;
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *Pos,
+                                      std::unique_ptr<Instruction> I) {
+  assert(Pos && Pos->Parent == this && "position not in this block");
+  Instruction *Raw = I.get();
+  auto It = Insts.insert(Pos->SelfIt, std::move(I));
+  Raw->Parent = this;
+  Raw->SelfIt = It;
+  OrderValid = false;
+  return Raw;
+}
+
+Instruction *BasicBlock::insertAfter(Instruction *Pos,
+                                     std::unique_ptr<Instruction> I) {
+  assert(Pos && Pos->Parent == this && "position not in this block");
+  Instruction *Raw = I.get();
+  auto It = Insts.insert(std::next(Pos->SelfIt), std::move(I));
+  Raw->Parent = this;
+  Raw->SelfIt = It;
+  OrderValid = false;
+  return Raw;
+}
+
+Instruction *BasicBlock::prepend(std::unique_ptr<Instruction> I) {
+  Instruction *Raw = I.get();
+  Insts.push_front(std::move(I));
+  Raw->Parent = this;
+  Raw->SelfIt = Insts.begin();
+  OrderValid = false;
+  return Raw;
+}
+
+Instruction *BasicBlock::insertBeforeTerminator(std::unique_ptr<Instruction> I) {
+  Instruction *T = terminator();
+  assert(T && "block has no terminator");
+  return insertBefore(T, std::move(I));
+}
+
+Instruction *BasicBlock::insertAfterPhis(std::unique_ptr<Instruction> I) {
+  for (auto &Inst : Insts) {
+    if (Inst->kind() != Value::Kind::Phi &&
+        Inst->kind() != Value::Kind::MemPhi)
+      return insertBefore(Inst.get(), std::move(I));
+  }
+  return append(std::move(I));
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(Instruction *I) {
+  assert(I && I->Parent == this && "instruction not in this block");
+  std::unique_ptr<Instruction> Owned = std::move(*I->SelfIt);
+  Insts.erase(I->SelfIt);
+  I->Parent = nullptr;
+  OrderValid = false;
+  return Owned;
+}
+
+void BasicBlock::erase(Instruction *I) {
+  assert(!I->hasUses() && "erasing an instruction that still has uses");
+  remove(I); // unique_ptr destroys it
+}
+
+bool BasicBlock::comesBefore(const Instruction *A,
+                             const Instruction *B) const {
+  return indexOf(A) < indexOf(B);
+}
+
+unsigned BasicBlock::indexOf(const Instruction *I) const {
+  assert(I->parent() == this && "instruction not in this block");
+  if (!OrderValid) {
+    OrderSnapshot.clear();
+    OrderSnapshot.reserve(Insts.size());
+    for (const auto &Inst : Insts)
+      OrderSnapshot.push_back(Inst.get());
+    OrderValid = true;
+  }
+  auto It = std::find(OrderSnapshot.begin(), OrderSnapshot.end(), I);
+  assert(It != OrderSnapshot.end() && "stale ordering snapshot");
+  return static_cast<unsigned>(It - OrderSnapshot.begin());
+}
+
+void BasicBlock::removePred(BasicBlock *BB) {
+  auto It = std::find(Preds.begin(), Preds.end(), BB);
+  assert(It != Preds.end() && "predecessor not found");
+  Preds.erase(It);
+}
+
+void BasicBlock::replacePred(BasicBlock *Old, BasicBlock *New) {
+  auto It = std::find(Preds.begin(), Preds.end(), Old);
+  assert(It != Preds.end() && "predecessor not found");
+  *It = New;
+}

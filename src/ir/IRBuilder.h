@@ -1,0 +1,131 @@
+//===- ir/IRBuilder.h - Instruction creation convenience -------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder that appends instructions to a block (or before a given
+/// instruction) and names results automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_IR_IRBUILDER_H
+#define SRP_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+namespace srp {
+
+class IRBuilder {
+  BasicBlock *BB = nullptr;
+  Instruction *Before = nullptr; ///< If set, insert before this instruction.
+
+  Instruction *place(std::unique_ptr<Instruction> I) {
+    assert(BB && "builder has no insertion block");
+    if (I->name().empty() && I->type() != Type::Void)
+      I->setName(BB->parent()->uniqueValueName());
+    return Before ? BB->insertBefore(Before, std::move(I))
+                  : BB->append(std::move(I));
+  }
+
+public:
+  IRBuilder() = default;
+  explicit IRBuilder(BasicBlock *BB) : BB(BB) {}
+
+  void setInsertPoint(BasicBlock *B) {
+    BB = B;
+    Before = nullptr;
+  }
+  void setInsertPoint(Instruction *I) {
+    BB = I->parent();
+    Before = I;
+  }
+  BasicBlock *block() const { return BB; }
+
+  Module *module() const { return BB->parent()->parent(); }
+  ConstantInt *constant(int64_t V) { return module()->constant(V); }
+
+  Value *binop(BinOpKind K, Value *L, Value *R, std::string Name = "") {
+    return place(std::make_unique<BinOpInst>(K, L, R, std::move(Name)));
+  }
+  Value *add(Value *L, Value *R) { return binop(BinOpKind::Add, L, R); }
+  Value *sub(Value *L, Value *R) { return binop(BinOpKind::Sub, L, R); }
+  Value *mul(Value *L, Value *R) { return binop(BinOpKind::Mul, L, R); }
+  Value *cmpLT(Value *L, Value *R) { return binop(BinOpKind::CmpLT, L, R); }
+  Value *cmpEQ(Value *L, Value *R) { return binop(BinOpKind::CmpEQ, L, R); }
+
+  Value *copy(Value *Src, std::string Name = "") {
+    return place(std::make_unique<CopyInst>(Src, std::move(Name)));
+  }
+
+  PhiInst *phi(Type Ty, std::string Name = "") {
+    return static_cast<PhiInst *>(
+        place(std::make_unique<PhiInst>(Ty, std::move(Name))));
+  }
+
+  LoadInst *load(MemoryObject *Obj, std::string Name = "") {
+    return static_cast<LoadInst *>(
+        place(std::make_unique<LoadInst>(Obj, std::move(Name))));
+  }
+
+  StoreInst *store(MemoryObject *Obj, Value *V) {
+    return static_cast<StoreInst *>(
+        place(std::make_unique<StoreInst>(Obj, V)));
+  }
+
+  Value *addrOf(MemoryObject *Obj) {
+    Obj->setAddressTaken();
+    return place(std::make_unique<AddrOfInst>(Obj));
+  }
+
+  Value *ptrLoad(Value *Addr) {
+    return place(std::make_unique<PtrLoadInst>(Addr));
+  }
+
+  Instruction *ptrStore(Value *Addr, Value *V) {
+    return place(std::make_unique<PtrStoreInst>(Addr, V));
+  }
+
+  Value *arrayLoad(MemoryObject *Obj, Value *Idx) {
+    return place(std::make_unique<ArrayLoadInst>(Obj, Idx));
+  }
+
+  Instruction *arrayStore(MemoryObject *Obj, Value *Idx, Value *V) {
+    return place(std::make_unique<ArrayStoreInst>(Obj, Idx, V));
+  }
+
+  CallInst *call(Function *Callee, std::vector<Value *> Args,
+                 std::string Name = "") {
+    return static_cast<CallInst *>(place(std::make_unique<CallInst>(
+        Callee, std::move(Args), Callee->returnType(), std::move(Name))));
+  }
+
+  Instruction *print(Value *V) {
+    return place(std::make_unique<PrintInst>(V));
+  }
+
+  /// Terminators. These also maintain the predecessor lists of the targets.
+  Instruction *br(BasicBlock *Target) {
+    Instruction *I = place(std::make_unique<BrInst>(Target));
+    Target->addPred(BB);
+    return I;
+  }
+
+  Instruction *condBr(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    Instruction *I =
+        place(std::make_unique<CondBrInst>(Cond, TrueBB, FalseBB));
+    TrueBB->addPred(BB);
+    FalseBB->addPred(BB);
+    return I;
+  }
+
+  Instruction *ret(Value *V = nullptr) {
+    return place(std::make_unique<RetInst>(V));
+  }
+};
+
+} // namespace srp
+
+#endif // SRP_IR_IRBUILDER_H

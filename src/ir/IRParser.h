@@ -1,0 +1,63 @@
+//===- ir/IRParser.h - Textual IR parser -----------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR format the printer emits, enabling round-trips
+/// (print -> parse -> print) and letting tests and tools write IR
+/// directly. The accepted grammar covers the full instruction set in
+/// pre-memory-SSA form:
+///
+///   ; comment
+///   global x = 5
+///   global arr[16]
+///   global s.f = 1            ; dotted names become struct fields
+///
+///   func int @main(%a, %b) {
+///   entry:
+///     %t0 = ld [x]
+///     %t1 = add %t0, 1
+///     st [x], %t1
+///     %p = &x
+///     %v = ptrload %p
+///     ptrstore %p, 3
+///     %e = arr[%t1]
+///     arr[0] = %e
+///     %r = call @f(%t0, 7)
+///     print %r
+///     %m = phi(%t0:entry, 4:loop)
+///     %c = %m                 ; copy
+///     condbr %c, then, else
+///     br join
+///     ret %r
+///   }
+///
+/// Memory SSA annotations (mu/chi lists, version prefixes on stores,
+/// memphi lines) are accepted and *ignored* so printer output of
+/// memory-SSA form parses too; rebuild memory SSA after parsing when it
+/// is needed. Forward references to values and blocks are allowed (SSA
+/// phis require them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_IR_IRPARSER_H
+#define SRP_IR_IRPARSER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace srp {
+
+class Module;
+
+/// Parses \p Source into a fresh module. On error returns null and fills
+/// \p Errors with "line N: message" diagnostics.
+std::unique_ptr<Module> parseIR(const std::string &Source,
+                                std::vector<std::string> &Errors);
+
+} // namespace srp
+
+#endif // SRP_IR_IRPARSER_H

@@ -1,0 +1,62 @@
+//===- ir/Module.cpp - Module implementation -----------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace srp;
+
+Function *Module::createFunction(std::string FnName, Type RetTy) {
+  assert(!getFunction(FnName) && "function already exists");
+  Functions.push_back(
+      std::make_unique<Function>(std::move(FnName), RetTy, this));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->name() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+MemoryObject *Module::createGlobal(std::string GName, int64_t Init) {
+  Globals.push_back(std::make_unique<MemoryObject>(
+      takeObjectId(), std::move(GName), MemoryObject::Kind::Global,
+      /*Owner=*/nullptr, /*Size=*/1, Init));
+  return Globals.back().get();
+}
+
+MemoryObject *Module::createGlobalArray(std::string AName, unsigned Size) {
+  assert(Size > 0 && "array must have at least one cell");
+  Globals.push_back(std::make_unique<MemoryObject>(
+      takeObjectId(), std::move(AName), MemoryObject::Kind::Array,
+      /*Owner=*/nullptr, Size, /*Init=*/0));
+  return Globals.back().get();
+}
+
+MemoryObject *Module::createField(std::string FName, int64_t Init) {
+  Globals.push_back(std::make_unique<MemoryObject>(
+      takeObjectId(), std::move(FName), MemoryObject::Kind::Field,
+      /*Owner=*/nullptr, /*Size=*/1, Init));
+  return Globals.back().get();
+}
+
+MemoryObject *Module::getGlobal(const std::string &GName) const {
+  for (const auto &G : Globals)
+    if (G->name() == GName)
+      return G.get();
+  return nullptr;
+}
+
+ConstantInt *Module::constant(int64_t V) {
+  auto It = IntPool.find(V);
+  if (It != IntPool.end())
+    return It->second.get();
+  auto C = std::make_unique<ConstantInt>(V);
+  ConstantInt *Raw = C.get();
+  IntPool.emplace(V, std::move(C));
+  return Raw;
+}

@@ -1,0 +1,77 @@
+//===- ir/Module.h - Module ------------------------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Top-level container: functions, module-scope memory objects (globals,
+/// arrays, struct fields) and the uniqued constant pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_IR_MODULE_H
+#define SRP_IR_MODULE_H
+
+#include "ir/Function.h"
+#include <map>
+#include <memory>
+
+namespace srp {
+
+class Module {
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<MemoryObject>> Globals;
+  std::map<int64_t, std::unique_ptr<ConstantInt>> IntPool;
+  std::unique_ptr<UndefValue> Undef;
+  unsigned NextObjectId = 0;
+
+public:
+  explicit Module(std::string Name = "module")
+      : Name(std::move(Name)), Undef(std::make_unique<UndefValue>()) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  //===--------------------------------------------------------------------===
+  // Functions.
+  //===--------------------------------------------------------------------===
+
+  Function *createFunction(std::string FnName, Type RetTy);
+  Function *getFunction(const std::string &FnName) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Module-scope memory objects.
+  //===--------------------------------------------------------------------===
+
+  MemoryObject *createGlobal(std::string GName, int64_t Init = 0);
+  MemoryObject *createGlobalArray(std::string AName, unsigned Size);
+  /// Scalar component of a struct variable; behaves like a global scalar
+  /// with its own singleton resource (promotable individually, §1).
+  MemoryObject *createField(std::string FName, int64_t Init = 0);
+  MemoryObject *getGlobal(const std::string &GName) const;
+  const std::vector<std::unique_ptr<MemoryObject>> &globals() const {
+    return Globals;
+  }
+
+  /// Used by Function::createLocal so local object ids share the module
+  /// numbering space (the interpreter indexes memory by object id).
+  unsigned takeObjectId() { return NextObjectId++; }
+  unsigned numObjectIds() const { return NextObjectId; }
+
+  //===--------------------------------------------------------------------===
+  // Constants.
+  //===--------------------------------------------------------------------===
+
+  ConstantInt *constant(int64_t V);
+  UndefValue *undef() const { return Undef.get(); }
+};
+
+} // namespace srp
+
+#endif // SRP_IR_MODULE_H

@@ -1,0 +1,218 @@
+//===- ir/Printer.cpp - Textual IR dump -----------------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "ir/Module.h"
+#include <sstream>
+
+using namespace srp;
+
+namespace {
+
+void printOperandList(std::ostringstream &OS, const Instruction &I,
+                      unsigned Begin = 0) {
+  for (unsigned Idx = Begin, E = I.numOperands(); Idx != E; ++Idx) {
+    if (Idx != Begin)
+      OS << ", ";
+    OS << I.operand(Idx)->referenceString();
+  }
+}
+
+void printMuChi(std::ostringstream &OS, const Instruction &I) {
+  if (I.numMemOperands()) {
+    OS << " mu(";
+    for (unsigned Idx = 0, E = I.numMemOperands(); Idx != E; ++Idx) {
+      if (Idx)
+        OS << ", ";
+      OS << I.memOperand(Idx)->name();
+    }
+    OS << ")";
+  }
+  if (I.numMemDefs()) {
+    OS << " chi(";
+    for (unsigned Idx = 0, E = I.numMemDefs(); Idx != E; ++Idx) {
+      if (Idx)
+        OS << ", ";
+      OS << I.memDef(Idx)->name();
+    }
+    OS << ")";
+  }
+}
+
+void printInstruction(std::ostringstream &OS, const Instruction &I) {
+  if (I.type() != Type::Void)
+    OS << I.referenceString() << " = ";
+  switch (I.kind()) {
+  case Value::Kind::BinOp: {
+    const auto &B = static_cast<const BinOpInst &>(I);
+    OS << binOpName(B.op()) << " " << B.lhs()->referenceString() << ", "
+       << B.rhs()->referenceString();
+    break;
+  }
+  case Value::Kind::Copy:
+    OS << static_cast<const CopyInst &>(I).source()->referenceString();
+    break;
+  case Value::Kind::Phi: {
+    const auto &P = static_cast<const PhiInst &>(I);
+    OS << "phi(";
+    for (unsigned Idx = 0, E = P.numIncoming(); Idx != E; ++Idx) {
+      if (Idx)
+        OS << ", ";
+      OS << P.incomingValue(Idx)->referenceString() << ":"
+         << P.incomingBlock(Idx)->name();
+    }
+    OS << ")";
+    break;
+  }
+  case Value::Kind::Load: {
+    const auto &L = static_cast<const LoadInst &>(I);
+    OS << "ld [" << L.object()->name() << "]";
+    if (L.memUse())
+      OS << " mu(" << L.memUse()->name() << ")";
+    break;
+  }
+  case Value::Kind::Store: {
+    const auto &S = static_cast<const StoreInst &>(I);
+    if (S.memDefName())
+      OS << S.memDefName()->name() << " = ";
+    OS << "st [" << S.object()->name() << "], "
+       << S.storedValue()->referenceString();
+    break;
+  }
+  case Value::Kind::AddrOf:
+    OS << "&" << static_cast<const AddrOfInst &>(I).object()->name();
+    break;
+  case Value::Kind::PtrLoad:
+    OS << "ptrload "
+       << static_cast<const PtrLoadInst &>(I).address()->referenceString();
+    printMuChi(OS, I);
+    break;
+  case Value::Kind::PtrStore: {
+    const auto &S = static_cast<const PtrStoreInst &>(I);
+    OS << "ptrstore " << S.address()->referenceString() << ", "
+       << S.storedValue()->referenceString();
+    printMuChi(OS, I);
+    break;
+  }
+  case Value::Kind::ArrayLoad: {
+    const auto &L = static_cast<const ArrayLoadInst &>(I);
+    OS << L.object()->name() << "[" << L.index()->referenceString() << "]";
+    printMuChi(OS, I);
+    break;
+  }
+  case Value::Kind::ArrayStore: {
+    const auto &S = static_cast<const ArrayStoreInst &>(I);
+    OS << S.object()->name() << "[" << S.index()->referenceString()
+       << "] = " << S.storedValue()->referenceString();
+    printMuChi(OS, I);
+    break;
+  }
+  case Value::Kind::Call: {
+    const auto &C = static_cast<const CallInst &>(I);
+    OS << "call " << C.callee()->name() << "(";
+    printOperandList(OS, I);
+    OS << ")";
+    printMuChi(OS, I);
+    break;
+  }
+  case Value::Kind::Print:
+    OS << "print "
+       << static_cast<const PrintInst &>(I).value()->referenceString();
+    break;
+  case Value::Kind::Br:
+    OS << "br " << static_cast<const BrInst &>(I).target()->name();
+    break;
+  case Value::Kind::CondBr: {
+    const auto &B = static_cast<const CondBrInst &>(I);
+    OS << "condbr " << B.condition()->referenceString() << ", "
+       << B.trueTarget()->name() << ", " << B.falseTarget()->name();
+    break;
+  }
+  case Value::Kind::Ret: {
+    const auto &R = static_cast<const RetInst &>(I);
+    OS << "ret";
+    if (R.returnValue())
+      OS << " " << R.returnValue()->referenceString();
+    printMuChi(OS, I);
+    break;
+  }
+  case Value::Kind::MemPhi: {
+    const auto &P = static_cast<const MemPhiInst &>(I);
+    OS << (P.target() ? P.target()->name() : std::string("<none>"))
+       << " = memphi(";
+    for (unsigned Idx = 0, E = P.numIncoming(); Idx != E; ++Idx) {
+      if (Idx)
+        OS << ", ";
+      OS << P.incomingName(Idx)->name() << ":"
+         << P.incomingBlock(Idx)->name();
+    }
+    OS << ")";
+    break;
+  }
+  case Value::Kind::DummyLoad: {
+    const auto &D = static_cast<const DummyLoadInst &>(I);
+    OS << "dummyload [" << D.object()->name() << "]";
+    printMuChi(OS, I);
+    break;
+  }
+  default:
+    OS << "<unknown>";
+    break;
+  }
+}
+
+} // namespace
+
+std::string srp::toString(const Instruction &I) {
+  std::ostringstream OS;
+  printInstruction(OS, I);
+  return OS.str();
+}
+
+std::string srp::toString(const BasicBlock &BB) {
+  std::ostringstream OS;
+  OS << BB.name() << ":";
+  if (!BB.preds().empty()) {
+    OS << "  ; preds:";
+    for (BasicBlock *P : BB.preds())
+      OS << " " << P->name();
+  }
+  OS << "\n";
+  for (const auto &I : BB)
+    OS << "  " << toString(*I) << "\n";
+  return OS.str();
+}
+
+std::string srp::toString(const Function &F) {
+  std::ostringstream OS;
+  OS << "func " << typeName(F.returnType()) << " @" << F.name() << "(";
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.arg(I)->referenceString();
+  }
+  OS << ") {\n";
+  for (const auto &BB : F)
+    OS << toString(*BB);
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string srp::toString(const Module &M) {
+  std::ostringstream OS;
+  OS << "; module " << M.name() << "\n";
+  for (const auto &G : M.globals()) {
+    OS << "global " << G->name();
+    if (G->kind() == MemoryObject::Kind::Array)
+      OS << "[" << G->size() << "]";
+    else
+      OS << " = " << G->initialValue();
+    OS << "\n";
+  }
+  for (const auto &F : M.functions())
+    OS << "\n" << toString(*F);
+  return OS.str();
+}

@@ -1,0 +1,32 @@
+//===- ir/Printer.h - Textual IR dump --------------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules/functions/instructions in a textual form close to the
+/// paper's examples: "x.2 = st [x], %t2", "x.1 = phi(x.0:b0, x.4:b3)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_IR_PRINTER_H
+#define SRP_IR_PRINTER_H
+
+#include <string>
+
+namespace srp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Module;
+
+std::string toString(const Instruction &I);
+std::string toString(const BasicBlock &BB);
+std::string toString(const Function &F);
+std::string toString(const Module &M);
+
+} // namespace srp
+
+#endif // SRP_IR_PRINTER_H

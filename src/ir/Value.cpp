@@ -1,0 +1,60 @@
+//===- ir/Value.cpp - Value hierarchy root implementation ----------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+#include "ir/Instruction.h"
+#include "ir/Memory.h"
+#include <algorithm>
+
+using namespace srp;
+
+const char *srp::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::Int:
+    return "int";
+  case Type::Ptr:
+    return "ptr";
+  }
+  return "?";
+}
+
+void Value::removeUse(const Use &U) {
+  auto It = std::find(Uses.begin(), Uses.end(), U);
+  assert(It != Uses.end() && "use not found on value");
+  *It = Uses.back();
+  Uses.pop_back();
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self");
+  // Setting an operand mutates our use list, so drain from a snapshot.
+  std::vector<Use> Snapshot = Uses;
+  for (const Use &U : Snapshot) {
+    if (U.IsMem) {
+      assert(isa<MemoryName>(New) &&
+             "memory operand replaced by non-memory value");
+      U.User->setMemOperand(U.Index, cast<MemoryName>(New));
+    } else {
+      U.User->setOperand(U.Index, New);
+    }
+  }
+  assert(Uses.empty() && "stale uses after RAUW");
+}
+
+std::string Value::referenceString() const {
+  switch (K) {
+  case Kind::ConstantInt:
+    return std::to_string(static_cast<const ConstantInt *>(this)->value());
+  case Kind::Undef:
+    return "undef";
+  case Kind::MemoryName:
+    return Name;
+  default:
+    return "%" + Name;
+  }
+}

@@ -1,0 +1,160 @@
+//===- pipeline/Pipeline.cpp - End-to-end compilation driver -------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "analysis/CFGCanonicalize.h"
+#include "analysis/Verifier.h"
+#include "frontend/Lowering.h"
+#include "ir/Module.h"
+#include "profile/ProfileInfo.h"
+#include "promotion/RegisterPromotion.h"
+#include "ssa/Mem2Reg.h"
+#include "ssa/MemoryOpt.h"
+#include "ssa/MemorySSA.h"
+
+using namespace srp;
+
+StaticCounts srp::countStaticMemOps(const Function &F) {
+  StaticCounts C;
+  for (const auto &BB : F) {
+    for (const auto &I : *BB) {
+      switch (I->kind()) {
+      case Value::Kind::Load:
+        ++C.Loads;
+        break;
+      case Value::Kind::Store:
+        ++C.Stores;
+        break;
+      case Value::Kind::PtrLoad:
+      case Value::Kind::PtrStore:
+      case Value::Kind::ArrayLoad:
+      case Value::Kind::ArrayStore:
+        ++C.AliasedOps;
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return C;
+}
+
+StaticCounts srp::countStaticMemOps(const Module &M) {
+  StaticCounts C;
+  for (const auto &F : M.functions()) {
+    StaticCounts FC = countStaticMemOps(*F);
+    C.Loads += FC.Loads;
+    C.Stores += FC.Stores;
+    C.AliasedOps += FC.AliasedOps;
+  }
+  return C;
+}
+
+PipelineResult srp::runPipeline(const std::string &Source,
+                                const PipelineOptions &Opts) {
+  PipelineResult R;
+  auto M = compileMiniC(Source, R.Errors);
+  if (!M)
+    return R;
+  return runPipeline(std::move(M), Opts);
+}
+
+PipelineResult srp::runPipeline(std::unique_ptr<Module> M,
+                                const PipelineOptions &Opts) {
+  PipelineResult R;
+  R.M = std::move(M);
+  Module &Mod = *R.M;
+
+  auto checkValid = [&](const char *Stage) {
+    if (!Opts.VerifyEachStep)
+      return true;
+    auto Errs = verify(Mod);
+    for (const std::string &E : Errs)
+      R.Errors.push_back(std::string(Stage) + ": " + E);
+    return Errs.empty();
+  };
+
+  // Common front half: locals to SSA, canonical CFG shape.
+  struct FnState {
+    Function *F;
+    CanonicalCFG CFG;
+  };
+  std::vector<FnState> Fns;
+  for (const auto &F : Mod.functions()) {
+    DominatorTree DT(*F);
+    promoteLocalsToSSA(*F, DT);
+    FnState S{F.get(), canonicalize(*F)};
+    Fns.push_back(std::move(S));
+  }
+  if (!checkValid("after mem2reg+canonicalise"))
+    return R;
+
+  R.StaticBefore = countStaticMemOps(Mod);
+
+  // Profile run ("before" measurement doubles as the profile input).
+  Interpreter Interp(Mod);
+  R.RunBefore = Interp.run(Opts.EntryFunction);
+  if (!R.RunBefore.Ok) {
+    R.Errors.push_back("profile run failed: " + R.RunBefore.Error);
+    return R;
+  }
+
+  switch (Opts.Mode) {
+  case PromotionMode::None:
+    break;
+  case PromotionMode::Paper:
+  case PromotionMode::PaperNoProfile: {
+    for (FnState &S : Fns) {
+      buildMemorySSA(*S.F, S.CFG.DT);
+      ProfileInfo PI = Opts.Mode == PromotionMode::Paper
+                           ? ProfileInfo::fromExecution(R.RunBefore)
+                           : ProfileInfo::estimate(*S.F, S.CFG.IT);
+      R.Promo +=
+          promoteRegisters(*S.F, S.CFG.DT, S.CFG.IT, PI, Opts.Promo);
+    }
+    break;
+  }
+  case PromotionMode::LoopBaseline:
+    for (FnState &S : Fns)
+      R.Baseline += promoteLoopsBaseline(*S.F);
+    break;
+  case PromotionMode::Superblock: {
+    ProfileInfo PI = ProfileInfo::fromExecution(R.RunBefore);
+    for (FnState &S : Fns)
+      R.Superblock += promoteSuperblocks(*S.F, PI);
+    break;
+  }
+  case PromotionMode::MemOptOnly:
+    for (FnState &S : Fns) {
+      buildMemorySSA(*S.F, S.CFG.DT);
+      optimizeMemorySSA(*S.F, S.CFG.DT);
+    }
+    break;
+  }
+  if (!checkValid("after promotion"))
+    return R;
+
+  R.StaticAfter = countStaticMemOps(Mod);
+
+  Interpreter Interp2(Mod);
+  R.RunAfter = Interp2.run(Opts.EntryFunction);
+  if (!R.RunAfter.Ok) {
+    R.Errors.push_back("measurement run failed: " + R.RunAfter.Error);
+    return R;
+  }
+
+  // Behavioural equivalence between the two runs is an invariant of every
+  // mode; violations are reported as errors so tests and benches notice.
+  if (R.RunBefore.Output != R.RunAfter.Output)
+    R.Errors.push_back("printed output changed across promotion");
+  if (R.RunBefore.ExitValue != R.RunAfter.ExitValue)
+    R.Errors.push_back("exit value changed across promotion");
+  if (R.RunBefore.FinalMemory != R.RunAfter.FinalMemory)
+    R.Errors.push_back("final memory state changed across promotion");
+
+  R.Ok = R.Errors.empty();
+  return R;
+}

@@ -1,0 +1,88 @@
+//===- pipeline/Pipeline.h - End-to-end compilation driver -----*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement pipeline of the paper's evaluation, end to end:
+///
+///   Mini-C -> IR -> mem2reg -> CFG canonicalisation -> memory SSA
+///          -> profile run (interpreter) -> register promotion -> counts
+///
+/// plus the baseline variant (Lu-Cooper-style loop promotion) and the
+/// no-promotion control. Static memory-operation counting lives here too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_PIPELINE_PIPELINE_H
+#define SRP_PIPELINE_PIPELINE_H
+
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "promotion/LoopPromotion.h"
+#include "promotion/SuperblockPromotion.h"
+#include "promotion/PromotionOptions.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace srp {
+
+
+/// Static (textual) counts of memory operations in a module or function.
+struct StaticCounts {
+  unsigned Loads = 0;   ///< singleton loads
+  unsigned Stores = 0;  ///< singleton stores
+  unsigned AliasedOps = 0;
+
+  unsigned total() const { return Loads + Stores; }
+};
+
+StaticCounts countStaticMemOps(const Module &M);
+StaticCounts countStaticMemOps(const Function &F);
+
+/// How to transform the program between the profile run and measurement.
+enum class PromotionMode {
+  None,          ///< control: mem2reg only
+  Paper,         ///< the paper's SSA/interval/profile promoter
+  PaperNoProfile,///< paper promoter driven by static frequency estimates
+  LoopBaseline,  ///< Lu-Cooper-style loop promotion
+  Superblock,    ///< Mahlke-style superblock (hot trace) migration
+  MemOptOnly,    ///< classic memory-SSA RLE + DSE, no promotion
+};
+
+struct PipelineOptions {
+  PromotionMode Mode = PromotionMode::Paper;
+  PromotionOptions Promo;
+  std::string EntryFunction = "main";
+  bool VerifyEachStep = true;
+};
+
+/// Everything a pipeline run produces.
+struct PipelineResult {
+  bool Ok = false;
+  std::vector<std::string> Errors;
+
+  std::unique_ptr<Module> M;
+
+  StaticCounts StaticBefore, StaticAfter;
+  ExecutionResult RunBefore, RunAfter;
+  PromotionStats Promo;
+  LoopPromotionStats Baseline;
+  SuperblockStats Superblock;
+};
+
+/// Runs the full pipeline over Mini-C \p Source.
+PipelineResult runPipeline(const std::string &Source,
+                           const PipelineOptions &Opts = {});
+
+/// Runs the pipeline stages on an already-built module (consumed). The
+/// "before" run/counts are taken after mem2reg + canonicalisation (the
+/// common baseline every mode shares).
+PipelineResult runPipeline(std::unique_ptr<Module> M,
+                           const PipelineOptions &Opts = {});
+
+} // namespace srp
+
+#endif // SRP_PIPELINE_PIPELINE_H

@@ -1,0 +1,45 @@
+//===- profile/ProfileInfo.cpp - Execution frequency information ---------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileInfo.h"
+#include "analysis/Intervals.h"
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+
+using namespace srp;
+
+uint64_t ProfileInfo::frequency(const Instruction *I) const {
+  return frequency(I->parent());
+}
+
+ProfileInfo ProfileInfo::fromExecution(const ExecutionResult &R) {
+  ProfileInfo PI;
+  for (const auto &[BB, Count] : R.BlockCounts)
+    PI.setFrequency(BB, Count);
+  return PI;
+}
+
+ProfileInfo ProfileInfo::estimate(Function &F, const IntervalTree &IT) {
+  ProfileInfo PI;
+  for (BasicBlock *BB : F.blocks()) {
+    const Interval *Iv = IT.intervalFor(BB);
+    unsigned Depth = Iv ? Iv->depth() : 0;
+    uint64_t Freq = 1;
+    for (unsigned D = 0; D != Depth && Freq < (uint64_t(1) << 40); ++D)
+      Freq *= 10;
+    // Blocks that are conditionally reached within their interval (more
+    // predecessors on the path do not matter; a simple heuristic: a block
+    // that is not its interval's header and has a single conditional
+    // predecessor gets half weight).
+    if (BB->numPreds() == 1) {
+      BasicBlock *P = BB->preds().front();
+      if (P->succs().size() > 1)
+        Freq = Freq > 1 ? Freq / 2 : 1;
+    }
+    PI.setFrequency(BB, Freq);
+  }
+  return PI;
+}

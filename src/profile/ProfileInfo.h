@@ -1,0 +1,60 @@
+//===- profile/ProfileInfo.h - Execution frequency information -*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block execution frequencies consumed by the profitability model (§4.3).
+/// Two providers:
+///  - fromExecution: real frequencies measured by the interpreter (the
+///    paper's profile feedback loop), and
+///  - estimate: a static fallback in the spirit of Ball-Larus heuristics
+///    (loop depth raises frequency by 10x) for the no-profile ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_PROFILE_PROFILEINFO_H
+#define SRP_PROFILE_PROFILEINFO_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace srp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class IntervalTree;
+struct ExecutionResult;
+
+class ProfileInfo {
+  std::unordered_map<const BasicBlock *, uint64_t> BlockFreq;
+
+public:
+  ProfileInfo() = default;
+
+  /// Frequency of \p BB; unexecuted/unknown blocks report 0.
+  uint64_t frequency(const BasicBlock *BB) const {
+    auto It = BlockFreq.find(BB);
+    return It == BlockFreq.end() ? 0 : It->second;
+  }
+
+  /// Frequency of an instruction = frequency of its block.
+  uint64_t frequency(const Instruction *I) const;
+
+  void setFrequency(const BasicBlock *BB, uint64_t Freq) {
+    BlockFreq[BB] = Freq;
+  }
+
+  /// Builds profile data from a measured execution.
+  static ProfileInfo fromExecution(const ExecutionResult &R);
+
+  /// Static estimate for \p F: 10^depth per interval-nesting level,
+  /// halved along the less likely branch direction.
+  static ProfileInfo estimate(Function &F, const IntervalTree &IT);
+};
+
+} // namespace srp
+
+#endif // SRP_PROFILE_PROFILEINFO_H

@@ -1,0 +1,127 @@
+//===- promotion/LoopPromotion.cpp - Loop-based baseline promoter --------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promotion/LoopPromotion.h"
+#include "analysis/Dominators.h"
+#include "analysis/Intervals.h"
+#include "ir/Function.h"
+#include "ssa/Mem2Reg.h"
+#include "ssa/MemorySSA.h"
+#include <algorithm>
+#include <unordered_set>
+
+using namespace srp;
+
+namespace {
+
+/// Variables the loop references through plain loads/stores.
+std::vector<MemoryObject *> referencedScalars(const Interval &Iv) {
+  std::vector<MemoryObject *> Result;
+  std::unordered_set<const MemoryObject *> Seen;
+  for (BasicBlock *BB : Iv.blocks()) {
+    for (auto &I : *BB) {
+      MemoryObject *Obj = nullptr;
+      if (auto *Ld = dyn_cast<LoadInst>(I.get()))
+        Obj = Ld->object();
+      else if (auto *St = dyn_cast<StoreInst>(I.get()))
+        Obj = St->object();
+      if (Obj && Obj->isPromotable() && Seen.insert(Obj).second)
+        Result.push_back(Obj);
+    }
+  }
+  return Result;
+}
+
+/// The baseline's ambiguity test: any reference in the loop that may read
+/// or write \p Obj other than a direct load/store of it.
+bool hasAmbiguousRef(const Interval &Iv, const MemoryObject *Obj,
+                     const AliasInfo &AI) {
+  for (BasicBlock *BB : Iv.blocks()) {
+    for (auto &I : *BB) {
+      if (isa<LoadInst>(I.get()) || isa<StoreInst>(I.get()))
+        continue;
+      auto Uses = AI.useObjects(*I);
+      auto Defs = AI.defObjects(*I);
+      if (std::find(Uses.begin(), Uses.end(), Obj) != Uses.end() ||
+          std::find(Defs.begin(), Defs.end(), Obj) != Defs.end())
+        return true;
+    }
+  }
+  return false;
+}
+
+void promoteInLoop(Function &F, const Interval &Iv, MemoryObject *Obj) {
+  MemoryObject *Tmp = F.createLocal(Obj->name() + ".lc",
+                                    MemoryObject::Kind::Local);
+
+  // Preheader: tmp = obj.
+  BasicBlock *PH = Iv.preheader();
+  Instruction *Term = PH->terminator();
+  auto Load = std::make_unique<LoadInst>(Obj, F.uniqueValueName("lcld"));
+  Instruction *L = PH->insertBefore(Term, std::move(Load));
+  PH->insertBefore(Term, std::make_unique<StoreInst>(Tmp, L));
+
+  // Redirect the loop body accesses.
+  bool AnyStore = false;
+  for (BasicBlock *BB : Iv.blocks()) {
+    std::vector<Instruction *> Insts;
+    for (auto &I : *BB)
+      Insts.push_back(I.get());
+    for (Instruction *I : Insts) {
+      if (auto *Ld = dyn_cast<LoadInst>(I); Ld && Ld->object() == Obj) {
+        auto NewLd = std::make_unique<LoadInst>(Tmp, Ld->name());
+        Instruction *N = BB->insertBefore(Ld, std::move(NewLd));
+        Ld->replaceAllUsesWith(N);
+        Ld->eraseFromParent();
+      } else if (auto *St = dyn_cast<StoreInst>(I);
+                 St && St->object() == Obj) {
+        BB->insertBefore(St,
+                         std::make_unique<StoreInst>(Tmp, St->storedValue()));
+        St->eraseFromParent();
+        AnyStore = true;
+      }
+    }
+  }
+
+  // Tails: obj = tmp (only when the loop may have modified it).
+  if (AnyStore) {
+    for (BasicBlock *Tail : Iv.tails()) {
+      auto TL = std::make_unique<LoadInst>(Tmp, F.uniqueValueName("lcst"));
+      Instruction *V = Tail->insertAfterPhis(std::move(TL));
+      Tail->insertAfter(V, std::make_unique<StoreInst>(Obj, V));
+    }
+  }
+}
+
+} // namespace
+
+LoopPromotionStats srp::promoteLoopsBaseline(Function &F) {
+  LoopPromotionStats Stats;
+  AliasInfo AI = AliasInfo::compute(F);
+
+  DominatorTree DT(F);
+  IntervalTree IT(F, DT);
+  IT.assignPreheaders(DT);
+
+  for (Interval *Iv : IT.postorder()) {
+    if (Iv->isRoot() || !Iv->isProper())
+      continue; // the baseline is loop based and needs a unique preheader
+    ++Stats.LoopsConsidered;
+    for (MemoryObject *Obj : referencedScalars(*Iv)) {
+      if (hasAmbiguousRef(*Iv, Obj, AI)) {
+        ++Stats.BlockedByAliases;
+        continue;
+      }
+      promoteInLoop(F, *Iv, Obj);
+      ++Stats.VariablesPromoted;
+    }
+  }
+
+  // The temporaries become SSA registers.
+  DT.recompute(F);
+  promoteLocalsToSSA(F, DT);
+  return Stats;
+}

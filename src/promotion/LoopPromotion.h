@@ -1,0 +1,49 @@
+//===- promotion/LoopPromotion.h - Loop-based baseline promoter -*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline promoter in the style of Lu & Cooper, "Register Promotion in C
+/// Programs" (PLDI 1997), which the paper compares against in §6: loop
+/// based, profile free, and any ambiguous reference (function call or
+/// pointer access that may touch the variable) inside a loop precludes
+/// promoting that variable in that loop. Loops are processed innermost
+/// first; inner-loop boundary accesses surface in the enclosing loop and
+/// may be promoted again there.
+///
+/// Runs on load/store IR (before memory SSA): each promoted variable is
+/// redirected through a fresh compiler temporary that a final mem2reg pass
+/// turns into SSA registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_PROMOTION_LOOPPROMOTION_H
+#define SRP_PROMOTION_LOOPPROMOTION_H
+
+namespace srp {
+
+class Function;
+
+struct LoopPromotionStats {
+  unsigned VariablesPromoted = 0;
+  unsigned LoopsConsidered = 0;
+  unsigned BlockedByAliases = 0;
+
+  LoopPromotionStats &operator+=(const LoopPromotionStats &R) {
+    VariablesPromoted += R.VariablesPromoted;
+    LoopsConsidered += R.LoopsConsidered;
+    BlockedByAliases += R.BlockedByAliases;
+    return *this;
+  }
+};
+
+/// Runs the baseline on \p F. The function must not have memory SSA
+/// attached yet; the CFG must be canonicalised. Ends by re-running
+/// mem2reg so the introduced temporaries become registers.
+LoopPromotionStats promoteLoopsBaseline(Function &F);
+
+} // namespace srp
+
+#endif // SRP_PROMOTION_LOOPPROMOTION_H

@@ -1,0 +1,34 @@
+//===- promotion/RegisterPromotion.cpp - Interval-based promoter ---------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promotion/RegisterPromotion.h"
+#include "analysis/Intervals.h"
+#include "ir/Function.h"
+#include "promotion/Cleanup.h"
+#include "promotion/SSAWeb.h"
+#include "promotion/WebPromotion.h"
+
+using namespace srp;
+
+PromotionStats srp::promoteRegisters(Function &F, const DominatorTree &DT,
+                                     const IntervalTree &IT,
+                                     const ProfileInfo &PI,
+                                     const PromotionOptions &Opts) {
+  PromotionStats Stats;
+
+  // promoteInInterval (Fig. 2): children first (postorder), then the webs
+  // of the current interval. Promotion in an inner interval leaves its
+  // boundary loads/stores and dummy aliased loads in the parent interval,
+  // where the next iteration picks them up.
+  for (Interval *Iv : IT.postorder()) {
+    auto Webs = constructSSAWebs(*Iv, Opts);
+    for (auto &W : Webs)
+      Stats += promoteInWeb(*W, F, DT, PI, Opts);
+  }
+
+  cleanupAfterPromotion(F);
+  return Stats;
+}

@@ -1,0 +1,40 @@
+//===- promotion/RegisterPromotion.h - Interval-based promoter -*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's driver (Fig. 2): walk the interval tree bottom-up; in each
+/// interval construct the SSA webs and promote each web; finish with the
+/// cleanup that removes dummy aliased loads, propagates the copies the
+/// transformation introduced, and sweeps dead phis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_PROMOTION_REGISTERPROMOTION_H
+#define SRP_PROMOTION_REGISTERPROMOTION_H
+
+#include "promotion/PromotionOptions.h"
+
+namespace srp {
+
+class DominatorTree;
+class Function;
+class IntervalTree;
+class Module;
+class ProfileInfo;
+
+/// Runs interval-based register promotion on \p F. Requirements:
+///  - CFG canonicalised (see analysis/CFGCanonicalize.h),
+///  - memory SSA built,
+///  - \p DT and \p IT current for \p F (the pass changes no CFG edges, so
+///    they stay valid throughout).
+PromotionStats promoteRegisters(Function &F, const DominatorTree &DT,
+                                const IntervalTree &IT,
+                                const ProfileInfo &PI,
+                                const PromotionOptions &Opts = {});
+
+} // namespace srp
+
+#endif // SRP_PROMOTION_REGISTERPROMOTION_H

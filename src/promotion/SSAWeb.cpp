@@ -1,0 +1,159 @@
+//===- promotion/SSAWeb.cpp - Memory SSA webs within an interval ---------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promotion/SSAWeb.h"
+#include "analysis/Intervals.h"
+#include "ir/Function.h"
+#include "support/UnionFind.h"
+#include <algorithm>
+#include <unordered_map>
+
+using namespace srp;
+
+bool SSAWeb::definedByWebStore(const MemoryName *N) const {
+  const Instruction *Def = N->def();
+  return Def && isa<StoreInst>(Def) && Iv->contains(Def->parent()) &&
+         contains(N);
+}
+
+bool SSAWeb::definedByWebPhi(const MemoryName *N) const {
+  const Instruction *Def = N->def();
+  return Def && isa<MemPhiInst>(Def) && Iv->contains(Def->parent()) &&
+         contains(N);
+}
+
+std::vector<std::unique_ptr<SSAWeb>>
+srp::constructSSAWebs(const Interval &Iv, const PromotionOptions &Opts) {
+  // Index every memory name referenced in the interval.
+  std::unordered_map<MemoryName *, unsigned> IndexOf;
+  std::vector<MemoryName *> Names;
+  auto indexOf = [&](MemoryName *N) {
+    auto [It, Inserted] = IndexOf.emplace(N, Names.size());
+    if (Inserted)
+      Names.push_back(N);
+    return It->second;
+  };
+
+  // First pass: register all names that occur in the interval (as uses or
+  // defs), in deterministic program order.
+  for (BasicBlock *BB : Iv.blocks()) {
+    for (auto &I : *BB) {
+      for (MemoryName *N : I->memOperands())
+        indexOf(N);
+      for (MemoryName *N : I->memDefs())
+        indexOf(N);
+    }
+  }
+
+  UnionFind UF(static_cast<unsigned>(Names.size()));
+
+  // Second pass: unite names connected by phi instructions in the interval
+  // (paper Fig. 3). With web granularity disabled, unite per object
+  // instead (whole-variable promotion, ablation A).
+  if (Opts.WebGranularity) {
+    for (BasicBlock *BB : Iv.blocks()) {
+      for (auto &I : *BB) {
+        auto *MP = dyn_cast<MemPhiInst>(I.get());
+        if (!MP || !MP->target())
+          continue;
+        unsigned Rep = indexOf(MP->target());
+        for (MemoryName *N : MP->memOperands())
+          Rep = UF.unite(Rep, indexOf(N));
+      }
+    }
+  } else {
+    std::unordered_map<const MemoryObject *, unsigned> FirstOfObject;
+    for (unsigned I = 0; I != Names.size(); ++I) {
+      auto [It, Inserted] =
+          FirstOfObject.emplace(Names[I]->object(), I);
+      if (!Inserted)
+        UF.unite(It->second, I);
+    }
+  }
+
+  // Gather webs for promotable objects.
+  std::unordered_map<unsigned, SSAWeb *> WebOfClass;
+  std::vector<std::unique_ptr<SSAWeb>> Webs;
+  auto webFor = [&](MemoryName *N) -> SSAWeb * {
+    unsigned Rep = UF.find(IndexOf.at(N));
+    auto It = WebOfClass.find(Rep);
+    if (It != WebOfClass.end())
+      return It->second;
+    auto W = std::make_unique<SSAWeb>();
+    W->Obj = N->object();
+    W->Iv = &Iv;
+    SSAWeb *Raw = W.get();
+    WebOfClass.emplace(Rep, Raw);
+    Webs.push_back(std::move(W));
+    return Raw;
+  };
+
+  for (MemoryName *N : Names) {
+    if (!N->object()->isPromotable())
+      continue;
+    SSAWeb *W = webFor(N);
+    W->Resources.push_back(N);
+    W->ResourceSet.insert(N);
+  }
+
+  // Third pass: classify the references of each web.
+  for (BasicBlock *BB : Iv.blocks()) {
+    for (auto &I : *BB) {
+      Instruction *Inst = I.get();
+      if (auto *MP = dyn_cast<MemPhiInst>(Inst)) {
+        if (MP->target() && MP->object()->isPromotable())
+          webFor(MP->target())->Phis.push_back(MP);
+        continue;
+      }
+      if (auto *Ld = dyn_cast<LoadInst>(Inst)) {
+        if (Ld->memUse() && Ld->object()->isPromotable())
+          webFor(Ld->memUse())->LoadRefs.push_back(Ld);
+        continue;
+      }
+      if (auto *St = dyn_cast<StoreInst>(Inst)) {
+        if (St->memDefName() && St->object()->isPromotable())
+          webFor(St->memDefName())->StoreRefs.push_back(St);
+        continue;
+      }
+      // Aliased references: mu-uses are aliased loads, chi-defs aliased
+      // stores.
+      if (Inst->isAliasedLoad()) {
+        for (MemoryName *N : Inst->memOperands())
+          if (N->object()->isPromotable())
+            webFor(N)->AliasedLoadRefs.emplace_back(Inst, N);
+      }
+      if (Inst->isAliasedStore()) {
+        for (MemoryName *N : Inst->memDefs())
+          if (N->object()->isPromotable())
+            webFor(N)->AliasedStoreRefs.emplace_back(Inst, N);
+      }
+    }
+  }
+
+  // Definitions inside the interval, and the live-in resource.
+  for (auto &W : Webs) {
+    for (MemoryName *N : W->Resources) {
+      Instruction *Def = N->def();
+      bool DefinedInside = Def && Iv.contains(Def->parent());
+      if (DefinedInside) {
+        W->DefResources.push_back(N);
+      } else {
+        ++W->NumLiveIns;
+        W->LiveIn = N;
+      }
+    }
+  }
+
+  // Drop webs that have no references at all (e.g. an object merely passing
+  // through a phi chain without loads/stores/aliased refs — nothing to do).
+  Webs.erase(std::remove_if(Webs.begin(), Webs.end(),
+                            [](const std::unique_ptr<SSAWeb> &W) {
+                              return !W->hasAnyReference() &&
+                                     W->Phis.empty();
+                            }),
+             Webs.end());
+  return Webs;
+}

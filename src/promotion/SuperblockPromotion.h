@@ -1,0 +1,55 @@
+//===- promotion/SuperblockPromotion.h - Superblock migration --*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline in the style of the IMPACT compiler's global variable
+/// migration ([Mah92], the paper's §6): profile-driven and loop based,
+/// but scoped to the *superblock* — the most frequently executed trace
+/// through the loop. Function calls and pointer references on rarely
+/// executed paths fall outside the trace and do not block promotion
+/// (unlike the Lu-Cooper-style baseline); calls on the trace itself do.
+///
+/// Promotion of a variable in a loop requires:
+///   - every singleton access of it inside the loop lies on the trace,
+///   - no instruction on the trace may alias it.
+/// The variable then lives in a compiler temporary along the trace, with
+/// memory synchronised on the trace's side exits and refreshed on cold
+/// re-entries to the loop header. A final mem2reg turns the temporaries
+/// into registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_PROMOTION_SUPERBLOCKPROMOTION_H
+#define SRP_PROMOTION_SUPERBLOCKPROMOTION_H
+
+namespace srp {
+
+class Function;
+class ProfileInfo;
+
+struct SuperblockStats {
+  unsigned TracesFormed = 0;
+  unsigned VariablesPromoted = 0;
+  unsigned BlockedOnTraceAlias = 0;
+  unsigned BlockedOffTraceRef = 0;
+
+  SuperblockStats &operator+=(const SuperblockStats &R) {
+    TracesFormed += R.TracesFormed;
+    VariablesPromoted += R.VariablesPromoted;
+    BlockedOnTraceAlias += R.BlockedOnTraceAlias;
+    BlockedOffTraceRef += R.BlockedOffTraceRef;
+    return *this;
+  }
+};
+
+/// Runs superblock-scoped promotion on \p F using \p PI to pick each
+/// loop's hot trace. Requirements as for the loop baseline: canonicalised
+/// CFG, no memory SSA attached. Ends with a mem2reg round.
+SuperblockStats promoteSuperblocks(Function &F, const ProfileInfo &PI);
+
+} // namespace srp
+
+#endif // SRP_PROMOTION_SUPERBLOCKPROMOTION_H

@@ -1,0 +1,100 @@
+//===- regalloc/Coloring.cpp - Interference graph coloring ---------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Coloring.h"
+#include "ir/Function.h"
+#include "regalloc/Liveness.h"
+#include <algorithm>
+#include <set>
+
+using namespace srp;
+
+PressureReport srp::measureRegisterPressure(Function &F) {
+  PressureReport R;
+  Liveness LV(F);
+  unsigned N = LV.numValues();
+  R.NumValues = N;
+  if (N == 0)
+    return R;
+
+  // Interference: walk each block backwards from its live-out set; a
+  // definition interferes with everything live across it.
+  std::vector<std::set<unsigned>> Adj(N);
+  auto addEdge = [&](unsigned A, unsigned B) {
+    if (A == B)
+      return;
+    if (Adj[A].insert(B).second) {
+      Adj[B].insert(A);
+      ++R.Edges;
+    }
+  };
+
+  for (BasicBlock *BB : F.blocks()) {
+    BitVector Live = LV.liveOut(BB);
+    R.MaxLive = std::max(R.MaxLive, Live.count());
+
+    // Instructions back to front.
+    std::vector<Instruction *> Insts;
+    for (auto &I : *BB)
+      Insts.push_back(I.get());
+    for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+      Instruction *I = *It;
+      if (I->type() != Type::Void) {
+        unsigned D = LV.indexOf(I);
+        for (int Idx = Live.findFirst(); Idx >= 0;
+             Idx = Live.findNext(static_cast<unsigned>(Idx)))
+          addEdge(D, static_cast<unsigned>(Idx));
+        Live.reset(D);
+      }
+      if (auto *P = dyn_cast<PhiInst>(I)) {
+        // Phi operands are used at predecessor ends; nothing to add here.
+        (void)P;
+      } else {
+        for (Value *Op : I->operands())
+          if (LV.tracks(Op))
+            Live.set(LV.indexOf(Op));
+      }
+      R.MaxLive = std::max(R.MaxLive, Live.count());
+    }
+  }
+
+  // Simplify: repeatedly remove a minimum-degree node (Chaitin's stack),
+  // then select colors greedily in reverse removal order.
+  std::vector<unsigned> Degree(N);
+  for (unsigned I = 0; I != N; ++I)
+    Degree[I] = static_cast<unsigned>(Adj[I].size());
+  std::vector<bool> Removed(N, false);
+  std::vector<unsigned> Stack;
+  Stack.reserve(N);
+  for (unsigned Round = 0; Round != N; ++Round) {
+    unsigned Best = N;
+    for (unsigned I = 0; I != N; ++I)
+      if (!Removed[I] && (Best == N || Degree[I] < Degree[Best]))
+        Best = I;
+    Removed[Best] = true;
+    Stack.push_back(Best);
+    for (unsigned Nb : Adj[Best])
+      if (!Removed[Nb] && Degree[Nb] > 0)
+        --Degree[Nb];
+  }
+
+  std::vector<int> Color(N, -1);
+  unsigned MaxColor = 0;
+  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+    unsigned V = *It;
+    std::set<int> Taken;
+    for (unsigned Nb : Adj[V])
+      if (Color[Nb] >= 0)
+        Taken.insert(Color[Nb]);
+    int C = 0;
+    while (Taken.count(C))
+      ++C;
+    Color[V] = C;
+    MaxColor = std::max(MaxColor, static_cast<unsigned>(C) + 1);
+  }
+  R.ColorsNeeded = MaxColor;
+  return R;
+}

@@ -1,0 +1,36 @@
+//===- regalloc/Coloring.h - Interference graph coloring -------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-pressure measurement for Table 3: build the register
+/// interference graph from liveness and report the number of colors a
+/// Chaitin-style simplify/select coloring needs (greedy coloring in
+/// degeneracy order), plus the peak number of simultaneously live values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_REGALLOC_COLORING_H
+#define SRP_REGALLOC_COLORING_H
+
+#include <vector>
+
+namespace srp {
+
+class Function;
+
+struct PressureReport {
+  unsigned NumValues = 0;     ///< Virtual registers considered.
+  unsigned ColorsNeeded = 0;  ///< Colors used by simplify/select coloring.
+  unsigned MaxLive = 0;       ///< Peak simultaneous liveness at block ends.
+  unsigned Edges = 0;         ///< Interference edges.
+};
+
+/// Builds the interference graph of \p F and colors it.
+PressureReport measureRegisterPressure(Function &F);
+
+} // namespace srp
+
+#endif // SRP_REGALLOC_COLORING_H

@@ -1,0 +1,97 @@
+//===- regalloc/Liveness.cpp - Register liveness analysis ----------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Liveness.h"
+#include "ir/Function.h"
+
+using namespace srp;
+
+void Liveness::recompute(Function &F) {
+  Values.clear();
+  IndexOf.clear();
+  LiveInSet.clear();
+  LiveOutSet.clear();
+
+  // Dense numbering: arguments, then instruction results.
+  for (unsigned I = 0; I != F.numArgs(); ++I) {
+    IndexOf[F.arg(I)] = static_cast<unsigned>(Values.size());
+    Values.push_back(F.arg(I));
+  }
+  for (BasicBlock *BB : F.blocks())
+    for (auto &I : *BB)
+      if (I->type() != Type::Void) {
+        IndexOf[I.get()] = static_cast<unsigned>(Values.size());
+        Values.push_back(I.get());
+      }
+
+  unsigned N = static_cast<unsigned>(Values.size());
+  std::vector<BasicBlock *> Blocks = F.blocks();
+  for (BasicBlock *BB : Blocks) {
+    LiveInSet[BB].resize(N);
+    LiveOutSet[BB].resize(N);
+  }
+
+  // use[BB]: values used before any local def; def[BB]: values defined.
+  // Phi results are defs at the top of the block; phi operands are uses at
+  // the end of the incoming predecessor (handled via extra live-out bits).
+  std::unordered_map<const BasicBlock *, BitVector> UseB, DefB;
+  std::unordered_map<const BasicBlock *, BitVector> PhiOut; // forced live-out
+  for (BasicBlock *BB : Blocks) {
+    UseB[BB].resize(N);
+    DefB[BB].resize(N);
+    PhiOut[BB].resize(N);
+  }
+
+  for (BasicBlock *BB : Blocks) {
+    BitVector &U = UseB[BB];
+    BitVector &D = DefB[BB];
+    for (auto &IP : *BB) {
+      Instruction *I = IP.get();
+      if (auto *P = dyn_cast<PhiInst>(I)) {
+        for (unsigned K = 0; K != P->numIncoming(); ++K) {
+          Value *V = P->incomingValue(K);
+          if (tracks(V))
+            PhiOut[P->incomingBlock(K)].set(indexOf(V));
+        }
+      } else {
+        for (Value *Op : I->operands()) {
+          if (!tracks(Op))
+            continue;
+          unsigned Idx = indexOf(Op);
+          if (!D.test(Idx))
+            U.set(Idx);
+        }
+      }
+      if (I->type() != Type::Void)
+        D.set(indexOf(I));
+    }
+  }
+
+  // Arguments are live-in at the entry: treat them as defined at entry.
+  // Iterate to fixpoint: out[B] = union in[S] + phiOut[B]; in[B] =
+  // use[B] + (out[B] - def[B]).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Blocks.rbegin(); It != Blocks.rend(); ++It) {
+      BasicBlock *BB = *It;
+      BitVector Out = PhiOut[BB];
+      for (BasicBlock *S : BB->succs())
+        Out.unionWith(LiveInSet[S]);
+      BitVector In = Out;
+      In.subtract(DefB[BB]);
+      In.unionWith(UseB[BB]);
+      if (!(Out == LiveOutSet[BB])) {
+        LiveOutSet[BB] = std::move(Out);
+        Changed = true;
+      }
+      if (!(In == LiveInSet[BB])) {
+        LiveInSet[BB] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,53 @@
+//===- regalloc/Liveness.h - Register liveness analysis --------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness over register values (instruction results, arguments).
+/// Phi operands are live-out of their incoming blocks, the standard SSA
+/// convention. Feeds the interference graph for the register-pressure
+/// measurements of Table 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_REGALLOC_LIVENESS_H
+#define SRP_REGALLOC_LIVENESS_H
+
+#include "support/BitVector.h"
+#include <unordered_map>
+#include <vector>
+
+namespace srp {
+
+class BasicBlock;
+class Function;
+class Value;
+
+class Liveness {
+  std::vector<Value *> Values; ///< Dense numbering of register values.
+  std::unordered_map<const Value *, unsigned> IndexOf;
+  std::unordered_map<const BasicBlock *, BitVector> LiveInSet, LiveOutSet;
+
+public:
+  explicit Liveness(Function &F) { recompute(F); }
+
+  void recompute(Function &F);
+
+  unsigned numValues() const { return static_cast<unsigned>(Values.size()); }
+  const std::vector<Value *> &values() const { return Values; }
+  bool tracks(const Value *V) const { return IndexOf.count(V) != 0; }
+  unsigned indexOf(const Value *V) const { return IndexOf.at(V); }
+
+  const BitVector &liveIn(const BasicBlock *BB) const {
+    return LiveInSet.at(BB);
+  }
+  const BitVector &liveOut(const BasicBlock *BB) const {
+    return LiveOutSet.at(BB);
+  }
+};
+
+} // namespace srp
+
+#endif // SRP_REGALLOC_LIVENESS_H

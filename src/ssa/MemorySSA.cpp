@@ -1,0 +1,197 @@
+//===- ssa/MemorySSA.cpp - Memory SSA construction ------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/MemorySSA.h"
+#include "analysis/Dominators.h"
+#include "ir/Module.h"
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace srp;
+
+AliasInfo AliasInfo::compute(Function &F) {
+  AliasInfo AI;
+  Module *M = F.parent();
+
+  for (const auto &G : M->globals()) {
+    AI.CallModRef.push_back(G.get());
+    AI.EscapingAtReturn.push_back(G.get());
+    AI.AllObjects.push_back(G.get());
+    if (G->isAddressTaken())
+      AI.PointerAliases.push_back(G.get());
+  }
+  for (const auto &L : F.locals()) {
+    AI.AllObjects.push_back(L.get());
+    if (L->isAddressTaken()) {
+      AI.CallModRef.push_back(L.get());
+      AI.PointerAliases.push_back(L.get());
+    }
+  }
+
+  auto ById = [](const MemoryObject *A, const MemoryObject *B) {
+    return A->id() < B->id();
+  };
+  std::sort(AI.CallModRef.begin(), AI.CallModRef.end(), ById);
+  std::sort(AI.PointerAliases.begin(), AI.PointerAliases.end(), ById);
+  std::sort(AI.EscapingAtReturn.begin(), AI.EscapingAtReturn.end(), ById);
+  std::sort(AI.AllObjects.begin(), AI.AllObjects.end(), ById);
+  return AI;
+}
+
+std::vector<MemoryObject *>
+AliasInfo::useObjects(const Instruction &I) const {
+  switch (I.kind()) {
+  case Value::Kind::Load:
+    return {static_cast<const LoadInst &>(I).object()};
+  case Value::Kind::DummyLoad:
+    return {static_cast<const DummyLoadInst &>(I).object()};
+  case Value::Kind::ArrayLoad:
+    return {static_cast<const ArrayLoadInst &>(I).object()};
+  case Value::Kind::ArrayStore:
+    // Partial update of the aggregate: reads the rest of the array.
+    return {static_cast<const ArrayStoreInst &>(I).object()};
+  case Value::Kind::PtrLoad:
+  case Value::Kind::PtrStore:
+    return PointerAliases;
+  case Value::Kind::Call:
+    return CallModRef;
+  case Value::Kind::Ret:
+    return EscapingAtReturn;
+  default:
+    return {};
+  }
+}
+
+std::vector<MemoryObject *>
+AliasInfo::defObjects(const Instruction &I) const {
+  switch (I.kind()) {
+  case Value::Kind::Store:
+    return {static_cast<const StoreInst &>(I).object()};
+  case Value::Kind::ArrayStore:
+    return {static_cast<const ArrayStoreInst &>(I).object()};
+  case Value::Kind::PtrStore:
+    return PointerAliases;
+  case Value::Kind::Call:
+    return CallModRef;
+  default:
+    return {};
+  }
+}
+
+void srp::buildMemorySSA(Function &F, const DominatorTree &DT) {
+  buildMemorySSA(F, DT, AliasInfo::compute(F));
+}
+
+void srp::buildMemorySSA(Function &F, const DominatorTree &DT,
+                         const AliasInfo &AI) {
+  F.clearMemorySSA();
+
+  // Which objects does the function touch at all? (Avoids versioning the
+  // whole module for every function.)
+  std::unordered_map<const MemoryObject *, bool> Touched;
+  for (BasicBlock *BB : DT.rpo())
+    for (auto &I : *BB) {
+      for (MemoryObject *O : AI.useObjects(*I))
+        Touched[O] = true;
+      for (MemoryObject *O : AI.defObjects(*I))
+        Touched[O] = true;
+    }
+
+  std::vector<MemoryObject *> Objects;
+  for (MemoryObject *O : AI.AllObjects)
+    if (Touched[O])
+      Objects.push_back(O);
+
+  // Per-object: definition blocks, then memory phis at the IDF.
+  std::unordered_map<const BasicBlock *, std::vector<MemPhiInst *>> BlockPhis;
+
+  auto blockDefines = [&](BasicBlock *BB, MemoryObject *Obj) {
+    for (auto &I : *BB)
+      for (MemoryObject *O : AI.defObjects(*I))
+        if (O == Obj)
+          return true;
+    return false;
+  };
+
+  for (MemoryObject *Obj : Objects) {
+    std::vector<BasicBlock *> DefBlocks;
+    for (BasicBlock *BB : DT.rpo())
+      if (blockDefines(BB, Obj))
+        DefBlocks.push_back(BB);
+    if (DefBlocks.empty())
+      continue; // read-only object: only the entry version exists
+    for (BasicBlock *BB : DT.iteratedFrontier(DefBlocks)) {
+      auto Phi = std::make_unique<MemPhiInst>(Obj);
+      MemPhiInst *Raw = Phi.get();
+      BB->prepend(std::move(Phi));
+      BlockPhis[BB].push_back(Raw);
+    }
+  }
+
+  // Renaming: dominator-tree walk with a version stack per object.
+  std::unordered_map<const MemoryObject *, std::vector<MemoryName *>> Stacks;
+  for (MemoryObject *Obj : Objects) {
+    MemoryName *Entry = F.createMemoryName(Obj);
+    F.setEntryMemoryName(Obj, Entry);
+    Stacks[Obj].push_back(Entry);
+  }
+
+  struct Frame {
+    BasicBlock *BB;
+    unsigned NextChild = 0;
+    std::vector<std::pair<MemoryObject *, unsigned>> Pushed;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({F.entry(), 0, {}});
+
+  // Process a block's instructions on first visit.
+  auto processBlock = [&](Frame &Fr) {
+    BasicBlock *BB = Fr.BB;
+    for (auto &I : *BB) {
+      if (auto *MP = dyn_cast<MemPhiInst>(I.get())) {
+        MemoryName *New = F.createMemoryName(MP->object());
+        MP->addMemDef(New);
+        Stacks[MP->object()].push_back(New);
+        Fr.Pushed.emplace_back(MP->object(), 1);
+        continue;
+      }
+      for (MemoryObject *O : AI.useObjects(*I)) {
+        assert(!Stacks[O].empty() && "object with no reaching version");
+        I->addMemOperand(Stacks[O].back());
+      }
+      for (MemoryObject *O : AI.defObjects(*I)) {
+        MemoryName *New = F.createMemoryName(O);
+        I->addMemDef(New);
+        Stacks[O].push_back(New);
+        Fr.Pushed.emplace_back(O, 1);
+      }
+    }
+    // Fill successor memory phis.
+    for (BasicBlock *S : BB->succs()) {
+      auto It = BlockPhis.find(S);
+      if (It == BlockPhis.end())
+        continue;
+      for (MemPhiInst *MP : It->second)
+        MP->addIncoming(Stacks[MP->object()].back(), BB);
+    }
+  };
+
+  processBlock(Stack.back());
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const auto &Kids = DT.children(Top.BB);
+    if (Top.NextChild < Kids.size()) {
+      Stack.push_back({Kids[Top.NextChild++], 0, {}});
+      processBlock(Stack.back());
+      continue;
+    }
+    for (auto &[Obj, Count] : Top.Pushed)
+      for (unsigned K = 0; K != Count; ++K)
+        Stacks[Obj].pop_back();
+    Stack.pop_back();
+  }
+}

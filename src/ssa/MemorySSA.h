@@ -1,0 +1,64 @@
+//===- ssa/MemorySSA.h - Memory SSA construction ---------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Puts the singleton memory resources of a function in SSA form (§3):
+/// every store gets a fresh version of its object, aliased stores (calls,
+/// pointer stores, array stores) get chi-definitions of every object in
+/// their alias set, aliased loads get mu-uses, loads are tagged with the
+/// reaching version, memory phis are placed at the iterated dominance
+/// frontier of the definition blocks, and returns carry mu-uses of escaping
+/// objects so memory modified before return stays live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SSA_MEMORYSSA_H
+#define SRP_SSA_MEMORYSSA_H
+
+#include <vector>
+
+namespace srp {
+
+class DominatorTree;
+class Function;
+class Instruction;
+class MemoryObject;
+
+/// Static alias model of a function (deliberately simple, matching the
+/// paper's assumptions): calls may use/modify every escaping object;
+/// pointer dereferences may touch every address-taken object; array
+/// accesses touch only their array.
+struct AliasInfo {
+  /// Objects a call may read and write: module-scope objects plus
+  /// address-taken locals of this function.
+  std::vector<MemoryObject *> CallModRef;
+  /// Objects a pointer dereference may reference: address-taken objects
+  /// (module-scope or local to this function).
+  std::vector<MemoryObject *> PointerAliases;
+  /// Objects whose final value is observable after return (module-scope).
+  std::vector<MemoryObject *> EscapingAtReturn;
+  /// Every object the function may touch at all.
+  std::vector<MemoryObject *> AllObjects;
+
+  /// Computes the alias model for \p F.
+  static AliasInfo compute(Function &F);
+
+  /// Objects instruction \p I may read (mu-set), in deterministic order.
+  std::vector<MemoryObject *> useObjects(const Instruction &I) const;
+  /// Objects instruction \p I may write (chi-set), in deterministic order.
+  std::vector<MemoryObject *> defObjects(const Instruction &I) const;
+};
+
+/// Builds memory SSA for \p F in place: creates MemoryName versions,
+/// inserts MemPhi instructions, attaches mu/chi operands. Any existing
+/// memory SSA is discarded first.
+void buildMemorySSA(Function &F, const DominatorTree &DT);
+void buildMemorySSA(Function &F, const DominatorTree &DT,
+                    const AliasInfo &AI);
+
+} // namespace srp
+
+#endif // SRP_SSA_MEMORYSSA_H

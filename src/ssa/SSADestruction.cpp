@@ -1,0 +1,61 @@
+//===- ssa/SSADestruction.cpp - Out-of-SSA conversion ---------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSADestruction.h"
+#include "ir/Function.h"
+#include <vector>
+
+using namespace srp;
+
+unsigned srp::destructSSA(Function &F) {
+  unsigned NumLowered = 0;
+  for (BasicBlock *BB : F.blocks()) {
+    // Collect this block's phis first; the list is edited below.
+    std::vector<PhiInst *> Phis;
+    for (auto &I : *BB)
+      if (auto *P = dyn_cast<PhiInst>(I.get()))
+        Phis.push_back(P);
+    if (Phis.empty())
+      continue;
+
+    // Phase 1: replace each phi by a load of a fresh temporary at the top
+    // of the block. All uses of the phi (including other phis' incoming
+    // values, the swap case) now read the load, which observes the value
+    // the temporary had at block entry.
+    std::vector<MemoryObject *> Tmps;
+    for (PhiInst *P : Phis) {
+      MemoryObject *Tmp = F.createLocal(
+          F.uniqueValueName("phi"), MemoryObject::Kind::Local);
+      Tmps.push_back(Tmp);
+      auto Load = std::make_unique<LoadInst>(Tmp, P->name());
+      Instruction *L = BB->insertAfterPhis(std::move(Load));
+      P->replaceAllUsesWith(L);
+    }
+
+    // Phase 2: store the incoming values at the end of each predecessor.
+    // The incoming values were RAUW'd in phase 1 where they referenced
+    // other phis of this block, so they now read the entry-time loads.
+    for (unsigned Idx = 0; Idx != Phis.size(); ++Idx) {
+      PhiInst *P = Phis[Idx];
+      for (unsigned In = 0; In != P->numIncoming(); ++In) {
+        BasicBlock *Pred = P->incomingBlock(In);
+        Instruction *Term = Pred->terminator();
+        assert(Term && "unterminated predecessor");
+        Pred->insertBefore(
+            Term, std::make_unique<StoreInst>(Tmps[Idx],
+                                              P->incomingValue(In)));
+      }
+    }
+
+    // Phase 3: delete the phis.
+    for (PhiInst *P : Phis) {
+      assert(!P->hasUses() && "phi still used after lowering");
+      P->eraseFromParent();
+      ++NumLowered;
+    }
+  }
+  return NumLowered;
+}

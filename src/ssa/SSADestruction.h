@@ -1,0 +1,34 @@
+//===- ssa/SSADestruction.h - Out-of-SSA conversion ------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leaves SSA form (§3: when leaving SSA, names referring to one location
+/// collapse back to a single name). Register phis are lowered through
+/// fresh compiler temporaries with memory semantics: stores at the ends of
+/// the incoming blocks and one load where the phi stood. Because every
+/// phi of a block is replaced by a load *before* the predecessor stores
+/// are wired up, the parallel-read semantics of phis (including the
+/// classic swap case) are preserved. The resulting IR is phi-free, passes
+/// the verifier, executes identically, and a later mem2reg round-trips it
+/// back into SSA.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SSA_SSADESTRUCTION_H
+#define SRP_SSA_SSADESTRUCTION_H
+
+namespace srp {
+
+class Function;
+
+/// Lowers every register phi in \p F. Requires critical edges to be split
+/// (CFG canonicalisation guarantees this). Memory phis are analysis-only
+/// and are not touched. Returns the number of phis lowered.
+unsigned destructSSA(Function &F);
+
+} // namespace srp
+
+#endif // SRP_SSA_SSADESTRUCTION_H

@@ -1,0 +1,182 @@
+//===- ssa/ValueNumbering.cpp - Register GVN ------------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/ValueNumbering.h"
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+#include <map>
+#include <vector>
+
+using namespace srp;
+
+namespace {
+
+/// Expression key: opcode discriminator + operand identities. Commutative
+/// operators are canonicalised by sorting the operand pair.
+struct ExprKey {
+  unsigned Opcode;           ///< BinOpKind+1, 0 = load, ~0 = addr-of
+  const void *Op0, *Op1;
+
+  bool operator<(const ExprKey &R) const {
+    if (Opcode != R.Opcode)
+      return Opcode < R.Opcode;
+    if (Op0 != R.Op0)
+      return Op0 < R.Op0;
+    return Op1 < R.Op1;
+  }
+};
+
+bool isCommutative(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Add:
+  case BinOpKind::Mul:
+  case BinOpKind::And:
+  case BinOpKind::Or:
+  case BinOpKind::Xor:
+  case BinOpKind::CmpEQ:
+  case BinOpKind::CmpNE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class GVNWalker {
+  Function &F;
+  const DominatorTree &DT;
+  GVNStats Stats;
+  /// Scoped expression table: the walk pushes one scope per dominator-tree
+  /// node and pops it on exit, so a hit always dominates the current
+  /// instruction.
+  std::map<ExprKey, Value *> Table;
+  std::vector<std::vector<ExprKey>> Scopes;
+
+  void insert(const ExprKey &K, Value *V) {
+    if (Table.emplace(K, V).second)
+      Scopes.back().push_back(K);
+  }
+
+  Value *lookup(const ExprKey &K) const {
+    auto It = Table.find(K);
+    return It == Table.end() ? nullptr : It->second;
+  }
+
+  /// Processes one block; returns the instructions it erased.
+  void processBlock(BasicBlock *BB) {
+    std::vector<Instruction *> Dead;
+    for (auto &IP : *BB) {
+      Instruction *I = IP.get();
+      switch (I->kind()) {
+      case Value::Kind::Copy: {
+        // Copies do not create values; forward the source.
+        auto *C = cast<CopyInst>(I);
+        I->replaceAllUsesWith(C->source());
+        Dead.push_back(I);
+        ++Stats.CopiesForwarded;
+        break;
+      }
+      case Value::Kind::Phi: {
+        // A phi whose incomings are all the same value is that value.
+        auto *P = cast<PhiInst>(I);
+        if (P->numIncoming() == 0)
+          break;
+        Value *Common = P->incomingValue(0);
+        bool AllSame = Common != P;
+        for (unsigned K = 1; K != P->numIncoming(); ++K)
+          if (P->incomingValue(K) != Common && P->incomingValue(K) != P)
+            AllSame = false;
+        if (AllSame && Common != P) {
+          P->replaceAllUsesWith(Common);
+          Dead.push_back(P);
+          ++Stats.PhisSimplified;
+        }
+        break;
+      }
+      case Value::Kind::BinOp: {
+        auto *B = cast<BinOpInst>(I);
+        const void *L = B->lhs(), *R = B->rhs();
+        if (isCommutative(B->op()) && R < L)
+          std::swap(L, R);
+        ExprKey Key{static_cast<unsigned>(B->op()) + 1, L, R};
+        if (Value *Prev = lookup(Key)) {
+          I->replaceAllUsesWith(Prev);
+          Dead.push_back(I);
+          ++Stats.BinOpsUnified;
+        } else {
+          insert(Key, I);
+        }
+        break;
+      }
+      case Value::Kind::AddrOf: {
+        auto *A = cast<AddrOfInst>(I);
+        ExprKey Key{~0u, A->object(), nullptr};
+        if (Value *Prev = lookup(Key)) {
+          I->replaceAllUsesWith(Prev);
+          Dead.push_back(I);
+        } else {
+          insert(Key, I);
+        }
+        break;
+      }
+      case Value::Kind::Load: {
+        // Loads unify only under memory SSA: same version => same value.
+        auto *Ld = cast<LoadInst>(I);
+        if (!Ld->memUse())
+          break;
+        ExprKey Key{0, Ld->memUse(), nullptr};
+        if (Value *Prev = lookup(Key)) {
+          I->replaceAllUsesWith(Prev);
+          Dead.push_back(I);
+          ++Stats.LoadsUnified;
+        } else {
+          insert(Key, I);
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    for (Instruction *I : Dead)
+      I->eraseFromParent();
+  }
+
+public:
+  GVNWalker(Function &F, const DominatorTree &DT) : F(F), DT(DT) {}
+
+  GVNStats run() {
+    struct Frame {
+      BasicBlock *BB;
+      unsigned NextChild = 0;
+    };
+    std::vector<Frame> Stack;
+    Scopes.emplace_back();
+    Stack.push_back({F.entry()});
+    processBlock(F.entry());
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      const auto &Kids = DT.children(Top.BB);
+      if (Top.NextChild < Kids.size()) {
+        BasicBlock *Child = Kids[Top.NextChild++];
+        Scopes.emplace_back();
+        Stack.push_back({Child});
+        processBlock(Child);
+        continue;
+      }
+      for (const ExprKey &K : Scopes.back())
+        Table.erase(K);
+      Scopes.pop_back();
+      Stack.pop_back();
+    }
+    return Stats;
+  }
+};
+
+} // namespace
+
+GVNStats srp::runGVN(Function &F, const DominatorTree &DT) {
+  return GVNWalker(F, DT).run();
+}

@@ -1,0 +1,49 @@
+//===- ssa/ValueNumbering.h - Register GVN ---------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-scoped global value numbering for register values, in the
+/// spirit of [RWZ88] which the paper lists among the SSA optimizations its
+/// representation enables (§3). Pure expressions (binary operators,
+/// copies, address-of) with identical opcode and already-numbered operands
+/// are replaced by the dominating earlier occurrence. Loads participate
+/// too, keyed by their memory SSA version — two loads of the same version
+/// are the same value — which is the "memory instructions as well" part of
+/// the paper's claim (subsumes MemoryOpt's load-load reuse when memory SSA
+/// is available).
+///
+/// The implementation is a preorder dominator-tree walk with a scoped hash
+/// table, the classic simple-GVN design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SSA_VALUENUMBERING_H
+#define SRP_SSA_VALUENUMBERING_H
+
+namespace srp {
+
+class DominatorTree;
+class Function;
+
+struct GVNStats {
+  unsigned BinOpsUnified = 0;
+  unsigned LoadsUnified = 0;
+  unsigned CopiesForwarded = 0;
+  unsigned PhisSimplified = 0; ///< phis whose incomings all agree
+
+  unsigned total() const {
+    return BinOpsUnified + LoadsUnified + CopiesForwarded + PhisSimplified;
+  }
+};
+
+/// Runs GVN over \p F. Memory SSA may or may not be present; loads are
+/// only unified when it is (without version tags two loads may see
+/// different memory). Leaves the IR valid.
+GVNStats runGVN(Function &F, const DominatorTree &DT);
+
+} // namespace srp
+
+#endif // SRP_SSA_VALUENUMBERING_H

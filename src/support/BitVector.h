@@ -1,0 +1,189 @@
+//===- support/BitVector.h - Dense bit vector ------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, dynamically sized bit vector with word-at-a-time set operations.
+/// Used for dataflow sets (liveness, dominance) where the universe is dense.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_BITVECTOR_H
+#define SRP_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace srp {
+
+class BitVector {
+  static constexpr unsigned BitsPerWord = 64;
+
+  std::vector<uint64_t> Words;
+  unsigned NumBits = 0;
+
+  static unsigned wordIdx(unsigned Bit) { return Bit / BitsPerWord; }
+  static uint64_t mask(unsigned Bit) {
+    return uint64_t(1) << (Bit % BitsPerWord);
+  }
+
+  /// Clears bits beyond NumBits in the last word so whole-word operations
+  /// (count, equality) stay exact.
+  void clearUnusedBits() {
+    if (unsigned Rem = NumBits % BitsPerWord; Rem != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << Rem) - 1;
+  }
+
+public:
+  BitVector() = default;
+  explicit BitVector(unsigned N, bool Value = false) { resize(N, Value); }
+
+  unsigned size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  void resize(unsigned N, bool Value = false) {
+    unsigned NeededWords = (N + BitsPerWord - 1) / BitsPerWord;
+    if (Value && N > NumBits) {
+      // Make the tail of the current last word 1s before growing.
+      if (!Words.empty() && NumBits % BitsPerWord != 0)
+        Words.back() |= ~((uint64_t(1) << (NumBits % BitsPerWord)) - 1);
+      Words.resize(NeededWords, ~uint64_t(0));
+    } else {
+      Words.resize(NeededWords, 0);
+    }
+    NumBits = N;
+    clearUnusedBits();
+  }
+
+  void clear() {
+    Words.clear();
+    NumBits = 0;
+  }
+
+  bool test(unsigned Bit) const {
+    assert(Bit < NumBits && "bit index out of range");
+    return (Words[wordIdx(Bit)] & mask(Bit)) != 0;
+  }
+
+  bool operator[](unsigned Bit) const { return test(Bit); }
+
+  void set(unsigned Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    Words[wordIdx(Bit)] |= mask(Bit);
+  }
+
+  void reset(unsigned Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    Words[wordIdx(Bit)] &= ~mask(Bit);
+  }
+
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    clearUnusedBits();
+  }
+
+  void resetAll() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Returns the number of set bits.
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// Set union; both operands must have the same size. Returns true if this
+  /// vector changed (useful for dataflow fixpoints).
+  bool unionWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    bool Changed = false;
+    for (unsigned I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Set intersection; both operands must have the same size.
+  bool intersectWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    bool Changed = false;
+    for (unsigned I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Removes every bit set in \p RHS from this vector.
+  bool subtract(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    bool Changed = false;
+    for (unsigned I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= ~RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Returns true if this vector and \p RHS share any set bit.
+  bool intersects(const BitVector &RHS) const {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & RHS.Words[I])
+        return true;
+    return false;
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+
+  /// Index of the first set bit, or -1 when none.
+  int findFirst() const {
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I])
+        return static_cast<int>(I * BitsPerWord +
+                                __builtin_ctzll(Words[I]));
+    return -1;
+  }
+
+  /// Index of the first set bit strictly after \p Prev, or -1 when none.
+  int findNext(unsigned Prev) const {
+    unsigned Bit = Prev + 1;
+    if (Bit >= NumBits)
+      return -1;
+    unsigned W = wordIdx(Bit);
+    uint64_t Word = Words[W] & ~(mask(Bit) - 1);
+    while (true) {
+      if (Word)
+        return static_cast<int>(W * BitsPerWord + __builtin_ctzll(Word));
+      if (++W == Words.size())
+        return -1;
+      Word = Words[W];
+    }
+  }
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_BITVECTOR_H

@@ -1,0 +1,60 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ---------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style checked casting templates. Classes opt in by providing a
+/// static classof(const Base *) predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_CASTING_H
+#define SRP_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace srp {
+
+/// Returns true if \p V is an instance of To (per To::classof).
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> used on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts that \p V really is a To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+/// Checked downcast (const variant).
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns null when \p V is not a To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+/// Checking downcast (const variant).
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// isa<> that tolerates null pointers (returns false).
+template <typename To, typename From> bool isa_and_present(const From *V) {
+  return V && To::classof(V);
+}
+
+/// dyn_cast<> that tolerates null pointers (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *V) {
+  return isa_and_present<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_CASTING_H

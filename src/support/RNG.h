@@ -1,0 +1,66 @@
+//===- support/RNG.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, seedable xorshift128+ generator used by the property-based test
+/// suites and by the random-program generator. Independent of the host
+/// standard library so test corpora are reproducible across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_RNG_H
+#define SRP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace srp {
+
+class RNG {
+  uint64_t S0, S1;
+
+  static uint64_t splitmix(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+public:
+  explicit RNG(uint64_t Seed = 0x5eed) {
+    uint64_t X = Seed;
+    S0 = splitmix(X);
+    S1 = splitmix(X);
+  }
+
+  uint64_t next() {
+    uint64_t X = S0, Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(unsigned Num, unsigned Den) { return below(Den) < Num; }
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_RNG_H

@@ -1,0 +1,76 @@
+//===- support/UnionFind.h - Disjoint set union ----------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find with path compression and union by rank. Register promotion
+/// uses it to partition SSA memory names into webs (paper Fig. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_UNIONFIND_H
+#define SRP_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace srp {
+
+class UnionFind {
+  mutable std::vector<unsigned> Parent;
+  std::vector<uint8_t> Rank;
+
+public:
+  UnionFind() = default;
+  explicit UnionFind(unsigned N) { grow(N); }
+
+  unsigned size() const { return Parent.size(); }
+
+  /// Ensures at least \p N singleton elements exist.
+  void grow(unsigned N) {
+    unsigned Old = Parent.size();
+    if (N <= Old)
+      return;
+    Parent.resize(N);
+    std::iota(Parent.begin() + Old, Parent.end(), Old);
+    Rank.resize(N, 0);
+  }
+
+  /// Returns the class representative of \p X.
+  unsigned find(unsigned X) const {
+    assert(X < Parent.size() && "element out of range");
+    unsigned Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    // Path compression.
+    while (Parent[X] != Root) {
+      unsigned Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the classes of \p A and \p B; returns the new representative.
+  unsigned unite(unsigned A, unsigned B) {
+    unsigned RA = find(A), RB = find(B);
+    if (RA == RB)
+      return RA;
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    return RA;
+  }
+
+  bool connected(unsigned A, unsigned B) const { return find(A) == find(B); }
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_UNIONFIND_H

@@ -1,0 +1,181 @@
+//===- tests/CFGEditTest.cpp - CFG surgery tests --------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFGEdit.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+TEST(CFGEditTest, NonCriticalEdgesReported) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B1 = F->createBlock("b");
+  IRBuilder B(A);
+  B.br(B1);
+  B.setInsertPoint(B1);
+  B.ret();
+  EXPECT_FALSE(isCriticalEdge(A, B1)); // single successor
+}
+
+TEST(CFGEditTest, SplitEdgePreservesSemantics) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(0), T, J); // a->j is critical (j also hears from t)
+  B.setInsertPoint(T);
+  B.br(J);
+  B.setInsertPoint(J);
+  PhiInst *P = B.phi(Type::Int, "p");
+  P->addIncoming(M.constant(10), A);
+  P->addIncoming(M.constant(20), T);
+  B.ret(P);
+
+  BasicBlock *Mid = splitEdge(A, J);
+  expectValid(*F, "after splitEdge");
+  EXPECT_EQ(Mid->preds().size(), 1u);
+  EXPECT_EQ(Mid->preds()[0], A);
+  EXPECT_EQ(Mid->succs()[0], J);
+  // The phi entry moved to the new block; values unchanged.
+  EXPECT_EQ(P->incomingValueFor(Mid), M.constant(10));
+  EXPECT_EQ(P->incomingValueFor(T), M.constant(20));
+}
+
+TEST(CFGEditTest, SplitEdgeUpdatesMemPhi) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(0), T, J);
+  B.setInsertPoint(T);
+  StoreInst *St = B.store(G, M.constant(1));
+  B.br(J);
+  B.setInsertPoint(J);
+  B.ret();
+
+  MemoryName *Entry = F->createMemoryName(G);
+  F->setEntryMemoryName(G, Entry);
+  MemoryName *V1 = F->createMemoryName(G);
+  St->addMemDef(V1);
+  auto Phi = std::make_unique<MemPhiInst>(G);
+  MemPhiInst *MP = Phi.get();
+  J->prepend(std::move(Phi));
+  MP->addMemDef(F->createMemoryName(G));
+  MP->addIncoming(Entry, A);
+  MP->addIncoming(V1, T);
+  // Keep the phi alive.
+  J->terminator()->addMemOperand(MP->target());
+
+  BasicBlock *Mid = splitEdge(A, J);
+  expectValid(*F, "after memphi split");
+  EXPECT_EQ(MP->indexOfBlock(A), -1);
+  EXPECT_GE(MP->indexOfBlock(Mid), 0);
+}
+
+TEST(CFGEditTest, SplitAllCriticalEdgesFixpoint) {
+  // Two condbrs into a shared join: both edges into the join are critical.
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B1 = F->createBlock("b1");
+  BasicBlock *B2 = F->createBlock("b2");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(1), B1, B2);
+  B.setInsertPoint(B1);
+  B.condBr(M.constant(0), J, B2);
+  B.setInsertPoint(B2);
+  B.br(J);
+  B.setInsertPoint(J);
+  B.ret();
+
+  unsigned N = splitAllCriticalEdges(*F);
+  EXPECT_GE(N, 2u);
+  expectValid(*F, "after split-all");
+  for (BasicBlock *BB : F->blocks()) {
+    Instruction *Term = BB->terminator();
+    if (!Term || Term->successors().size() < 2)
+      continue;
+    for (BasicBlock *S : Term->successors())
+      EXPECT_FALSE(isCriticalEdge(BB, S));
+  }
+}
+
+TEST(CFGEditTest, RedirectPredsMergesPhiEntries) {
+  // join has three preds; redirect two of them through a new block.
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *P1 = F->createBlock("p1");
+  BasicBlock *P2 = F->createBlock("p2");
+  BasicBlock *P3 = F->createBlock("p3");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(1), P1, P2);
+  B.setInsertPoint(P1);
+  B.condBr(M.constant(0), P3, J);
+  B.setInsertPoint(P2);
+  B.br(J);
+  B.setInsertPoint(P3);
+  B.br(J);
+  B.setInsertPoint(J);
+  PhiInst *P = B.phi(Type::Int, "p");
+  P->addIncoming(M.constant(1), P1);
+  P->addIncoming(M.constant(2), P2);
+  P->addIncoming(M.constant(3), P3);
+  B.ret(P);
+
+  BasicBlock *New = redirectPredsToNewBlock(J, {P2, P3}, "merge");
+  expectValid(*F, "after redirect");
+  EXPECT_EQ(J->numPreds(), 2u);
+  EXPECT_EQ(New->numPreds(), 2u);
+  // The differing values 2 and 3 merged through a new phi in New.
+  Value *FromNew = P->incomingValueFor(New);
+  ASSERT_TRUE(isa<PhiInst>(FromNew));
+  auto *MergePhi = cast<PhiInst>(FromNew);
+  EXPECT_EQ(MergePhi->parent(), New);
+  EXPECT_EQ(MergePhi->incomingValueFor(P2), M.constant(2));
+  EXPECT_EQ(MergePhi->incomingValueFor(P3), M.constant(3));
+}
+
+TEST(CFGEditTest, RedirectPredsSameValueNoNewPhi) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *P1 = F->createBlock("p1");
+  BasicBlock *P2 = F->createBlock("p2");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(1), P1, P2);
+  B.setInsertPoint(P1);
+  B.br(J);
+  B.setInsertPoint(P2);
+  B.br(J);
+  B.setInsertPoint(J);
+  PhiInst *P = B.phi(Type::Int, "p");
+  P->addIncoming(M.constant(5), P1);
+  P->addIncoming(M.constant(5), P2);
+  B.ret(P);
+
+  BasicBlock *New = redirectPredsToNewBlock(J, {P1, P2}, "merge");
+  expectValid(*F, "after same-value redirect");
+  EXPECT_EQ(P->incomingValueFor(New), M.constant(5));
+  EXPECT_EQ(New->size(), 1u); // just the branch, no merge phi
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+//===- tests/CleanupTest.cpp - post-promotion cleanup tests ---------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promotion/Cleanup.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+unsigned countKind(const Function &F, Value::Kind K) {
+  unsigned N = 0;
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (I->kind() == K)
+        ++N;
+  return N;
+}
+
+TEST(CleanupTest, PropagatesCopyChains) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *X = B.add(M.constant(1), M.constant(2));
+  Value *C1 = B.copy(X);
+  Value *C2 = B.copy(C1);
+  Value *C3 = B.copy(C2);
+  B.print(C3);
+  B.ret();
+
+  unsigned N = propagateCopies(*F);
+  EXPECT_EQ(N, 3u);
+  EXPECT_EQ(countKind(*F, Value::Kind::Copy), 0u);
+  // print now reads the add directly.
+  bool PrintsX = false;
+  for (const auto &I : *BB)
+    if (isa<PrintInst>(I.get()) && I->operand(0) == X)
+      PrintsX = true;
+  EXPECT_TRUE(PrintsX);
+  expectValid(*F, "after copy propagation");
+}
+
+TEST(CleanupTest, CopyFeedingPhiIsForwarded) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *L = F->createBlock("l");
+  BasicBlock *R = F->createBlock("r");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  Value *X = B.add(M.constant(3), M.constant(4));
+  B.condBr(M.constant(1), L, R);
+  B.setInsertPoint(L);
+  Value *C = B.copy(X);
+  B.br(J);
+  B.setInsertPoint(R);
+  B.br(J);
+  B.setInsertPoint(J);
+  PhiInst *P = B.phi(Type::Int);
+  P->addIncoming(C, L);
+  P->addIncoming(M.constant(9), R);
+  B.ret(P);
+
+  propagateCopies(*F);
+  EXPECT_EQ(P->incomingValueFor(L), X);
+  expectValid(*F, "after phi copy propagation");
+}
+
+TEST(CleanupTest, RemovesTriviallyDeadChains) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *L = B.load(G);       // dead load
+  Value *A = B.add(L, M.constant(1)); // dead add using dead load
+  (void)A;
+  Value *Live = B.add(M.constant(2), M.constant(3));
+  B.print(Live);
+  B.ret();
+
+  unsigned N = removeDeadInstructions(*F);
+  EXPECT_EQ(N, 2u);
+  EXPECT_EQ(countKind(*F, Value::Kind::Load), 0u);
+  EXPECT_EQ(countKind(*F, Value::Kind::BinOp), 1u);
+}
+
+TEST(CleanupTest, KeepsLoadWhoseMemDefIsUsed) {
+  // A store's version used by a ret-mu must survive even if the store's
+  // value chain is otherwise dead-looking.
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  StoreInst *St = B.store(G, M.constant(5));
+  Instruction *Ret = B.ret();
+
+  MemoryName *V = F->createMemoryName(G);
+  St->addMemDef(V);
+  Ret->addMemOperand(V);
+
+  removeDeadInstructions(*F);
+  EXPECT_EQ(countKind(*F, Value::Kind::Store), 1u);
+}
+
+TEST(CleanupTest, RemovesDummyLoads) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  BB->append(std::make_unique<DummyLoadInst>(G));
+  BB->append(std::make_unique<DummyLoadInst>(G));
+  IRBuilder B(BB);
+  B.ret();
+
+  EXPECT_EQ(removeDummyLoads(*F), 2u);
+  EXPECT_EQ(countKind(*F, Value::Kind::DummyLoad), 0u);
+}
+
+TEST(CleanupTest, DeadMemPhiSelfLoopRemoved) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.br(H);
+  B.setInsertPoint(H);
+  B.condBr(M.constant(1), H, Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  MemoryName *Entr = F->createMemoryName(G);
+  F->setEntryMemoryName(G, Entr);
+  auto Phi = std::make_unique<MemPhiInst>(G);
+  MemPhiInst *MP = Phi.get();
+  H->prepend(std::move(Phi));
+  MemoryName *V = F->createMemoryName(G);
+  MP->addMemDef(V);
+  MP->addIncoming(Entr, Entry);
+  MP->addIncoming(V, H); // kept alive only by its own back edge
+
+  EXPECT_EQ(removeDeadMemPhis(*F), 1u);
+  EXPECT_EQ(countKind(*F, Value::Kind::MemPhi), 0u);
+}
+
+TEST(CleanupTest, LiveMemPhiSurvives) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.br(H);
+  B.setInsertPoint(H);
+  B.condBr(M.constant(1), H, Exit);
+  B.setInsertPoint(Exit);
+  LoadInst *Ld = B.load(G);
+  B.print(Ld);
+  B.ret();
+
+  MemoryName *Entr = F->createMemoryName(G);
+  F->setEntryMemoryName(G, Entr);
+  auto Phi = std::make_unique<MemPhiInst>(G);
+  MemPhiInst *MP = Phi.get();
+  H->prepend(std::move(Phi));
+  MemoryName *V = F->createMemoryName(G);
+  MP->addMemDef(V);
+  MP->addIncoming(Entr, Entry);
+  MP->addIncoming(V, H);
+  Ld->addMemOperand(V); // real (non-phi) user
+
+  EXPECT_EQ(removeDeadMemPhis(*F), 0u);
+  EXPECT_EQ(countKind(*F, Value::Kind::MemPhi), 1u);
+}
+
+TEST(CleanupTest, FullCleanupComposes) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *X = B.add(M.constant(1), M.constant(1));
+  Value *C = B.copy(X);
+  B.print(C);
+  BB->append(std::make_unique<DummyLoadInst>(G));
+  Value *DeadLoad = B.load(G);
+  (void)DeadLoad;
+  B.ret();
+
+  CleanupStats S = cleanupAfterPromotion(*F);
+  EXPECT_EQ(S.DummyLoadsRemoved, 1u);
+  EXPECT_EQ(S.CopiesPropagated, 1u);
+  EXPECT_GE(S.DeadInstructionsRemoved, 1u);
+  expectValid(*F, "after full cleanup");
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/DominatorsTest.cpp - dominator analyses tests ----------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace srp;
+
+namespace {
+
+/// Diamond: entry -> {l, r} -> join -> exit.
+struct Diamond {
+  Module M;
+  Function *F;
+  BasicBlock *Entry, *L, *R, *Join, *Exit;
+
+  Diamond() {
+    F = M.createFunction("f", Type::Void);
+    Entry = F->createBlock("entry");
+    L = F->createBlock("l");
+    R = F->createBlock("r");
+    Join = F->createBlock("join");
+    Exit = F->createBlock("exit");
+    IRBuilder B(Entry);
+    B.condBr(M.constant(1), L, R);
+    B.setInsertPoint(L);
+    B.br(Join);
+    B.setInsertPoint(R);
+    B.br(Join);
+    B.setInsertPoint(Join);
+    B.br(Exit);
+    B.setInsertPoint(Exit);
+    B.ret();
+  }
+};
+
+TEST(DominatorsTest, DiamondIDoms) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  EXPECT_EQ(DT.idom(D.Entry), nullptr);
+  EXPECT_EQ(DT.idom(D.L), D.Entry);
+  EXPECT_EQ(DT.idom(D.R), D.Entry);
+  EXPECT_EQ(DT.idom(D.Join), D.Entry);
+  EXPECT_EQ(DT.idom(D.Exit), D.Join);
+}
+
+TEST(DominatorsTest, DominanceQueries) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  EXPECT_TRUE(DT.dominates(D.Entry, D.Exit));
+  EXPECT_TRUE(DT.dominates(D.Join, D.Exit));
+  EXPECT_FALSE(DT.dominates(D.L, D.Join));
+  EXPECT_TRUE(DT.dominates(D.L, D.L));
+  EXPECT_FALSE(DT.strictlyDominates(D.L, D.L));
+  EXPECT_EQ(DT.commonDominator(D.L, D.R), D.Entry);
+  EXPECT_EQ(DT.commonDominator(D.Join, D.Exit), D.Join);
+}
+
+TEST(DominatorsTest, DiamondFrontiers) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  auto FL = DT.frontier(D.L);
+  ASSERT_EQ(FL.size(), 1u);
+  EXPECT_EQ(FL[0], D.Join);
+  EXPECT_TRUE(DT.frontier(D.Entry).empty());
+  EXPECT_TRUE(DT.frontier(D.Join).empty());
+}
+
+TEST(DominatorsTest, IteratedFrontierOfBothArms) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  auto IDF = DT.iteratedFrontier({D.L, D.R});
+  ASSERT_EQ(IDF.size(), 1u);
+  EXPECT_EQ(IDF[0], D.Join);
+}
+
+TEST(DominatorsTest, LoopFrontierIncludesHeader) {
+  // entry -> header <-> body; header -> exit.
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.br(Header);
+  B.setInsertPoint(Header);
+  B.condBr(M.constant(1), Body, Exit);
+  B.setInsertPoint(Body);
+  B.br(Header);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  DominatorTree DT(*F);
+  auto FB = DT.frontier(Body);
+  ASSERT_EQ(FB.size(), 1u);
+  EXPECT_EQ(FB[0], Header);
+  // A definition in the body needs a phi at the loop header.
+  auto IDF = DT.iteratedFrontier({Body});
+  EXPECT_TRUE(std::find(IDF.begin(), IDF.end(), Header) != IDF.end());
+}
+
+TEST(DominatorsTest, UnreachableBlocksExcluded) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Dead = F->createBlock("dead");
+  IRBuilder B(Entry);
+  B.ret();
+  IRBuilder BD(Dead);
+  BD.ret();
+
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.contains(Entry));
+  EXPECT_FALSE(DT.contains(Dead));
+  EXPECT_EQ(DT.rpo().size(), 1u);
+}
+
+TEST(DominatorsTest, InstructionDominanceWithinBlock) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  auto *I1 = cast<Instruction>(B.add(M.constant(1), M.constant(2)));
+  auto *I2 = cast<Instruction>(B.add(I1, I1));
+  B.ret();
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.dominates(I1, I2));
+  EXPECT_FALSE(DT.dominates(I2, I1));
+}
+
+TEST(DominatorsTest, RPOStartsAtEntryAndCoversAll) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  ASSERT_EQ(DT.rpo().size(), 5u);
+  EXPECT_EQ(DT.rpo().front(), D.Entry);
+  EXPECT_EQ(DT.rpoNumber(D.Entry), 0u);
+  EXPECT_LT(DT.rpoNumber(D.Join), DT.rpoNumber(D.Exit));
+}
+
+} // namespace

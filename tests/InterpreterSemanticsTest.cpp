@@ -1,0 +1,195 @@
+//===- tests/InterpreterSemanticsTest.cpp - execution model details -------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins down the execution-model details the measurement methodology
+/// relies on: parallel phi reads, memory-SSA pseudo-instructions being
+/// free at run time, counter attribution, edge profiles, and wrapping
+/// arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGCanonicalize.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ssa/Mem2Reg.h"
+#include "ssa/MemorySSA.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+TEST(InterpreterSemanticsTest, PhisReadInParallel) {
+  // Swap phis: sequential evaluation would produce (2,2) after the first
+  // back edge instead of (2,1).
+  Module M;
+  Function *F = M.createFunction("main", Type::Void);
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *X = F->createBlock("x");
+  IRBuilder B(E);
+  B.br(H);
+  B.setInsertPoint(H);
+  PhiInst *A = B.phi(Type::Int, "a");
+  PhiInst *C = B.phi(Type::Int, "b");
+  PhiInst *N = B.phi(Type::Int, "n");
+  A->addIncoming(M.constant(1), E);
+  C->addIncoming(M.constant(2), E);
+  N->addIncoming(M.constant(0), E);
+  A->addIncoming(C, H);
+  C->addIncoming(A, H);
+  auto *NInc = cast<Instruction>(B.add(N, M.constant(1)));
+  N->addIncoming(NInc, H);
+  // One back edge: the second header entry reads (a,b) = (2,1) in
+  // parallel; sequential phi evaluation would yield (2,2).
+  B.condBr(B.cmpLT(NInc, M.constant(2)), H, X);
+  B.setInsertPoint(X);
+  B.print(A);
+  B.print(C);
+  B.ret();
+
+  Interpreter I(M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{2, 1}));
+}
+
+TEST(InterpreterSemanticsTest, MemPhisAndDummyLoadsAreFree) {
+  // The same program with and without memory SSA must execute the same
+  // instruction count: memphis/mu/chi are compile-time fictions.
+  auto build = [] {
+    auto M = compileOrDie(R"(
+      int g = 0;
+      void main() { int i; for (i = 0; i < 8; i++) g = g + 1; }
+    )");
+    for (const auto &F : M->functions()) {
+      DominatorTree DT(*F);
+      promoteLocalsToSSA(*F, DT);
+      canonicalize(*F);
+    }
+    return M;
+  };
+  auto M1 = build();
+  Interpreter I1(*M1);
+  auto R1 = I1.run();
+
+  auto M2 = build();
+  Function *Main = M2->getFunction("main");
+  DominatorTree DT(*Main);
+  buildMemorySSA(*Main, DT);
+  // Sprinkle a dummy load too.
+  Main->entry()->insertBefore(Main->entry()->terminator(),
+                              std::make_unique<DummyLoadInst>(
+                                  M2->getGlobal("g")));
+  Interpreter I2(*M2);
+  auto R2 = I2.run();
+
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.Counts.Instructions, R2.Counts.Instructions);
+  EXPECT_EQ(R1.Counts.memOps(), R2.Counts.memOps());
+}
+
+TEST(InterpreterSemanticsTest, CopiesCountedSeparatelyFromMemOps) {
+  Module M;
+  Function *F = M.createFunction("main", Type::Void);
+  IRBuilder B(F->createBlock("entry"));
+  Value *X = B.add(M.constant(1), M.constant(2));
+  Value *C1 = B.copy(X);
+  Value *C2 = B.copy(C1);
+  B.print(C2);
+  B.ret();
+
+  Interpreter I(M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Counts.Copies, 2u);
+  EXPECT_EQ(R.Counts.memOps(), 0u);
+}
+
+TEST(InterpreterSemanticsTest, EdgeCountsSumToBlockCounts) {
+  auto M = compileOrDie(R"(
+    int g = 0;
+    void main() {
+      int i;
+      for (i = 0; i < 10; i++) {
+        if (i & 1) g = g + 1;
+        else g = g + 2;
+      }
+      print(g);
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok);
+
+  Function *Main = M->getFunction("main");
+  for (BasicBlock *BB : Main->blocks()) {
+    if (BB == Main->entry())
+      continue;
+    uint64_t FromEdges = 0;
+    for (const auto &[From, Outs] : R.EdgeCounts) {
+      (void)From;
+      auto It = Outs.find(BB);
+      if (It != Outs.end())
+        FromEdges += It->second;
+    }
+    uint64_t Block =
+        R.BlockCounts.count(BB) ? R.BlockCounts.at(BB) : 0;
+    EXPECT_EQ(FromEdges, Block) << BB->name();
+  }
+}
+
+TEST(InterpreterSemanticsTest, WrappingArithmetic) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int big = 1;
+      int i;
+      for (i = 0; i < 63; i++) big = big * 2;
+      print(big);          // 1 << 63: INT64_MIN
+      print(big * 2);      // wraps to 0
+      print(big - 1);      // INT64_MAX
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], INT64_MIN);
+  EXPECT_EQ(R.Output[1], 0);
+  EXPECT_EQ(R.Output[2], INT64_MAX);
+}
+
+TEST(InterpreterSemanticsTest, ArgumentsPassedByValue) {
+  auto M = compileOrDie(R"(
+    int observed = 0;
+    int twice(int v) { observed = v; return v + v; }
+    void main() {
+      int x = 21;
+      print(twice(x));
+      print(x);        // unchanged
+      print(observed);
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{42, 21, 21}));
+}
+
+TEST(InterpreterSemanticsTest, CallStackDepthBounded) {
+  auto M = compileOrDie(R"(
+    int down(int n) { return down(n - 1); }
+    void main() { print(down(1000000)); }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("stack overflow"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- tests/InterpreterTest.cpp - interpreter tests ----------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+TEST(InterpreterTest, ArithmeticAndPrint) {
+  auto M = compileOrDie(R"(
+    void main() {
+      print(2 + 3 * 4);
+      print(10 / 3);
+      print(10 % 3);
+      print(-5);
+      print(1 << 4);
+      print(255 >> 4);
+      print(6 & 3);
+      print(6 | 3);
+      print(6 ^ 3);
+      print(!7);
+      print(!0);
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::vector<int64_t> Expected = {14, 3, 1, -5, 16, 15, 2, 7, 5, 0, 1};
+  EXPECT_EQ(R.Output, Expected);
+}
+
+TEST(InterpreterTest, GlobalStateAcrossCalls) {
+  auto M = compileOrDie(R"(
+    int counter = 100;
+    void bump() { counter = counter + 1; }
+    void main() {
+      bump(); bump(); bump();
+      print(counter);
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], 103);
+  EXPECT_EQ(R.FinalMemory.at(M->getGlobal("counter")->id())[0], 103);
+}
+
+TEST(InterpreterTest, RecursionWithFrameLocals) {
+  auto M = compileOrDie(R"(
+    int fact(int n) {
+      int acc = 1;
+      if (n > 1) acc = n * fact(n - 1);
+      return acc;
+    }
+    void main() { print(fact(6)); }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 720);
+}
+
+TEST(InterpreterTest, ArraysAndPointers) {
+  auto M = compileOrDie(R"(
+    int buf[8];
+    int g = 41;
+    void main() {
+      int i;
+      for (i = 0; i < 8; i++) buf[i] = i * i;
+      print(buf[5]);
+      int p = &g;
+      *p = *p + 1;
+      print(g);
+      int q = &buf[2];
+      print(*q);
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::vector<int64_t> Expected = {25, 42, 4};
+  EXPECT_EQ(R.Output, Expected);
+}
+
+TEST(InterpreterTest, CountsSingletonAndAliasedOps) {
+  auto M = compileOrDie(R"(
+    int g = 0;
+    void main() {
+      int i;
+      for (i = 0; i < 10; i++) g = g + 1;
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Without any optimisation: each iteration loads i, g and stores i, g
+  // etc.; at minimum the ten g-loads and ten g-stores must appear.
+  EXPECT_GE(R.Counts.SingletonLoads, 20u);
+  EXPECT_GE(R.Counts.SingletonStores, 20u);
+  EXPECT_EQ(R.Counts.AliasedLoads, 0u);
+}
+
+TEST(InterpreterTest, BlockAndEdgeProfile) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int i;
+      for (i = 0; i < 7; i++) { }
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  Function *Main = M->getFunction("main");
+  // The for-body block runs 7 times, the cond block 8 times.
+  uint64_t BodyCount = 0, CondCount = 0;
+  for (BasicBlock *BB : Main->blocks()) {
+    if (BB->name() == "for.body")
+      BodyCount = R.BlockCounts.count(BB) ? R.BlockCounts.at(BB) : 0;
+    if (BB->name() == "for.cond")
+      CondCount = R.BlockCounts.count(BB) ? R.BlockCounts.at(BB) : 0;
+  }
+  EXPECT_EQ(BodyCount, 7u);
+  EXPECT_EQ(CondCount, 8u);
+}
+
+TEST(InterpreterTest, TrapsOnDivisionByZero) {
+  auto M = compileOrDie(R"(
+    int z = 0;
+    void main() { print(1 / z); }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division"), std::string::npos);
+}
+
+TEST(InterpreterTest, FuelBoundsInfiniteLoops) {
+  auto M = compileOrDie(R"(
+    void main() { while (1) { } }
+  )");
+  Interpreter I(*M, /*Fuel=*/10'000);
+  auto R = I.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("fuel"), std::string::npos);
+}
+
+TEST(InterpreterTest, TrapsOnWildPointer) {
+  auto M = compileOrDie(R"(
+    void main() { int p = 99999; *p = 1; }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(InterpreterTest, ExitValueFromMain) {
+  auto M = compileOrDie("int main() { return 42; }");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 42);
+}
+
+TEST(InterpreterTest, OutOfBoundsArrayTraps) {
+  auto M = compileOrDie(R"(
+    int a[4];
+    void main() { a[9] = 1; }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out-of-bounds"), std::string::npos);
+}
+
+} // namespace

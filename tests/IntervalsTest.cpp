@@ -1,0 +1,203 @@
+//===- tests/IntervalsTest.cpp - interval tree tests ----------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGCanonicalize.h"
+#include "analysis/Intervals.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+TEST(IntervalsTest, StraightLineHasOnlyRoot) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B1 = F->createBlock("b");
+  IRBuilder B(A);
+  B.br(B1);
+  B.setInsertPoint(B1);
+  B.ret();
+
+  DominatorTree DT(*F);
+  IntervalTree IT(*F, DT);
+  EXPECT_TRUE(IT.root()->isRoot());
+  EXPECT_TRUE(IT.root()->children().empty());
+  EXPECT_EQ(IT.intervalFor(A), IT.root());
+}
+
+TEST(IntervalsTest, SimpleLoopDetected) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.br(H);
+  B.setInsertPoint(H);
+  B.condBr(M.constant(1), Body, Exit);
+  B.setInsertPoint(Body);
+  B.br(H);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  DominatorTree DT(*F);
+  IntervalTree IT(*F, DT);
+  ASSERT_EQ(IT.root()->children().size(), 1u);
+  Interval *Loop = IT.root()->children()[0];
+  EXPECT_EQ(Loop->header(), H);
+  EXPECT_TRUE(Loop->isProper());
+  EXPECT_TRUE(Loop->contains(H));
+  EXPECT_TRUE(Loop->contains(Body));
+  EXPECT_FALSE(Loop->contains(Exit));
+  EXPECT_EQ(Loop->depth(), 1u);
+  ASSERT_EQ(Loop->exitEdges().size(), 1u);
+  EXPECT_EQ(Loop->exitEdges()[0].first, H);
+  EXPECT_EQ(Loop->exitEdges()[0].second, Exit);
+  EXPECT_EQ(IT.intervalFor(Body), Loop);
+  EXPECT_EQ(IT.intervalFor(Exit), IT.root());
+}
+
+TEST(IntervalsTest, NestedLoops) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H1 = F->createBlock("h1");
+  BasicBlock *H2 = F->createBlock("h2");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Latch1 = F->createBlock("latch1");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.br(H1);
+  B.setInsertPoint(H1);
+  B.condBr(M.constant(1), H2, Exit);
+  B.setInsertPoint(H2);
+  B.condBr(M.constant(1), Body, Latch1);
+  B.setInsertPoint(Body);
+  B.br(H2);
+  B.setInsertPoint(Latch1);
+  B.br(H1);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  DominatorTree DT(*F);
+  IntervalTree IT(*F, DT);
+  ASSERT_EQ(IT.root()->children().size(), 1u);
+  Interval *Outer = IT.root()->children()[0];
+  EXPECT_EQ(Outer->header(), H1);
+  ASSERT_EQ(Outer->children().size(), 1u);
+  Interval *Inner = Outer->children()[0];
+  EXPECT_EQ(Inner->header(), H2);
+  EXPECT_TRUE(Inner->contains(Body));
+  EXPECT_EQ(Inner->depth(), 2u);
+  EXPECT_EQ(IT.intervalFor(Body), Inner);
+  EXPECT_EQ(IT.intervalFor(Latch1), Outer);
+
+  // Postorder visits the inner interval before the outer one (Fig. 2).
+  auto PO = IT.postorder();
+  auto InnerPos = std::find(PO.begin(), PO.end(), Inner);
+  auto OuterPos = std::find(PO.begin(), PO.end(), Outer);
+  EXPECT_LT(InnerPos - PO.begin(), OuterPos - PO.begin());
+  EXPECT_EQ(PO.back(), IT.root());
+}
+
+TEST(IntervalsTest, ImproperIntervalDetected) {
+  // Two-entry cycle: entry branches to b and c; b <-> c.
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *B1 = F->createBlock("b");
+  BasicBlock *C = F->createBlock("c");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.condBr(M.constant(1), B1, C);
+  B.setInsertPoint(B1);
+  B.br(C);
+  B.setInsertPoint(C);
+  B.condBr(M.constant(0), B1, Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  DominatorTree DT(*F);
+  IntervalTree IT(*F, DT);
+  ASSERT_EQ(IT.root()->children().size(), 1u);
+  Interval *Iv = IT.root()->children()[0];
+  EXPECT_FALSE(Iv->isProper());
+  EXPECT_EQ(Iv->entries().size(), 2u);
+  IT.assignPreheaders(DT);
+  // The least common dominator of both entries is the function entry.
+  EXPECT_EQ(Iv->preheader(), Entry);
+}
+
+TEST(IntervalsTest, CanonicalizeCreatesPreheaderAndTails) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  // Entry conditionally skips the loop: the h-entry edge is critical-ish
+  // and the exit edge shares its target with the skip path.
+  B.condBr(M.constant(1), H, Exit);
+  B.setInsertPoint(H);
+  B.condBr(M.constant(1), Body, Exit);
+  B.setInsertPoint(Body);
+  B.br(H);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  CanonicalCFG CFG = canonicalize(*F);
+  expectValid(*F, "after canonicalise");
+  ASSERT_EQ(CFG.IT.root()->children().size(), 1u);
+  Interval *Loop = CFG.IT.root()->children()[0];
+  ASSERT_TRUE(Loop->isProper());
+
+  // Dedicated preheader: single successor, ends in the loop header.
+  BasicBlock *PH = Loop->preheader();
+  ASSERT_NE(PH, nullptr);
+  EXPECT_EQ(PH->succs().size(), 1u);
+  EXPECT_EQ(PH->succs()[0], Loop->header());
+  EXPECT_FALSE(Loop->contains(PH));
+
+  // Every exit edge now targets a dedicated tail with one predecessor.
+  for (const auto &[Src, Tail] : Loop->exitEdges()) {
+    EXPECT_TRUE(Loop->contains(Src));
+    EXPECT_FALSE(Loop->contains(Tail));
+    EXPECT_EQ(Tail->numPreds(), 1u);
+  }
+
+  // The root's preheader is the (virgin) entry block.
+  EXPECT_EQ(CFG.IT.root()->preheader(), F->entry());
+  EXPECT_TRUE(F->entry()->preds().empty());
+}
+
+TEST(IntervalsTest, SelfLoopIsAnInterval) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *S = F->createBlock("s");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  B.br(S);
+  B.setInsertPoint(S);
+  B.condBr(M.constant(1), S, Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  DominatorTree DT(*F);
+  IntervalTree IT(*F, DT);
+  ASSERT_EQ(IT.root()->children().size(), 1u);
+  EXPECT_EQ(IT.root()->children()[0]->header(), S);
+  EXPECT_EQ(IT.root()->children()[0]->blocks().size(), 1u);
+}
+
+} // namespace

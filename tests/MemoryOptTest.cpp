@@ -1,0 +1,212 @@
+//===- tests/MemoryOptTest.cpp - memory SSA optimization tests ------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGCanonicalize.h"
+#include "interp/Interpreter.h"
+#include "ssa/Mem2Reg.h"
+#include "ssa/MemoryOpt.h"
+#include "ssa/MemorySSA.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+struct OptFixture {
+  std::unique_ptr<Module> M;
+  Function *Main = nullptr;
+  DominatorTree DT;
+
+  explicit OptFixture(const std::string &Source) {
+    M = compileOrDie(Source);
+    for (const auto &Fn : M->functions()) {
+      DominatorTree D(*Fn);
+      promoteLocalsToSSA(*Fn, D);
+      canonicalize(*Fn);
+    }
+    Main = M->getFunction("main");
+    DT.recompute(*Main);
+    buildMemorySSA(*Main, DT);
+  }
+
+  unsigned countKind(Value::Kind K) const {
+    unsigned N = 0;
+    for (const auto &BB : *Main)
+      for (const auto &I : *BB)
+        if (I->kind() == K)
+          ++N;
+    return N;
+  }
+};
+
+TEST(MemoryOptTest, StoreToLoadForwarding) {
+  OptFixture Fx(R"(
+    int g = 0;
+    void main() {
+      g = 41;
+      print(g + 1);
+    }
+  )");
+  MemoryOptStats S = eliminateRedundantLoads(*Fx.Main, Fx.DT);
+  EXPECT_EQ(S.LoadsForwardedFromStores, 1u);
+  EXPECT_EQ(Fx.countKind(Value::Kind::Load), 0u);
+  expectValid(*Fx.Main, "after forwarding");
+
+  Interpreter I(*Fx.M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 42);
+}
+
+TEST(MemoryOptTest, LoadLoadReuse) {
+  OptFixture Fx(R"(
+    int g = 7;
+    void main() {
+      print(g);
+      print(g);
+      print(g);
+    }
+  )");
+  MemoryOptStats S = eliminateRedundantLoads(*Fx.Main, Fx.DT);
+  EXPECT_EQ(S.LoadsReusedFromLoads, 2u);
+  EXPECT_EQ(Fx.countKind(Value::Kind::Load), 1u);
+  expectValid(*Fx.Main, "after load reuse");
+
+  Interpreter I(*Fx.M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{7, 7, 7}));
+}
+
+TEST(MemoryOptTest, DiamondArmsNotMerged) {
+  // Loads in sibling arms read the same version but neither dominates the
+  // other; both must survive.
+  OptFixture Fx(R"(
+    int g = 3;
+    int c = 1;
+    void main() {
+      if (c) print(g);
+      else print(g + 1);
+    }
+  )");
+  eliminateRedundantLoads(*Fx.Main, Fx.DT);
+  // g's two loads sit in the two arms; only the c load is forwardable (it
+  // reads the entry version, not store-defined, and dominates nothing).
+  unsigned LoadsOfG = 0;
+  for (const auto &BB : *Fx.Main)
+    for (const auto &I : *BB)
+      if (auto *Ld = dyn_cast<LoadInst>(I.get()))
+        if (Ld->object()->name() == "g")
+          ++LoadsOfG;
+  EXPECT_EQ(LoadsOfG, 2u);
+  expectValid(*Fx.Main, "after diamond RLE");
+}
+
+TEST(MemoryOptTest, CallBlocksForwarding) {
+  OptFixture Fx(R"(
+    int g = 0;
+    void touch() { g = g + 1; }
+    void main() {
+      g = 5;
+      touch();
+      print(g); // reads the chi version, not the store's
+    }
+  )");
+  MemoryOptStats S = eliminateRedundantLoads(*Fx.Main, Fx.DT);
+  EXPECT_EQ(S.LoadsForwardedFromStores, 0u);
+  EXPECT_EQ(Fx.countKind(Value::Kind::Load), 1u);
+
+  Interpreter I(*Fx.M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 6);
+}
+
+TEST(MemoryOptTest, DeadStoreEliminated) {
+  OptFixture Fx(R"(
+    void main() {
+      int x = 1;
+      int p = &x;   // x is address-taken: stays in memory
+      *p = 2;       // aliased store keeps its own liveness
+      x = 99;       // dead: x never read again, dies at return
+    }
+  )");
+  MemoryOptStats S = eliminateDeadStores(*Fx.Main);
+  EXPECT_GE(S.DeadStoresRemoved, 1u);
+  expectValid(*Fx.Main, "after DSE");
+}
+
+TEST(MemoryOptTest, GlobalFinalStoreSurvivesDSE) {
+  // The last store to a global is observable by the caller (ret mu-use):
+  // DSE must keep it.
+  OptFixture Fx(R"(
+    int g = 0;
+    void main() {
+      g = 10;  // overwritten: dead
+      g = 20;  // final: live
+    }
+  )");
+  MemoryOptStats S = eliminateDeadStores(*Fx.Main);
+  EXPECT_EQ(S.DeadStoresRemoved, 1u);
+  EXPECT_EQ(Fx.countKind(Value::Kind::Store), 1u);
+
+  Interpreter I(*Fx.M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.FinalMemory.at(Fx.M->getGlobal("g")->id())[0], 20);
+}
+
+TEST(MemoryOptTest, FixpointConverges) {
+  OptFixture Fx(R"(
+    int g = 0;
+    void main() {
+      g = 1;       // dead after forwarding makes the load below vanish
+      int t = g;
+      g = t + 1;
+      print(g);
+    }
+  )");
+  MemoryOptStats S = optimizeMemorySSA(*Fx.Main, Fx.DT);
+  EXPECT_GE(S.total(), 2u);
+  expectValid(*Fx.Main, "after memory optimization fixpoint");
+
+  Interpreter I(*Fx.M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 2);
+}
+
+TEST(MemoryOptTest, BehaviourPreservedOnWorkloadShape) {
+  const char *Src = R"(
+    int a = 1;
+    int b = 2;
+    void bump() { a = a + b; }
+    void main() {
+      int i;
+      for (i = 0; i < 10; i++) {
+        b = b + a;
+        if (i == 4) bump();
+      }
+      print(a);
+      print(b);
+    }
+  )";
+  OptFixture Fx(Src);
+  Interpreter I0(*Fx.M);
+  auto R0 = I0.run();
+  optimizeMemorySSA(*Fx.Main, Fx.DT);
+  expectValid(*Fx.M, "after optimization");
+  Interpreter I1(*Fx.M);
+  auto R1 = I1.run();
+  ASSERT_TRUE(R0.Ok && R1.Ok);
+  EXPECT_EQ(R0.Output, R1.Output);
+  EXPECT_EQ(R0.FinalMemory, R1.FinalMemory);
+  EXPECT_LE(R1.Counts.memOps(), R0.Counts.memOps());
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+//===- tests/MemorySSATest.cpp - memory SSA and mem2reg tests -------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGCanonicalize.h"
+#include "ssa/Mem2Reg.h"
+#include "ssa/MemorySSA.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+/// Runs mem2reg + canonicalise on every function of a fresh module built
+/// from \p Source, returning the module.
+std::unique_ptr<Module> prepared(const std::string &Source) {
+  auto M = compileOrDie(Source);
+  for (const auto &F : M->functions()) {
+    DominatorTree DT(*F);
+    promoteLocalsToSSA(*F, DT);
+    canonicalize(*F);
+  }
+  expectValid(*M, "after mem2reg+canonicalise");
+  return M;
+}
+
+unsigned countKind(const Function &F, Value::Kind K) {
+  unsigned N = 0;
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (I->kind() == K)
+        ++N;
+  return N;
+}
+
+TEST(Mem2RegTest, LocalsDisappear) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int x = 1;
+      int y = x + 2;
+      print(y);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  EXPECT_GT(countKind(*Main, Value::Kind::Load), 0u);
+  DominatorTree DT(*Main);
+  unsigned N = promoteLocalsToSSA(*Main, DT);
+  EXPECT_GE(N, 2u);
+  expectValid(*Main, "after mem2reg");
+  EXPECT_EQ(countKind(*Main, Value::Kind::Load), 0u);
+  EXPECT_EQ(countKind(*Main, Value::Kind::Store), 0u);
+}
+
+TEST(Mem2RegTest, PlacesPhiAtJoin) {
+  auto M = compileOrDie(R"(
+    int cond = 1;
+    void main() {
+      int x = 0;
+      if (cond) x = 1; else x = 2;
+      print(x);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  promoteLocalsToSSA(*Main, DT);
+  expectValid(*Main, "after mem2reg");
+  EXPECT_GE(countKind(*Main, Value::Kind::Phi), 1u);
+  // Globals stay in memory.
+  EXPECT_GE(countKind(*Main, Value::Kind::Load), 1u);
+
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 1);
+}
+
+TEST(Mem2RegTest, SkipsAddressTakenLocals) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int x = 5;
+      int p = &x;
+      *p = 7;
+      print(x);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  promoteLocalsToSSA(*Main, DT);
+  expectValid(*Main, "after mem2reg");
+  // x stays in memory (its address escapes); loads of it remain.
+  EXPECT_GE(countKind(*Main, Value::Kind::Load), 1u);
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 7);
+}
+
+TEST(Mem2RegTest, LoopVariableBecomesPhi) {
+  auto M = prepared(R"(
+    void main() {
+      int i;
+      int s = 0;
+      for (i = 0; i < 4; i++) s = s + i;
+      print(s);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  EXPECT_GE(countKind(*Main, Value::Kind::Phi), 2u); // i and s
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 6);
+}
+
+TEST(MemorySSATest, VersionsAndPhisForGlobal) {
+  auto M = prepared(R"(
+    int x = 0;
+    void main() {
+      int i;
+      for (i = 0; i < 100; i++) x = x + 1;
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  buildMemorySSA(*Main, DT);
+  expectValid(*Main, "after memory SSA");
+
+  // Every load of x is tagged with a version; the loop header has a memory
+  // phi for x (def inside the loop reaches around the back edge).
+  MemoryObject *X = M->getGlobal("x");
+  unsigned TaggedLoads = 0, MemPhisForX = 0;
+  for (BasicBlock *BB : Main->blocks()) {
+    for (auto &I : *BB) {
+      if (auto *Ld = dyn_cast<LoadInst>(I.get());
+          Ld && Ld->object() == X) {
+        EXPECT_NE(Ld->memUse(), nullptr);
+        ++TaggedLoads;
+      }
+      if (auto *MP = dyn_cast<MemPhiInst>(I.get()); MP && MP->object() == X)
+        ++MemPhisForX;
+    }
+  }
+  EXPECT_GE(TaggedLoads, 1u);
+  EXPECT_GE(MemPhisForX, 1u);
+  EXPECT_NE(Main->entryMemoryName(X), nullptr);
+}
+
+TEST(MemorySSATest, CallsCarryMuAndChi) {
+  auto M = prepared(R"(
+    int g = 0;
+    void f() { g = g + 1; }
+    void main() { f(); }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  buildMemorySSA(*Main, DT);
+  expectValid(*Main, "after memory SSA");
+
+  MemoryObject *G = M->getGlobal("g");
+  bool FoundCall = false;
+  for (BasicBlock *BB : Main->blocks()) {
+    for (auto &I : *BB) {
+      if (auto *C = dyn_cast<CallInst>(I.get())) {
+        FoundCall = true;
+        EXPECT_NE(C->memOperandFor(G), nullptr);
+        EXPECT_NE(C->memDefFor(G), nullptr);
+      }
+    }
+  }
+  EXPECT_TRUE(FoundCall);
+}
+
+TEST(MemorySSATest, ReturnUsesEscapingMemory) {
+  auto M = prepared(R"(
+    int g = 0;
+    void main() { g = 5; }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  buildMemorySSA(*Main, DT);
+
+  MemoryObject *G = M->getGlobal("g");
+  bool RetUsesG = false;
+  for (BasicBlock *BB : Main->blocks())
+    for (auto &I : *BB)
+      if (isa<RetInst>(I.get()) && I->memOperandFor(G))
+        RetUsesG = true;
+  EXPECT_TRUE(RetUsesG);
+  // And the version it uses is the store's definition, keeping the store's
+  // version alive.
+  for (BasicBlock *BB : Main->blocks())
+    for (auto &I : *BB)
+      if (auto *St = dyn_cast<StoreInst>(I.get()); St && St->object() == G) {
+        EXPECT_TRUE(St->memDefName()->hasUses());
+      }
+}
+
+TEST(MemorySSATest, PointerRefsAliasAddressTakenOnly) {
+  auto M = prepared(R"(
+    int a = 1;
+    int b = 2;
+    void main() {
+      int p = &a;
+      print(*p);
+      b = 3;
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  buildMemorySSA(*Main, DT);
+
+  MemoryObject *A = M->getGlobal("a");
+  MemoryObject *B = M->getGlobal("b");
+  for (BasicBlock *BB : Main->blocks()) {
+    for (auto &I : *BB) {
+      if (auto *PL = dyn_cast<PtrLoadInst>(I.get())) {
+        EXPECT_NE(PL->memOperandFor(A), nullptr);
+        EXPECT_EQ(PL->memOperandFor(B), nullptr); // b's address never taken
+      }
+    }
+  }
+}
+
+TEST(MemorySSATest, ArrayRefsDoNotAliasScalars) {
+  auto M = prepared(R"(
+    int x = 1;
+    int buf[4];
+    void main() {
+      buf[0] = x;
+      x = buf[1];
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  buildMemorySSA(*Main, DT);
+
+  MemoryObject *X = M->getGlobal("x");
+  for (BasicBlock *BB : Main->blocks()) {
+    for (auto &I : *BB) {
+      if (isa<ArrayLoadInst>(I.get()) || isa<ArrayStoreInst>(I.get())) {
+        EXPECT_EQ(I->memOperandFor(X), nullptr);
+      }
+    }
+  }
+}
+
+TEST(MemorySSATest, RebuildIsIdempotent) {
+  auto M = prepared(R"(
+    int g = 0;
+    void main() { int i; for (i = 0; i < 3; i++) g = g + i; }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  buildMemorySSA(*Main, DT);
+  unsigned Phis1 = countKind(*Main, Value::Kind::MemPhi);
+  buildMemorySSA(*Main, DT); // rebuild from scratch
+  unsigned Phis2 = countKind(*Main, Value::Kind::MemPhi);
+  EXPECT_EQ(Phis1, Phis2);
+  expectValid(*Main, "after rebuild");
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/ProfileTest.cpp - profile information tests ------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGCanonicalize.h"
+#include "interp/Interpreter.h"
+#include "profile/ProfileInfo.h"
+#include "promotion/LoopPromotion.h"
+#include "ssa/Mem2Reg.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+TEST(ProfileTest, ExecutionFrequenciesMatchTripCounts) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int i; int j;
+      for (i = 0; i < 6; i++)
+        for (j = 0; j < 4; j++) { }
+    }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok);
+  ProfileInfo PI = ProfileInfo::fromExecution(R);
+
+  Function *Main = M->getFunction("main");
+  uint64_t InnerBody = 0, OuterBody = 0;
+  for (BasicBlock *BB : Main->blocks()) {
+    // The inner loop's body is the second "for.body" created.
+    if (BB->name() == "for.body") {
+      if (OuterBody == 0)
+        OuterBody = PI.frequency(BB);
+      else
+        InnerBody = PI.frequency(BB);
+    }
+  }
+  EXPECT_EQ(OuterBody, 6u);
+  EXPECT_EQ(InnerBody, 24u);
+}
+
+TEST(ProfileTest, UnknownBlocksReportZero) {
+  ProfileInfo PI;
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("x");
+  EXPECT_EQ(PI.frequency(BB), 0u);
+}
+
+TEST(ProfileTest, StaticEstimateScalesWithDepth) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int i; int j;
+      for (i = 0; i < 6; i++) {
+        for (j = 0; j < 4; j++) { }
+      }
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT0(*Main);
+  promoteLocalsToSSA(*Main, DT0);
+  CanonicalCFG CFG = canonicalize(*Main);
+  ProfileInfo PI = ProfileInfo::estimate(*Main, CFG.IT);
+
+  uint64_t EntryFreq = PI.frequency(Main->entry());
+  // Find a depth-2 block.
+  uint64_t DeepFreq = 0;
+  for (Interval *Iv : CFG.IT.postorder())
+    if (Iv->depth() == 2)
+      DeepFreq = PI.frequency(Iv->header());
+  EXPECT_GE(EntryFreq, 1u);
+  EXPECT_GE(DeepFreq, 100u); // 10^2
+  EXPECT_GT(DeepFreq, EntryFreq);
+}
+
+TEST(ProfileTest, InstructionFrequencyIsBlockFrequency) {
+  auto M = compileOrDie(R"(
+    int g = 0;
+    void main() { int i; for (i = 0; i < 5; i++) g = g + 1; }
+  )");
+  Interpreter I(*M);
+  auto R = I.run();
+  ProfileInfo PI = ProfileInfo::fromExecution(R);
+  Function *Main = M->getFunction("main");
+  for (BasicBlock *BB : Main->blocks())
+    for (auto &Inst : *BB)
+      EXPECT_EQ(PI.frequency(Inst.get()), PI.frequency(BB));
+}
+
+TEST(LoopPromotionTest, BlockedCountsReported) {
+  auto M = compileOrDie(R"(
+    int x = 0;
+    void foo() { x = x + 1; }
+    void main() {
+      int i;
+      for (i = 0; i < 10; i++) { x = x + 1; foo(); }
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  promoteLocalsToSSA(*Main, DT);
+  canonicalize(*Main);
+  LoopPromotionStats S = promoteLoopsBaseline(*Main);
+  EXPECT_GE(S.LoopsConsidered, 1u);
+  EXPECT_GE(S.BlockedByAliases, 1u); // x blocked by the call
+  EXPECT_EQ(S.VariablesPromoted, 0u);
+  expectValid(*Main, "after blocked baseline");
+}
+
+TEST(LoopPromotionTest, PromotesAcrossNestedLoops) {
+  auto M = compileOrDie(R"(
+    int x = 0;
+    void main() {
+      int i; int j;
+      for (i = 0; i < 5; i++)
+        for (j = 0; j < 5; j++)
+          x = x + 1;
+      print(x);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  promoteLocalsToSSA(*Main, DT);
+  canonicalize(*Main);
+  Interpreter I0(*M);
+  auto R0 = I0.run();
+
+  LoopPromotionStats S = promoteLoopsBaseline(*Main);
+  // Promoted in the inner loop, then the boundary accesses promoted again
+  // in the outer loop.
+  EXPECT_GE(S.VariablesPromoted, 2u);
+  expectValid(*Main, "after nested baseline");
+
+  Interpreter I1(*M);
+  auto R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_EQ(R0.Output, R1.Output);
+  EXPECT_LT(R1.Counts.memOps(), R0.Counts.memOps());
+}
+
+TEST(LoopPromotionTest, PointerRefBlocksAddressTakenGlobal) {
+  auto M = compileOrDie(R"(
+    int x = 0;
+    int sink = 0;
+    void main() {
+      int p = &x;
+      int i;
+      for (i = 0; i < 8; i++) {
+        x = x + 1;
+        *p = *p + 1;   // aliases x: promotion must be blocked
+        sink = sink + 1; // no aliasing: promotable
+      }
+      print(x);
+      print(sink);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  DominatorTree DT(*Main);
+  promoteLocalsToSSA(*Main, DT);
+  canonicalize(*Main);
+  Interpreter I0(*M);
+  auto R0 = I0.run();
+
+  LoopPromotionStats S = promoteLoopsBaseline(*Main);
+  EXPECT_GE(S.BlockedByAliases, 1u);
+  EXPECT_GE(S.VariablesPromoted, 1u); // sink
+
+  Interpreter I1(*M);
+  auto R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_EQ(R0.Output, R1.Output);
+}
+
+} // namespace

@@ -1,0 +1,368 @@
+//===- tests/PromotionTest.cpp - register promotion tests -----------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behavioural and structural tests of the interval-based promoter,
+/// including the paper's two worked scenarios: the hot-loop/cold-call-loop
+/// program of Fig. 1 and the loop with a call on a rarely taken path of
+/// Fig. 7/8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+PipelineResult runPaper(const std::string &Source) {
+  PipelineOptions Opts;
+  Opts.Mode = PromotionMode::Paper;
+  PipelineResult R = runPipeline(Source, Opts);
+  for (const auto &E : R.Errors)
+    ADD_FAILURE() << E;
+  EXPECT_TRUE(R.Ok);
+  return R;
+}
+
+// Figure 1: a global incremented in a hot loop, then a loop of calls. The
+// promoter must remove the per-iteration load/store of the first loop (a
+// dynamic reduction from ~2*100 to a couple of boundary operations) without
+// breaking the calls' view of memory.
+TEST(PromotionPaperExamples, Figure1) {
+  PipelineResult R = runPaper(R"(
+    int x = 0;
+    void foo() { x = x + 2; }
+    void main() {
+      int i;
+      for (i = 0; i < 100; i++) x++;
+      for (i = 0; i < 10; i++) foo();
+      print(x);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 120);
+  // Dynamic singleton memops on x collapse: before promotion the first
+  // loop alone performs 100 loads + 100 stores of x.
+  EXPECT_GT(R.RunBefore.Counts.memOps(), R.RunAfter.Counts.memOps());
+  EXPECT_LT(R.RunAfter.Counts.memOps(),
+            R.RunBefore.Counts.memOps() / 4);
+  EXPECT_GE(R.Promo.WebsPromoted, 1u);
+}
+
+// Figure 7/8: inside a hot loop, a call sits on a rarely executed path.
+// Promotion keeps the hot path free of loads/stores by compensating on the
+// cold path.
+TEST(PromotionPaperExamples, Figure7ColdCallPath) {
+  PipelineResult R = runPaper(R"(
+    int x = 0;
+    void foo() { x = x * 2; }
+    void main() {
+      int i;
+      for (i = 0; i < 100; i++) {
+        x++;
+        if (x < 30) foo();
+      }
+      print(x);
+    }
+  )");
+  // Behaviour preserved (checked by the pipeline), and the loop-body
+  // load/store of x is gone: dynamic memops drop hard.
+  EXPECT_GT(R.RunBefore.Counts.memOps(), R.RunAfter.Counts.memOps());
+  EXPECT_GE(R.Promo.WebsPromoted, 1u);
+  EXPECT_GE(R.Promo.WebsStoreEliminated, 1u);
+}
+
+TEST(PromotionTest, ReadOnlyGlobalInLoop) {
+  PipelineResult R = runPaper(R"(
+    int k = 7;
+    void main() {
+      int i;
+      int s = 0;
+      for (i = 0; i < 50; i++) s = s + k;
+      print(s);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 350);
+  // 50 loads of k become 1 preheader load.
+  EXPECT_LE(R.RunAfter.Counts.SingletonLoads, 2u);
+}
+
+TEST(PromotionTest, StoreOnlyGlobalInLoop) {
+  PipelineResult R = runPaper(R"(
+    int last = 0;
+    void main() {
+      int i;
+      for (i = 0; i < 40; i++) last = i;
+      print(last);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 39);
+  // 40 stores shrink to the boundary store(s).
+  EXPECT_LE(R.RunAfter.Counts.SingletonStores, 2u);
+}
+
+TEST(PromotionTest, PointerAliasingBlocksHotPromotion) {
+  // p may point at g; every *p store must stay visible to loads of g.
+  PipelineResult R = runPaper(R"(
+    int g = 0;
+    void main() {
+      int p = &g;
+      int i;
+      int s = 0;
+      for (i = 0; i < 20; i++) {
+        *p = i;
+        s = s + g;
+      }
+      print(s);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 +
+                                      10 + 11 + 12 + 13 + 14 + 15 + 16 +
+                                      17 + 18 + 19);
+}
+
+TEST(PromotionTest, CallsInsideLoopStillSeeMemory) {
+  PipelineResult R = runPaper(R"(
+    int acc = 0;
+    void add(int v) { acc = acc + v; }
+    void main() {
+      int i;
+      for (i = 1; i <= 10; i++) add(i);
+      print(acc);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 55);
+}
+
+TEST(PromotionTest, StructFieldsPromotedIndependently) {
+  PipelineResult R = runPaper(R"(
+    struct Pt { int x; int y; } p;
+    void main() {
+      int i;
+      for (i = 0; i < 30; i++) {
+        p.x = p.x + 1;
+        p.y = p.y + 2;
+      }
+      print(p.x);
+      print(p.y);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 30);
+  EXPECT_EQ(R.RunAfter.Output[1], 60);
+  EXPECT_LT(R.RunAfter.Counts.memOps(), R.RunBefore.Counts.memOps() / 4);
+}
+
+TEST(PromotionTest, ArraysAreNeverPromoted) {
+  PipelineResult R = runPaper(R"(
+    int a[4];
+    void main() {
+      int i;
+      for (i = 0; i < 4; i++) a[i] = i;
+      print(a[3]);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 3);
+  // Array ops count as aliased, not singleton; they remain untouched.
+  EXPECT_EQ(R.RunBefore.Counts.AliasedStores,
+            R.RunAfter.Counts.AliasedStores);
+}
+
+TEST(PromotionTest, NestedLoopsPromoteOutward) {
+  PipelineResult R = runPaper(R"(
+    int total = 0;
+    void main() {
+      int i; int j;
+      for (i = 0; i < 10; i++)
+        for (j = 0; j < 10; j++)
+          total = total + 1;
+      print(total);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 100);
+  // The inner promotion leaves boundary ops in the outer loop; the outer
+  // promotion hoists them to the function level: only O(1) memops remain.
+  EXPECT_LE(R.RunAfter.Counts.memOps(), 4u);
+}
+
+TEST(PromotionTest, GlobalsAcrossFunctionsStayConsistent) {
+  PipelineResult R = runPaper(R"(
+    int state = 1;
+    int step() { state = state * 3; return state; }
+    void main() {
+      int i;
+      int s = 0;
+      for (i = 0; i < 5; i++) s = s + step();
+      print(s);
+      print(state);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 3 + 9 + 27 + 81 + 243);
+  EXPECT_EQ(R.RunAfter.Output[1], 243);
+}
+
+TEST(PromotionTest, WholeFunctionScopeWorksWithoutLoops) {
+  PipelineResult R = runPaper(R"(
+    int g = 5;
+    void main() {
+      g = g + 1;
+      g = g + 2;
+      g = g + 3;
+      print(g);
+    }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 11);
+  // Straight-line chains collapse: one load at entry (or none) and one
+  // store before the return.
+  EXPECT_LE(R.RunAfter.Counts.SingletonLoads, 1u);
+  EXPECT_LE(R.RunAfter.Counts.SingletonStores, 1u);
+}
+
+TEST(PromotionTest, DynamicCountsNeverIncrease) {
+  // A grab-bag of shapes; with boundary accounting on, profile-guided
+  // promotion must never lose.
+  const char *Programs[] = {
+      "int a = 1; void main() { int i; for (i=0;i<9;i++) a = a + i; print(a); }",
+      "int a = 1; int b = 2; void f() { a = b; } void main() { f(); print(a); }",
+      "int a = 0; void main() { if (a) a = 1; else a = 2; print(a); }",
+      "int a = 0; void main() { int i; for (i=0;i<3;i++) { if (i==1) a=i; } print(a); }",
+  };
+  for (const char *Src : Programs) {
+    PipelineResult R = runPaper(Src);
+    EXPECT_LE(R.RunAfter.Counts.memOps(), R.RunBefore.Counts.memOps())
+        << Src;
+  }
+}
+
+TEST(PromotionTest, NoDummyLoadsSurvive) {
+  PipelineResult R = runPaper(R"(
+    int x = 0;
+    void foo() { x = x + 1; }
+    void main() {
+      int i;
+      for (i = 0; i < 10; i++) { x++; if (i == 9) foo(); }
+      print(x);
+    }
+  )");
+  for (const auto &F : R.M->functions())
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        EXPECT_NE(I->kind(), Value::Kind::DummyLoad);
+}
+
+TEST(PromotionTest, UnexecutedFunctionsStillTransformValidly) {
+  // dead() never runs; frequencies are all zero there, yet promotion must
+  // keep the IR valid.
+  PipelineResult R = runPaper(R"(
+    int g = 3;
+    void dead() { int i; for (i = 0; i < 5; i++) g = g + i; }
+    void main() { print(g); }
+  )");
+  EXPECT_EQ(R.RunAfter.Output[0], 3);
+  expectValid(*R.M, "unexecuted function");
+}
+
+TEST(PromotionTest, StoreEliminationCanBeDisabled) {
+  PipelineOptions Opts;
+  Opts.Promo.AllowStoreElimination = false;
+  PipelineResult R = runPipeline(R"(
+    int x = 0;
+    void main() {
+      int i;
+      for (i = 0; i < 50; i++) x = x + 1;
+      print(x);
+    }
+  )",
+                                 Opts);
+  ASSERT_TRUE(R.Ok) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  EXPECT_EQ(R.RunAfter.Output[0], 50);
+  // Loads are gone but the 50 stores remain (variable lives in memory and
+  // register simultaneously, §4.3).
+  EXPECT_LE(R.RunAfter.Counts.SingletonLoads, 2u);
+  EXPECT_GE(R.RunAfter.Counts.SingletonStores, 50u);
+}
+
+TEST(PromotionTest, LoopBaselineBlockedByCall) {
+  // The Lu-Cooper-style baseline refuses loops containing calls; the
+  // paper's promoter still wins by compensating on the cold path.
+  const char *Src = R"(
+    int x = 0;
+    void foo() { x = x - 1; }
+    void main() {
+      int i;
+      for (i = 0; i < 100; i++) {
+        x = x + 2;
+        if (i == 50) foo();
+      }
+      print(x);
+    }
+  )";
+  PipelineOptions Base;
+  Base.Mode = PromotionMode::LoopBaseline;
+  PipelineResult RB = runPipeline(Src, Base);
+  ASSERT_TRUE(RB.Ok) << (RB.Errors.empty() ? "?" : RB.Errors[0]);
+
+  PipelineOptions Paper;
+  Paper.Mode = PromotionMode::Paper;
+  PipelineResult RP = runPipeline(Src, Paper);
+  ASSERT_TRUE(RP.Ok) << (RP.Errors.empty() ? "?" : RP.Errors[0]);
+
+  EXPECT_EQ(RB.RunAfter.Output, RP.RunAfter.Output);
+  // The baseline removed nothing in this loop; the paper promoter did.
+  EXPECT_LT(RP.RunAfter.Counts.memOps(), RB.RunAfter.Counts.memOps());
+}
+
+TEST(PromotionTest, LoopBaselinePromotesCleanLoop) {
+  PipelineOptions Base;
+  Base.Mode = PromotionMode::LoopBaseline;
+  PipelineResult R = runPipeline(R"(
+    int x = 0;
+    void main() {
+      int i;
+      for (i = 0; i < 60; i++) x = x + 1;
+      print(x);
+    }
+  )",
+                                 Base);
+  ASSERT_TRUE(R.Ok) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  EXPECT_EQ(R.RunAfter.Output[0], 60);
+  EXPECT_GE(R.Baseline.VariablesPromoted, 1u);
+  EXPECT_LT(R.RunAfter.Counts.memOps(), R.RunBefore.Counts.memOps() / 4);
+}
+
+TEST(PromotionTest, WebGranularityBeatsWholeVariable) {
+  // Two disjoint webs of x inside one interval: a cold call between them
+  // splits the variable's lifetime. Whole-variable promotion must treat
+  // them as one unit; web granularity can promote them independently.
+  const char *Src = R"(
+    int x = 0;
+    void wipe() { x = 0; }
+    void main() {
+      int i;
+      for (i = 0; i < 40; i++) x = x + 1;
+      wipe();
+      for (i = 0; i < 40; i++) x = x + 3;
+      print(x);
+    }
+  )";
+  PipelineOptions Web;
+  PipelineResult RW = runPipeline(Src, Web);
+  ASSERT_TRUE(RW.Ok);
+
+  PipelineOptions Whole;
+  Whole.Promo.WebGranularity = false;
+  PipelineResult RV = runPipeline(Src, Whole);
+  ASSERT_TRUE(RV.Ok);
+
+  EXPECT_EQ(RW.RunAfter.Output, RV.RunAfter.Output);
+  EXPECT_LE(RW.RunAfter.Counts.memOps(), RV.RunAfter.Counts.memOps());
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/RegAllocTest.cpp - liveness and coloring tests ---------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Coloring.h"
+#include "regalloc/Liveness.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+TEST(LivenessTest, StraightLineLiveRanges) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  auto *A = cast<Instruction>(B.add(M.constant(1), M.constant(2)));
+  auto *C = cast<Instruction>(B.add(A, M.constant(3)));
+  B.ret(C);
+
+  Liveness LV(*F);
+  EXPECT_TRUE(LV.tracks(A));
+  EXPECT_TRUE(LV.tracks(C));
+  // Nothing is live across the block boundary.
+  EXPECT_TRUE(LV.liveOut(BB).none());
+  EXPECT_TRUE(LV.liveIn(BB).none());
+}
+
+TEST(LivenessTest, ValueLiveAcrossBlocks) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B1 = F->createBlock("b");
+  IRBuilder B(A);
+  auto *X = cast<Instruction>(B.add(M.constant(1), M.constant(2)));
+  B.br(B1);
+  B.setInsertPoint(B1);
+  B.ret(X);
+
+  Liveness LV(*F);
+  EXPECT_TRUE(LV.liveOut(A).test(LV.indexOf(X)));
+  EXPECT_TRUE(LV.liveIn(B1).test(LV.indexOf(X)));
+}
+
+TEST(LivenessTest, PhiOperandLiveOutOfIncomingBlockOnly) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *L = F->createBlock("l");
+  BasicBlock *R = F->createBlock("r");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(1), L, R);
+  B.setInsertPoint(L);
+  auto *VL = cast<Instruction>(B.add(M.constant(1), M.constant(0)));
+  B.br(J);
+  B.setInsertPoint(R);
+  auto *VR = cast<Instruction>(B.add(M.constant(2), M.constant(0)));
+  B.br(J);
+  B.setInsertPoint(J);
+  PhiInst *P = B.phi(Type::Int);
+  P->addIncoming(VL, L);
+  P->addIncoming(VR, R);
+  B.ret(P);
+
+  Liveness LV(*F);
+  EXPECT_TRUE(LV.liveOut(L).test(LV.indexOf(VL)));
+  EXPECT_FALSE(LV.liveOut(R).test(LV.indexOf(VL)));
+  EXPECT_TRUE(LV.liveOut(R).test(LV.indexOf(VR)));
+  // The phi result is defined at J's top; its operands are not live-in.
+  EXPECT_FALSE(LV.liveIn(J).test(LV.indexOf(VL)));
+}
+
+TEST(LivenessTest, LoopCarriedValueLiveAroundBackEdge) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *X = F->createBlock("x");
+  IRBuilder B(E);
+  B.br(H);
+  B.setInsertPoint(H);
+  PhiInst *P = B.phi(Type::Int, "i");
+  auto *Inc = cast<Instruction>(B.add(P, M.constant(1)));
+  P->addIncoming(M.constant(0), E);
+  P->addIncoming(Inc, H);
+  B.condBr(B.cmpLT(Inc, M.constant(10)), H, X);
+  B.setInsertPoint(X);
+  B.ret(Inc);
+
+  Liveness LV(*F);
+  EXPECT_TRUE(LV.liveOut(H).test(LV.indexOf(Inc)));
+  EXPECT_TRUE(LV.liveIn(X).test(LV.indexOf(Inc)));
+}
+
+TEST(LivenessTest, ArgumentsAreTracked) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int);
+  Argument *A0 = F->addArgument("a");
+  Argument *A1 = F->addArgument("b");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  B.ret(B.add(A0, A1));
+
+  Liveness LV(*F);
+  EXPECT_TRUE(LV.tracks(A0));
+  EXPECT_TRUE(LV.tracks(A1));
+}
+
+TEST(ColoringTest, IndependentValuesShareColors) {
+  // Two values with disjoint live ranges need 1-2 colors, not 2+.
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *A = B.add(M.constant(1), M.constant(2));
+  B.print(A); // A dies here
+  Value *C = B.add(M.constant(3), M.constant(4));
+  B.print(C);
+  B.ret();
+
+  PressureReport R = measureRegisterPressure(*F);
+  EXPECT_EQ(R.ColorsNeeded, 1u);
+  EXPECT_EQ(R.Edges, 0u);
+}
+
+TEST(ColoringTest, OverlappingValuesNeedDistinctColors) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  Value *A = B.add(M.constant(1), M.constant(2));
+  Value *C = B.add(M.constant(3), M.constant(4));
+  Value *D = B.add(A, C); // A and C overlap
+  B.print(D);
+  B.ret();
+
+  PressureReport R = measureRegisterPressure(*F);
+  EXPECT_GE(R.ColorsNeeded, 2u);
+  EXPECT_GE(R.Edges, 1u);
+  EXPECT_GE(R.MaxLive, 2u);
+}
+
+TEST(ColoringTest, KSimultaneousValuesNeedKColors) {
+  // N values all live at one point form a clique.
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  std::vector<Value *> Vals;
+  for (int I = 0; I != 6; ++I)
+    Vals.push_back(B.add(M.constant(I), M.constant(I + 1)));
+  Value *Sum = Vals[0];
+  for (int I = 1; I != 6; ++I)
+    Sum = B.add(Sum, Vals[I]);
+  B.print(Sum);
+  B.ret();
+
+  PressureReport R = measureRegisterPressure(*F);
+  EXPECT_GE(R.MaxLive, 6u);
+  EXPECT_GE(R.ColorsNeeded, 6u);
+  EXPECT_LE(R.ColorsNeeded, 7u); // greedy stays near-optimal on cliques
+}
+
+TEST(ColoringTest, EmptyFunctionReportsZero) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  B.ret();
+  PressureReport R = measureRegisterPressure(*F);
+  EXPECT_EQ(R.NumValues, 0u);
+  EXPECT_EQ(R.ColorsNeeded, 0u);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/SSADestructionTest.cpp - out-of-SSA conversion tests ---------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGCanonicalize.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ssa/Mem2Reg.h"
+#include "ssa/SSADestruction.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+unsigned countPhis(const Function &F) {
+  unsigned N = 0;
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (isa<PhiInst>(I.get()))
+        ++N;
+  return N;
+}
+
+/// Compile + mem2reg + canonicalise: produces phi-bearing SSA.
+std::unique_ptr<Module> intoSSA(const std::string &Source) {
+  auto M = compileOrDie(Source);
+  for (const auto &Fn : M->functions()) {
+    DominatorTree DT(*Fn);
+    promoteLocalsToSSA(*Fn, DT);
+    canonicalize(*Fn);
+  }
+  return M;
+}
+
+TEST(SSADestructionTest, RemovesAllPhisAndPreservesBehaviour) {
+  auto M = intoSSA(R"(
+    void main() {
+      int s = 0;
+      int i;
+      for (i = 0; i < 10; i++) s = s + i;
+      print(s);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  ASSERT_GT(countPhis(*Main), 0u);
+
+  Interpreter I0(*M);
+  auto R0 = I0.run();
+  ASSERT_TRUE(R0.Ok);
+
+  unsigned N = destructSSA(*Main);
+  EXPECT_GT(N, 0u);
+  EXPECT_EQ(countPhis(*Main), 0u);
+  expectValid(*Main, "after SSA destruction");
+
+  Interpreter I1(*M);
+  auto R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_EQ(R0.Output, R1.Output);
+}
+
+TEST(SSADestructionTest, SwapCase) {
+  // The classic phi-swap: two loop phis exchanging values each iteration.
+  // Naive sequential copies would break this; the temporary-based
+  // lowering must preserve the parallel semantics.
+  Module M;
+  Function *F = M.createFunction("main", Type::Void);
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *X = F->createBlock("exit");
+  IRBuilder B(E);
+  B.br(H);
+  B.setInsertPoint(H);
+  PhiInst *A = B.phi(Type::Int, "a");
+  PhiInst *C = B.phi(Type::Int, "b");
+  PhiInst *N = B.phi(Type::Int, "n");
+  A->addIncoming(M.constant(1), E);
+  C->addIncoming(M.constant(2), E);
+  N->addIncoming(M.constant(0), E);
+  // swap: a' = b, b' = a
+  A->addIncoming(C, H);
+  C->addIncoming(A, H);
+  auto *NInc = cast<Instruction>(B.add(N, M.constant(1)));
+  N->addIncoming(NInc, H);
+  B.condBr(B.cmpLT(NInc, M.constant(3)), H, X);
+  B.setInsertPoint(X);
+  B.print(A);
+  B.print(C);
+  B.ret();
+
+  expectValid(*F, "swap SSA input");
+  Interpreter I0(M);
+  auto R0 = I0.run();
+  ASSERT_TRUE(R0.Ok) << R0.Error;
+  // Header entries: (1,2,n=0) -> swap -> (2,1,n=1) -> swap -> (1,2,n=2),
+  // then n+1==3 exits the loop with (a,b) = (1,2).
+  EXPECT_EQ(R0.Output, (std::vector<int64_t>{1, 2}));
+
+  destructSSA(*F);
+  EXPECT_EQ(countPhis(*F), 0u);
+  expectValid(*F, "after swap destruction");
+  Interpreter I1(M);
+  auto R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_EQ(R1.Output, R0.Output);
+}
+
+TEST(SSADestructionTest, RoundTripsThroughMem2Reg) {
+  auto M = intoSSA(R"(
+    int g = 5;
+    void main() {
+      int x = 0;
+      int i;
+      for (i = 0; i < 4; i++) {
+        if (i & 1) x = x + g;
+        else x = x + 1;
+      }
+      print(x);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  unsigned PhisBefore = countPhis(*Main);
+  ASSERT_GT(PhisBefore, 0u);
+
+  destructSSA(*Main);
+  ASSERT_EQ(countPhis(*Main), 0u);
+
+  // mem2reg rebuilds SSA from the lowering temporaries.
+  DominatorTree DT(*Main);
+  promoteLocalsToSSA(*Main, DT);
+  expectValid(*Main, "after round trip");
+  EXPECT_GT(countPhis(*Main), 0u);
+
+  Interpreter I(*M);
+  auto R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output[0], 2 + 2 * 5);
+}
+
+TEST(SSADestructionTest, SelfLoopPhi) {
+  auto M = intoSSA(R"(
+    void main() {
+      int x = 1;
+      while (x < 100) x = x * 3;
+      print(x);
+    }
+  )");
+  Function *Main = M->getFunction("main");
+  Interpreter I0(*M);
+  auto R0 = I0.run();
+
+  destructSSA(*Main);
+  expectValid(*Main, "after self-loop destruction");
+  Interpreter I1(*M);
+  auto R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_EQ(R0.Output, R1.Output);
+}
+
+} // namespace

@@ -1,0 +1,373 @@
+//===- tests/SSAUpdaterTest.cpp - incremental SSA update tests ------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for updateSSAForClonedResources, including a faithful encoding of
+/// the paper's Example 2 (Fig. 9/10): a six-block interval where register
+/// promotion inserts two cloned stores and the update has to place phis at
+/// the iterated dominance frontier, rename the uses by reachability, and
+/// delete the dead phi.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGCanonicalize.h"
+#include "analysis/Dominators.h"
+#include "ssa/Mem2Reg.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ssa/SSAUpdater.h"
+#include "TestHelpers.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+unsigned countMemPhis(const Function &F) {
+  unsigned N = 0;
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (isa<MemPhiInst>(I.get()))
+        ++N;
+  return N;
+}
+
+/// Builds the CFG of the paper's Example 2 (Fig. 9):
+///
+///        b1 (x0 = st)
+///       /  \ .
+///      b2    b3 (use x0)
+///     /  \     \ .
+///    |    b4 (use x0)
+///     \   /
+///      b5 (use x0)   [b2 -> b5 directly, as in the paper]
+///       |
+///      b6
+///
+/// Then two stores are cloned into b2 and b3 and the update runs.
+struct Example2 {
+  Module M;
+  MemoryObject *X;
+  Function *F;
+  BasicBlock *B1, *B2, *B3, *B4, *B5, *B6;
+  MemoryName *X0;
+  LoadInst *UseB3, *UseB4, *UseB5;
+
+  Example2() {
+    X = M.createGlobal("x", 0);
+    F = M.createFunction("f", Type::Void);
+    B1 = F->createBlock("b1");
+    B2 = F->createBlock("b2");
+    B3 = F->createBlock("b3");
+    B4 = F->createBlock("b4");
+    B5 = F->createBlock("b5");
+    B6 = F->createBlock("b6");
+
+    IRBuilder B(B1);
+    StoreInst *St0 = B.store(X, M.constant(10));
+    B.condBr(M.constant(1), B2, B3);
+
+    B.setInsertPoint(B2);
+    B.condBr(M.constant(1), B4, B5);
+
+    B.setInsertPoint(B3);
+    UseB3 = B.load(X, "u3");
+    B.print(UseB3);
+    B.br(B5);
+
+    B.setInsertPoint(B4);
+    UseB4 = B.load(X, "u4");
+    B.print(UseB4);
+    B.br(B5);
+
+    B.setInsertPoint(B5);
+    UseB5 = B.load(X, "u5");
+    B.print(UseB5);
+    B.br(B6);
+
+    B.setInsertPoint(B6);
+    B.ret();
+
+    // Manual memory SSA: x0 defined in b1, used by the three loads.
+    // (The paper's example names the b1 definition x0.)
+    X0 = F->createMemoryName(X);
+    MemoryName *Entry = F->createMemoryName(X);
+    F->setEntryMemoryName(X, Entry);
+    St0->addMemDef(X0);
+    UseB3->addMemOperand(X0);
+    UseB4->addMemOperand(X0);
+    UseB5->addMemOperand(X0);
+  }
+
+  /// Clones a store of x into \p BB (prepended), returning its new version.
+  MemoryName *cloneStoreInto(BasicBlock *BB, int64_t Val) {
+    auto St = std::make_unique<StoreInst>(X, M.constant(Val));
+    MemoryName *V = F->createMemoryName(X);
+    St->addMemDef(V);
+    BB->prepend(std::move(St));
+    return V;
+  }
+};
+
+TEST(SSAUpdaterTest, PaperExample2) {
+  Example2 E;
+  // Register promotion creates two stores: one in b2 and one in b3.
+  MemoryName *X1 = E.cloneStoreInto(E.B2, 20);
+  MemoryName *X2 = E.cloneStoreInto(E.B3, 30);
+
+  DominatorTree DT(*E.F);
+  SSAUpdateStats Stats = updateSSAForClonedResources(
+      *E.F, DT, /*OldRes=*/{E.X0}, /*ClonedRes=*/{X1, X2});
+
+  expectValid(*E.F, "after incremental update");
+
+  // Exactly one IDF computation for the whole batch.
+  EXPECT_EQ(Stats.IDFComputations, 1u);
+
+  // The use in b3 now reads the b3 clone, the use in b4 the b2 clone.
+  EXPECT_EQ(E.UseB3->memUse(), X2);
+  EXPECT_EQ(E.UseB4->memUse(), X1);
+
+  // The use in b5 reads a phi merging the two clones (the paper's x3).
+  MemoryName *U5 = E.UseB5->memUse();
+  ASSERT_NE(U5, nullptr);
+  ASSERT_TRUE(U5->def() && isa<MemPhiInst>(U5->def()));
+  auto *Phi5 = cast<MemPhiInst>(U5->def());
+  EXPECT_EQ(Phi5->parent(), E.B5);
+  // One operand per predecessor (b2, b3, b4); the b2 clone reaches twice
+  // (directly and through b4), the b3 clone once.
+  std::vector<MemoryName *> Incoming(Phi5->memOperands().begin(),
+                                     Phi5->memOperands().end());
+  ASSERT_EQ(Incoming.size(), 3u);
+  EXPECT_EQ(std::count(Incoming.begin(), Incoming.end(), X1), 2);
+  EXPECT_EQ(std::count(Incoming.begin(), Incoming.end(), X2), 1);
+
+  // The phi the IDF placed in b6 (the paper's x4) is dead and must have
+  // been removed; only the b5 phi survives.
+  EXPECT_EQ(countMemPhis(*E.F), 1u);
+  for (const auto &I : *E.B6)
+    EXPECT_FALSE(isa<MemPhiInst>(I.get()));
+
+  // Every use of x0 was renamed; x0's store is dead and was deleted by
+  // step 4 (no dead code remains). Note x0 itself has been purged, so we
+  // check via the block contents.
+  bool StoreInB1 = false;
+  for (const auto &I : *E.B1)
+    if (isa<StoreInst>(I.get()))
+      StoreInB1 = true;
+  EXPECT_FALSE(StoreInB1) << "dead original definition should be deleted";
+  EXPECT_GE(Stats.DefsDeleted, 1u);
+}
+
+TEST(SSAUpdaterTest, KeepsLiveOriginalDefinition) {
+  Example2 E;
+  // Clone only into b3: the b4/b5 paths still need x0, so the original
+  // store must survive.
+  MemoryName *X2 = E.cloneStoreInto(E.B3, 30);
+
+  DominatorTree DT(*E.F);
+  updateSSAForClonedResources(*E.F, DT, {E.X0}, {X2});
+  expectValid(*E.F, "after partial clone update");
+
+  EXPECT_EQ(E.UseB3->memUse(), X2);
+  EXPECT_EQ(E.UseB4->memUse(), E.X0);
+  EXPECT_TRUE(E.X0->hasUses());
+  bool StoreInB1 = false;
+  for (const auto &I : *E.B1)
+    if (isa<StoreInst>(I.get()))
+      StoreInB1 = true;
+  EXPECT_TRUE(StoreInB1);
+
+  // b5 merges x2 (via b3) and x0 (via b2): a phi is required there.
+  MemoryName *U5 = E.UseB5->memUse();
+  ASSERT_TRUE(U5->def() && isa<MemPhiInst>(U5->def()));
+}
+
+TEST(SSAUpdaterTest, CloneInSameBlockAfterUseIsInert) {
+  // A clone placed after the only use must not capture it.
+  Module M;
+  MemoryObject *X = M.createGlobal("x", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *B1 = F->createBlock("b1");
+  IRBuilder B(B1);
+  StoreInst *St = B.store(X, M.constant(1));
+  LoadInst *Ld = B.load(X, "u");
+  B.print(Ld);
+  Instruction *Ret = B.ret(nullptr);
+
+  MemoryName *Entry = F->createMemoryName(X);
+  F->setEntryMemoryName(X, Entry);
+  MemoryName *X0 = F->createMemoryName(X);
+  St->addMemDef(X0);
+  Ld->addMemOperand(X0);
+  Ret->addMemOperand(X0); // keeps the original store alive
+
+  auto CloneSt = std::make_unique<StoreInst>(X, M.constant(2));
+  MemoryName *X1 = F->createMemoryName(X);
+  CloneSt->addMemDef(X1);
+  B1->insertBefore(Ret, std::move(CloneSt));
+
+  DominatorTree DT(*F);
+  updateSSAForClonedResources(*F, DT, {X0}, {X1});
+  expectValid(*F, "after same-block clone");
+
+  // The load (before the clone) keeps x0; the ret (after it) reads x1.
+  EXPECT_EQ(Ld->memUse(), X0);
+  EXPECT_EQ(Ret->memOperand(0), X1);
+}
+
+TEST(SSAUpdaterTest, PerDefVariantMatchesBatchResult) {
+  // Run batch and per-def variants on structurally identical programs and
+  // compare the final shape (number of phis, renamed uses).
+  auto build = [](Example2 &E, std::vector<MemoryName *> &Clones) {
+    Clones.push_back(E.cloneStoreInto(E.B2, 20));
+    Clones.push_back(E.cloneStoreInto(E.B3, 30));
+  };
+
+  Example2 Batch;
+  std::vector<MemoryName *> BatchClones;
+  build(Batch, BatchClones);
+  DominatorTree DTB(*Batch.F);
+  SSAUpdateStats SB =
+      updateSSAForClonedResources(*Batch.F, DTB, {Batch.X0}, BatchClones);
+
+  Example2 PerDef;
+  std::vector<MemoryName *> PerDefClones;
+  build(PerDef, PerDefClones);
+  DominatorTree DTP(*PerDef.F);
+  SSAUpdateStats SP =
+      updateSSAPerClonedDef(*PerDef.F, DTP, {PerDef.X0}, PerDefClones);
+
+  expectValid(*Batch.F, "batch");
+  expectValid(*PerDef.F, "per-def");
+  EXPECT_EQ(countMemPhis(*Batch.F), countMemPhis(*PerDef.F));
+  // The per-def variant performs one IDF computation per clone.
+  EXPECT_EQ(SB.IDFComputations, 1u);
+  EXPECT_GE(SP.IDFComputations, 2u);
+  // Both renamed the same final uses.
+  EXPECT_TRUE(PerDef.UseB3->memUse()->def() != nullptr);
+  EXPECT_TRUE(Batch.UseB3->memUse()->def() != nullptr);
+}
+
+TEST(SSAUpdaterTest, ConvertsNewResourceToSSA) {
+  // The paper's third use case (§4.5): a phase introduces a resource with
+  // several raw definitions and uses; the incremental updater converts it
+  // into SSA form. Diamond with stores in both arms, a use at the join.
+  Module M;
+  MemoryObject *X = M.createGlobal("x", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *L = F->createBlock("l");
+  BasicBlock *R = F->createBlock("r");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(1), L, R);
+  B.setInsertPoint(L);
+  B.store(X, M.constant(1));
+  B.br(J);
+  B.setInsertPoint(R);
+  B.store(X, M.constant(2));
+  B.br(J);
+  B.setInsertPoint(J);
+  LoadInst *Use = B.load(X, "u");
+  B.print(Use);
+  B.ret();
+
+  DominatorTree DT(*F);
+  SSAUpdateStats Stats = convertResourceToSSA(*F, DT, X);
+  expectValid(*F, "after conversion");
+
+  // Every store has a version, the load reads a phi merging the two arms.
+  for (BasicBlock *BB : F->blocks())
+    for (auto &I : *BB)
+      if (auto *St = dyn_cast<StoreInst>(I.get())) {
+        EXPECT_NE(St->memDefName(), nullptr);
+      }
+  ASSERT_NE(Use->memUse(), nullptr);
+  ASSERT_NE(Use->memUse()->def(), nullptr);
+  EXPECT_TRUE(isa<MemPhiInst>(Use->memUse()->def()));
+  EXPECT_EQ(Stats.PhisInserted, 1u);
+  EXPECT_EQ(Stats.IDFComputations, 1u);
+}
+
+TEST(SSAUpdaterTest, ConversionMatchesBatchConstructionShape) {
+  // Converting via the updater and building memory SSA from scratch must
+  // agree on which versions loads see (the updater may place fewer phis:
+  // it prunes dead ones).
+  const char *Src = R"(
+    int g = 0;
+    void main() {
+      int i;
+      for (i = 0; i < 5; i++) {
+        if (i & 1) g = g + 1;
+      }
+      print(g);
+    }
+  )";
+  std::vector<std::string> Errors;
+  auto M = compileMiniC(Src, Errors);
+  ASSERT_TRUE(M != nullptr);
+  Function *Main = M->getFunction("main");
+  DominatorTree DT0(*Main);
+  promoteLocalsToSSA(*Main, DT0);
+  canonicalize(*Main);
+  DominatorTree DT(*Main);
+  convertResourceToSSA(*Main, DT, M->getGlobal("g"));
+  expectValid(*Main, "after incremental conversion");
+
+  unsigned Tagged = 0;
+  for (BasicBlock *BB : Main->blocks())
+    for (auto &I : *BB)
+      if (auto *Ld = dyn_cast<LoadInst>(I.get()))
+        if (Ld->object() == M->getGlobal("g")) {
+          EXPECT_NE(Ld->memUse(), nullptr);
+          ++Tagged;
+        }
+  EXPECT_GE(Tagged, 1u);
+}
+
+TEST(SSAUpdaterTest, SweepRemovesPhiCycles) {
+  // Dead store feeding a loop phi that feeds nothing: the sweep must
+  // delete the cycle.
+  Module M;
+  MemoryObject *X = M.createGlobal("x", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Entry);
+  StoreInst *St = B.store(X, M.constant(1));
+  B.br(H);
+  B.setInsertPoint(H);
+  B.condBr(M.constant(1), H, Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  MemoryName *EntryV = F->createMemoryName(X);
+  F->setEntryMemoryName(X, EntryV);
+  MemoryName *X0 = F->createMemoryName(X);
+  St->addMemDef(X0);
+  auto Phi = std::make_unique<MemPhiInst>(X);
+  MemPhiInst *MP = Phi.get();
+  H->prepend(std::move(Phi));
+  MemoryName *X1 = F->createMemoryName(X);
+  MP->addMemDef(X1);
+  MP->addIncoming(X0, Entry);
+  MP->addIncoming(X1, H); // self-loop through the back edge
+
+  sweepDeadDefs(*F, {X0, X1});
+  EXPECT_EQ(countMemPhis(*F), 0u);
+  bool AnyStore = false;
+  for (const auto &I : *Entry)
+    if (isa<StoreInst>(I.get()))
+      AnyStore = true;
+  EXPECT_FALSE(AnyStore);
+}
+
+} // namespace

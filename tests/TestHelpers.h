@@ -1,0 +1,50 @@
+//===- tests/TestHelpers.h - Shared test utilities -------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_TESTS_TESTHELPERS_H
+#define SRP_TESTS_TESTHELPERS_H
+
+#include "analysis/Verifier.h"
+#include "frontend/Lowering.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include <gtest/gtest.h>
+#include <memory>
+#include <string>
+
+namespace srp::test {
+
+/// Compiles Mini-C source, failing the test on any diagnostic.
+inline std::unique_ptr<Module> compileOrDie(const std::string &Source) {
+  std::vector<std::string> Errors;
+  auto M = compileMiniC(Source, Errors);
+  for (const auto &E : Errors)
+    ADD_FAILURE() << "compile error: " << E;
+  if (!M)
+    ADD_FAILURE() << "compilation produced no module";
+  return M;
+}
+
+/// Asserts the module verifies cleanly, dumping IR on failure.
+inline void expectValid(Module &M, const char *When = "") {
+  auto Errors = verify(M);
+  for (const auto &E : Errors)
+    ADD_FAILURE() << When << ": " << E;
+  if (!Errors.empty())
+    ADD_FAILURE() << "IR:\n" << toString(M);
+}
+
+inline void expectValid(Function &F, const char *When = "") {
+  auto Errors = verify(F);
+  for (const auto &E : Errors)
+    ADD_FAILURE() << When << ": " << E;
+  if (!Errors.empty())
+    ADD_FAILURE() << "IR:\n" << toString(F);
+}
+
+} // namespace srp::test
+
+#endif // SRP_TESTS_TESTHELPERS_H

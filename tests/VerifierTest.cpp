@@ -1,0 +1,173 @@
+//===- tests/VerifierTest.cpp - IR verifier negative tests ----------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each test constructs one specific malformation and asserts the
+/// verifier reports it (the positive path is exercised everywhere else).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include <gtest/gtest.h>
+
+using namespace srp;
+
+namespace {
+
+bool anyErrorContains(const std::vector<std::string> &Errors,
+                      const char *Needle) {
+  for (const auto &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(VerifierTest, MissingTerminator) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  B.add(M.constant(1), M.constant(2));
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "terminator"));
+}
+
+TEST(VerifierTest, TerminatorInTheMiddle) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  B.ret();
+  BB->append(std::make_unique<PrintInst>(M.constant(1)));
+  BB->append(std::make_unique<RetInst>());
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "terminator"));
+}
+
+TEST(VerifierTest, EntryWithPredecessors) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  IRBuilder B(Entry);
+  B.br(Next);
+  IRBuilder BN(Next);
+  BN.br(Entry); // loops back to the entry
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "entry block has predecessors"));
+}
+
+TEST(VerifierTest, InconsistentPredList) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B1 = F->createBlock("b");
+  IRBuilder B(A);
+  B.br(B1);
+  IRBuilder BB(B1);
+  BB.ret();
+  B1->removePred(A); // corrupt the cache
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "pred list"));
+}
+
+TEST(VerifierTest, PhiAfterNonPhi) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B1 = F->createBlock("b");
+  IRBuilder B(A);
+  B.br(B1);
+  IRBuilder BB(B1);
+  BB.print(M.constant(1));
+  auto Phi = std::make_unique<PhiInst>(Type::Int, "p");
+  Phi->addIncoming(M.constant(1), A);
+  B1->append(std::move(Phi));
+  BB.setInsertPoint(B1);
+  BB.ret();
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "phi after non-phi"));
+}
+
+TEST(VerifierTest, PhiArityMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *L = F->createBlock("l");
+  BasicBlock *R = F->createBlock("r");
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B(A);
+  B.condBr(M.constant(1), L, R);
+  IRBuilder BL(L);
+  BL.br(J);
+  IRBuilder BR(R);
+  BR.br(J);
+  auto Phi = std::make_unique<PhiInst>(Type::Int, "p");
+  Phi->addIncoming(M.constant(1), L); // missing the R entry
+  J->append(std::move(Phi));
+  IRBuilder BJ(J);
+  BJ.ret();
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "incoming blocks mismatch"));
+}
+
+TEST(VerifierTest, MemPhiWithoutTarget) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B1 = F->createBlock("b");
+  IRBuilder B(A);
+  B.br(B1);
+  auto MP = std::make_unique<MemPhiInst>(G);
+  MemoryName *V = F->createMemoryName(G);
+  MP->addIncoming(V, A); // no target def set
+  B1->prepend(std::move(MP));
+  IRBuilder BB(B1);
+  BB.ret();
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "memphi without target"));
+}
+
+TEST(VerifierTest, MemoryUseNotDominated) {
+  Module M;
+  MemoryObject *G = M.createGlobal("g", 0);
+  Function *F = M.createFunction("f", Type::Void);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *L = F->createBlock("l");
+  BasicBlock *R = F->createBlock("r");
+  IRBuilder B(A);
+  B.condBr(M.constant(1), L, R);
+  IRBuilder BL(L);
+  StoreInst *St = BL.store(G, M.constant(1));
+  BL.ret();
+  IRBuilder BR(R);
+  LoadInst *Ld = BR.load(G);
+  BR.print(Ld);
+  BR.ret();
+
+  MemoryName *V = F->createMemoryName(G);
+  St->addMemDef(V);
+  Ld->addMemOperand(V); // sibling arm: the def does not dominate the use
+  auto Errors = verify(*F);
+  EXPECT_TRUE(anyErrorContains(Errors, "not dominated"));
+}
+
+TEST(VerifierTest, ModuleAggregatesFunctionErrors) {
+  Module M;
+  Function *F1 = M.createFunction("good", Type::Void);
+  IRBuilder B(F1->createBlock("entry"));
+  B.ret();
+  Function *F2 = M.createFunction("bad", Type::Void);
+  F2->createBlock("entry"); // empty block, no terminator
+  auto Errors = verify(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_TRUE(anyErrorContains(Errors, "bad"));
+}
+
+} // namespace

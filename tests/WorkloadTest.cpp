@@ -1,0 +1,133 @@
+//===- tests/WorkloadTest.cpp - SPECInt95-like workload tests -------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized suite over the benchmark workloads x promotion modes:
+/// every workload must compile, verify, execute, and behave identically
+/// under every promoter configuration; profile-guided promotion must not
+/// increase dynamic scalar memops on any workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "TestHelpers.h"
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+std::string loadWorkload(const std::string &File) {
+  std::string Path = std::string(SRP_WORKLOAD_DIR) + "/" + File;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct Case {
+  const char *File;
+  PromotionMode Mode;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case> &Info) {
+  std::string Name = Info.param.File;
+  Name = Name.substr(0, Name.find('.'));
+  switch (Info.param.Mode) {
+  case PromotionMode::None:
+    return Name + "_none";
+  case PromotionMode::Paper:
+    return Name + "_paper";
+  case PromotionMode::PaperNoProfile:
+    return Name + "_noprofile";
+  case PromotionMode::LoopBaseline:
+    return Name + "_baseline";
+  case PromotionMode::Superblock:
+    return Name + "_superblock";
+  case PromotionMode::MemOptOnly:
+    return Name + "_memopt";
+  }
+  return Name;
+}
+
+class WorkloadModeTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadModeTest, CompilesRunsAndPreservesBehaviour) {
+  const Case &C = GetParam();
+  PipelineOptions Opts;
+  Opts.Mode = C.Mode;
+  PipelineResult R = runPipeline(loadWorkload(C.File), Opts);
+  for (const auto &E : R.Errors)
+    ADD_FAILURE() << C.File << ": " << E;
+  ASSERT_TRUE(R.Ok);
+  expectValid(*R.M, C.File);
+  EXPECT_FALSE(R.RunAfter.Output.empty()) << "workload printed nothing";
+  if (C.Mode == PromotionMode::Paper) {
+    EXPECT_LE(R.RunAfter.Counts.memOps(), R.RunBefore.Counts.memOps());
+  }
+}
+
+const char *Files[] = {"go.mc",      "li.mc",       "ijpeg.mc",
+                       "perl.mc",    "m88ksim.mc",  "gcc.mc",
+                       "compress.mc", "vortex.mc",  "eqntott.mc"};
+const PromotionMode Modes[] = {PromotionMode::None,
+                               PromotionMode::Paper,
+                               PromotionMode::PaperNoProfile,
+                               PromotionMode::LoopBaseline,
+                               PromotionMode::Superblock,
+                               PromotionMode::MemOptOnly};
+
+std::vector<Case> allCases() {
+  std::vector<Case> Cases;
+  for (const char *F : Files)
+    for (PromotionMode M : Modes)
+      Cases.push_back({F, M});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadModeTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(WorkloadShapeTest, VortexImprovesLeastGoImprovesMost) {
+  auto improvement = [&](const char *File) {
+    PipelineOptions Opts;
+    Opts.Mode = PromotionMode::Paper;
+    PipelineResult R = runPipeline(loadWorkload(File), Opts);
+    EXPECT_TRUE(R.Ok);
+    double Bef = static_cast<double>(R.RunBefore.Counts.memOps());
+    double Aft = static_cast<double>(R.RunAfter.Counts.memOps());
+    return (Bef - Aft) / Bef;
+  };
+  double Go = improvement("go.mc");
+  double Vortex = improvement("vortex.mc");
+  double Gcc = improvement("gcc.mc");
+  // Table 2's ordering: go far ahead, vortex near the bottom.
+  EXPECT_GT(Go, 0.5);
+  EXPECT_LT(Vortex, 0.15);
+  EXPECT_LT(Gcc, 0.25);
+  EXPECT_GT(Go, Vortex);
+}
+
+TEST(WorkloadShapeTest, BaselineNeverBeatsPaperPromoter) {
+  for (const char *File : Files) {
+    std::string Src = loadWorkload(File);
+    PipelineOptions Base;
+    Base.Mode = PromotionMode::LoopBaseline;
+    PipelineResult RB = runPipeline(Src, Base);
+    PipelineOptions Paper;
+    Paper.Mode = PromotionMode::Paper;
+    PipelineResult RP = runPipeline(Src, Paper);
+    ASSERT_TRUE(RB.Ok && RP.Ok) << File;
+    EXPECT_LE(RP.RunAfter.Counts.memOps(), RB.RunAfter.Counts.memOps())
+        << File;
+  }
+}
+
+} // namespace
