@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memopt.dir/bench_ablation_memopt.cpp.o"
+  "CMakeFiles/bench_ablation_memopt.dir/bench_ablation_memopt.cpp.o.d"
+  "bench_ablation_memopt"
+  "bench_ablation_memopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_webs.dir/bench_ablation_webs.cpp.o"
+  "CMakeFiles/bench_ablation_webs.dir/bench_ablation_webs.cpp.o.d"
+  "bench_ablation_webs"
+  "bench_ablation_webs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_webs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

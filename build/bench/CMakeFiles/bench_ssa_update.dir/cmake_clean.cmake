@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssa_update.dir/bench_ssa_update.cpp.o"
+  "CMakeFiles/bench_ssa_update.dir/bench_ssa_update.cpp.o.d"
+  "bench_ssa_update"
+  "bench_ssa_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssa_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_static.dir/bench_table1_static.cpp.o"
+  "CMakeFiles/bench_table1_static.dir/bench_table1_static.cpp.o.d"
+  "bench_table1_static"
+  "bench_table1_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_regpressure.dir/bench_table3_regpressure.cpp.o"
+  "CMakeFiles/bench_table3_regpressure.dir/bench_table3_regpressure.cpp.o.d"
+  "bench_table3_regpressure"
+  "bench_table3_regpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_regpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

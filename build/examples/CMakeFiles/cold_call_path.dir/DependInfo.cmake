@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cold_call_path.cpp" "examples/CMakeFiles/cold_call_path.dir/cold_call_path.cpp.o" "gcc" "examples/CMakeFiles/cold_call_path.dir/cold_call_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_promotion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

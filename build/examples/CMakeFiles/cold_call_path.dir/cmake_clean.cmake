@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_call_path.dir/cold_call_path.cpp.o"
+  "CMakeFiles/cold_call_path.dir/cold_call_path.cpp.o.d"
+  "cold_call_path"
+  "cold_call_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_call_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotloop_globals.dir/hotloop_globals.cpp.o"
+  "CMakeFiles/hotloop_globals.dir/hotloop_globals.cpp.o.d"
+  "hotloop_globals"
+  "hotloop_globals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotloop_globals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hotloop_globals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_ssa.dir/incremental_ssa.cpp.o"
+  "CMakeFiles/incremental_ssa.dir/incremental_ssa.cpp.o.d"
+  "incremental_ssa"
+  "incremental_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

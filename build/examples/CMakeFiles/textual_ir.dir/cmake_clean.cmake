@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textual_ir.dir/textual_ir.cpp.o"
+  "CMakeFiles/textual_ir.dir/textual_ir.cpp.o.d"
+  "textual_ir"
+  "textual_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textual_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

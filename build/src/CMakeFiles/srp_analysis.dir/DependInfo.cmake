@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFGCanonicalize.cpp" "src/CMakeFiles/srp_analysis.dir/analysis/CFGCanonicalize.cpp.o" "gcc" "src/CMakeFiles/srp_analysis.dir/analysis/CFGCanonicalize.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/srp_analysis.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/srp_analysis.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Intervals.cpp" "src/CMakeFiles/srp_analysis.dir/analysis/Intervals.cpp.o" "gcc" "src/CMakeFiles/srp_analysis.dir/analysis/Intervals.cpp.o.d"
+  "/root/repo/src/analysis/Verifier.cpp" "src/CMakeFiles/srp_analysis.dir/analysis/Verifier.cpp.o" "gcc" "src/CMakeFiles/srp_analysis.dir/analysis/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

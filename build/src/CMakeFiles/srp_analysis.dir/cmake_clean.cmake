@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_analysis.dir/analysis/CFGCanonicalize.cpp.o"
+  "CMakeFiles/srp_analysis.dir/analysis/CFGCanonicalize.cpp.o.d"
+  "CMakeFiles/srp_analysis.dir/analysis/Dominators.cpp.o"
+  "CMakeFiles/srp_analysis.dir/analysis/Dominators.cpp.o.d"
+  "CMakeFiles/srp_analysis.dir/analysis/Intervals.cpp.o"
+  "CMakeFiles/srp_analysis.dir/analysis/Intervals.cpp.o.d"
+  "CMakeFiles/srp_analysis.dir/analysis/Verifier.cpp.o"
+  "CMakeFiles/srp_analysis.dir/analysis/Verifier.cpp.o.d"
+  "libsrp_analysis.a"
+  "libsrp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_frontend.dir/frontend/Lexer.cpp.o"
+  "CMakeFiles/srp_frontend.dir/frontend/Lexer.cpp.o.d"
+  "CMakeFiles/srp_frontend.dir/frontend/Lowering.cpp.o"
+  "CMakeFiles/srp_frontend.dir/frontend/Lowering.cpp.o.d"
+  "CMakeFiles/srp_frontend.dir/frontend/Parser.cpp.o"
+  "CMakeFiles/srp_frontend.dir/frontend/Parser.cpp.o.d"
+  "CMakeFiles/srp_frontend.dir/frontend/Sema.cpp.o"
+  "CMakeFiles/srp_frontend.dir/frontend/Sema.cpp.o.d"
+  "libsrp_frontend.a"
+  "libsrp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

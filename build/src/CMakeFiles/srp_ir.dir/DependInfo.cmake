@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/srp_ir.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/CFGEdit.cpp" "src/CMakeFiles/srp_ir.dir/ir/CFGEdit.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/CFGEdit.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/srp_ir.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/CMakeFiles/srp_ir.dir/ir/IRParser.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/srp_ir.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/srp_ir.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/srp_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/CMakeFiles/srp_ir.dir/ir/Value.cpp.o" "gcc" "src/CMakeFiles/srp_ir.dir/ir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_ir.dir/ir/BasicBlock.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/BasicBlock.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/ir/CFGEdit.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/CFGEdit.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/ir/Function.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/Function.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/ir/IRParser.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/IRParser.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/ir/Instruction.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/Instruction.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/ir/Module.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/Module.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/ir/Value.cpp.o"
+  "CMakeFiles/srp_ir.dir/ir/Value.cpp.o.d"
+  "libsrp_ir.a"
+  "libsrp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_pipeline.dir/pipeline/Pipeline.cpp.o"
+  "CMakeFiles/srp_pipeline.dir/pipeline/Pipeline.cpp.o.d"
+  "libsrp_pipeline.a"
+  "libsrp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

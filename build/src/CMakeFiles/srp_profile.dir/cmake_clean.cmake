@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_profile.dir/profile/ProfileInfo.cpp.o"
+  "CMakeFiles/srp_profile.dir/profile/ProfileInfo.cpp.o.d"
+  "libsrp_profile.a"
+  "libsrp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/promotion/Cleanup.cpp" "src/CMakeFiles/srp_promotion.dir/promotion/Cleanup.cpp.o" "gcc" "src/CMakeFiles/srp_promotion.dir/promotion/Cleanup.cpp.o.d"
+  "/root/repo/src/promotion/LoopPromotion.cpp" "src/CMakeFiles/srp_promotion.dir/promotion/LoopPromotion.cpp.o" "gcc" "src/CMakeFiles/srp_promotion.dir/promotion/LoopPromotion.cpp.o.d"
+  "/root/repo/src/promotion/RegisterPromotion.cpp" "src/CMakeFiles/srp_promotion.dir/promotion/RegisterPromotion.cpp.o" "gcc" "src/CMakeFiles/srp_promotion.dir/promotion/RegisterPromotion.cpp.o.d"
+  "/root/repo/src/promotion/SSAWeb.cpp" "src/CMakeFiles/srp_promotion.dir/promotion/SSAWeb.cpp.o" "gcc" "src/CMakeFiles/srp_promotion.dir/promotion/SSAWeb.cpp.o.d"
+  "/root/repo/src/promotion/SuperblockPromotion.cpp" "src/CMakeFiles/srp_promotion.dir/promotion/SuperblockPromotion.cpp.o" "gcc" "src/CMakeFiles/srp_promotion.dir/promotion/SuperblockPromotion.cpp.o.d"
+  "/root/repo/src/promotion/WebPromotion.cpp" "src/CMakeFiles/srp_promotion.dir/promotion/WebPromotion.cpp.o" "gcc" "src/CMakeFiles/srp_promotion.dir/promotion/WebPromotion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srp_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_promotion.dir/promotion/Cleanup.cpp.o"
+  "CMakeFiles/srp_promotion.dir/promotion/Cleanup.cpp.o.d"
+  "CMakeFiles/srp_promotion.dir/promotion/LoopPromotion.cpp.o"
+  "CMakeFiles/srp_promotion.dir/promotion/LoopPromotion.cpp.o.d"
+  "CMakeFiles/srp_promotion.dir/promotion/RegisterPromotion.cpp.o"
+  "CMakeFiles/srp_promotion.dir/promotion/RegisterPromotion.cpp.o.d"
+  "CMakeFiles/srp_promotion.dir/promotion/SSAWeb.cpp.o"
+  "CMakeFiles/srp_promotion.dir/promotion/SSAWeb.cpp.o.d"
+  "CMakeFiles/srp_promotion.dir/promotion/SuperblockPromotion.cpp.o"
+  "CMakeFiles/srp_promotion.dir/promotion/SuperblockPromotion.cpp.o.d"
+  "CMakeFiles/srp_promotion.dir/promotion/WebPromotion.cpp.o"
+  "CMakeFiles/srp_promotion.dir/promotion/WebPromotion.cpp.o.d"
+  "libsrp_promotion.a"
+  "libsrp_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_regalloc.dir/regalloc/Coloring.cpp.o"
+  "CMakeFiles/srp_regalloc.dir/regalloc/Coloring.cpp.o.d"
+  "CMakeFiles/srp_regalloc.dir/regalloc/Liveness.cpp.o"
+  "CMakeFiles/srp_regalloc.dir/regalloc/Liveness.cpp.o.d"
+  "libsrp_regalloc.a"
+  "libsrp_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssa/Mem2Reg.cpp" "src/CMakeFiles/srp_ssa.dir/ssa/Mem2Reg.cpp.o" "gcc" "src/CMakeFiles/srp_ssa.dir/ssa/Mem2Reg.cpp.o.d"
+  "/root/repo/src/ssa/MemoryOpt.cpp" "src/CMakeFiles/srp_ssa.dir/ssa/MemoryOpt.cpp.o" "gcc" "src/CMakeFiles/srp_ssa.dir/ssa/MemoryOpt.cpp.o.d"
+  "/root/repo/src/ssa/MemorySSA.cpp" "src/CMakeFiles/srp_ssa.dir/ssa/MemorySSA.cpp.o" "gcc" "src/CMakeFiles/srp_ssa.dir/ssa/MemorySSA.cpp.o.d"
+  "/root/repo/src/ssa/SSADestruction.cpp" "src/CMakeFiles/srp_ssa.dir/ssa/SSADestruction.cpp.o" "gcc" "src/CMakeFiles/srp_ssa.dir/ssa/SSADestruction.cpp.o.d"
+  "/root/repo/src/ssa/SSAUpdater.cpp" "src/CMakeFiles/srp_ssa.dir/ssa/SSAUpdater.cpp.o" "gcc" "src/CMakeFiles/srp_ssa.dir/ssa/SSAUpdater.cpp.o.d"
+  "/root/repo/src/ssa/ValueNumbering.cpp" "src/CMakeFiles/srp_ssa.dir/ssa/ValueNumbering.cpp.o" "gcc" "src/CMakeFiles/srp_ssa.dir/ssa/ValueNumbering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

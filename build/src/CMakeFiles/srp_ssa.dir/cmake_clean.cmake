@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_ssa.dir/ssa/Mem2Reg.cpp.o"
+  "CMakeFiles/srp_ssa.dir/ssa/Mem2Reg.cpp.o.d"
+  "CMakeFiles/srp_ssa.dir/ssa/MemoryOpt.cpp.o"
+  "CMakeFiles/srp_ssa.dir/ssa/MemoryOpt.cpp.o.d"
+  "CMakeFiles/srp_ssa.dir/ssa/MemorySSA.cpp.o"
+  "CMakeFiles/srp_ssa.dir/ssa/MemorySSA.cpp.o.d"
+  "CMakeFiles/srp_ssa.dir/ssa/SSADestruction.cpp.o"
+  "CMakeFiles/srp_ssa.dir/ssa/SSADestruction.cpp.o.d"
+  "CMakeFiles/srp_ssa.dir/ssa/SSAUpdater.cpp.o"
+  "CMakeFiles/srp_ssa.dir/ssa/SSAUpdater.cpp.o.d"
+  "CMakeFiles/srp_ssa.dir/ssa/ValueNumbering.cpp.o"
+  "CMakeFiles/srp_ssa.dir/ssa/ValueNumbering.cpp.o.d"
+  "libsrp_ssa.a"
+  "libsrp_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

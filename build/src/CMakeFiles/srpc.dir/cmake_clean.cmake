@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc.dir/tools/srpc.cpp.o"
+  "CMakeFiles/srpc.dir/tools/srpc.cpp.o.d"
+  "srpc"
+  "srpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

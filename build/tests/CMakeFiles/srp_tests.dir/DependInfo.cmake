@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AliasInfoTest.cpp" "tests/CMakeFiles/srp_tests.dir/AliasInfoTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/AliasInfoTest.cpp.o.d"
+  "/root/repo/tests/CFGEditTest.cpp" "tests/CMakeFiles/srp_tests.dir/CFGEditTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/CFGEditTest.cpp.o.d"
+  "/root/repo/tests/CleanupTest.cpp" "tests/CMakeFiles/srp_tests.dir/CleanupTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/CleanupTest.cpp.o.d"
+  "/root/repo/tests/CoverageTest.cpp" "tests/CMakeFiles/srp_tests.dir/CoverageTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/CoverageTest.cpp.o.d"
+  "/root/repo/tests/DominatorsTest.cpp" "tests/CMakeFiles/srp_tests.dir/DominatorsTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/srp_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/IRParserTest.cpp" "tests/CMakeFiles/srp_tests.dir/IRParserTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/IRParserTest.cpp.o.d"
+  "/root/repo/tests/IRTest.cpp" "tests/CMakeFiles/srp_tests.dir/IRTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/IRTest.cpp.o.d"
+  "/root/repo/tests/InterpreterSemanticsTest.cpp" "tests/CMakeFiles/srp_tests.dir/InterpreterSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/InterpreterSemanticsTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/srp_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/IntervalsTest.cpp" "tests/CMakeFiles/srp_tests.dir/IntervalsTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/IntervalsTest.cpp.o.d"
+  "/root/repo/tests/MemoryOptTest.cpp" "tests/CMakeFiles/srp_tests.dir/MemoryOptTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/MemoryOptTest.cpp.o.d"
+  "/root/repo/tests/MemorySSATest.cpp" "tests/CMakeFiles/srp_tests.dir/MemorySSATest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/MemorySSATest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/srp_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/ProfileTest.cpp" "tests/CMakeFiles/srp_tests.dir/ProfileTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/ProfileTest.cpp.o.d"
+  "/root/repo/tests/ProfitabilityTest.cpp" "tests/CMakeFiles/srp_tests.dir/ProfitabilityTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/ProfitabilityTest.cpp.o.d"
+  "/root/repo/tests/PromotionEdgeTest.cpp" "tests/CMakeFiles/srp_tests.dir/PromotionEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/PromotionEdgeTest.cpp.o.d"
+  "/root/repo/tests/PromotionTest.cpp" "tests/CMakeFiles/srp_tests.dir/PromotionTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/PromotionTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/srp_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RandomCFGTest.cpp" "tests/CMakeFiles/srp_tests.dir/RandomCFGTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/RandomCFGTest.cpp.o.d"
+  "/root/repo/tests/RegAllocTest.cpp" "tests/CMakeFiles/srp_tests.dir/RegAllocTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/RegAllocTest.cpp.o.d"
+  "/root/repo/tests/SSADestructionTest.cpp" "tests/CMakeFiles/srp_tests.dir/SSADestructionTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/SSADestructionTest.cpp.o.d"
+  "/root/repo/tests/SSAUpdaterTest.cpp" "tests/CMakeFiles/srp_tests.dir/SSAUpdaterTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/SSAUpdaterTest.cpp.o.d"
+  "/root/repo/tests/SSAWebTest.cpp" "tests/CMakeFiles/srp_tests.dir/SSAWebTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/SSAWebTest.cpp.o.d"
+  "/root/repo/tests/SuperblockTest.cpp" "tests/CMakeFiles/srp_tests.dir/SuperblockTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/SuperblockTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/srp_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/ValueNumberingTest.cpp" "tests/CMakeFiles/srp_tests.dir/ValueNumberingTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/ValueNumberingTest.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/srp_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/WebInvariantsTest.cpp" "tests/CMakeFiles/srp_tests.dir/WebInvariantsTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/WebInvariantsTest.cpp.o.d"
+  "/root/repo/tests/WorkloadTest.cpp" "tests/CMakeFiles/srp_tests.dir/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/srp_tests.dir/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_promotion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
