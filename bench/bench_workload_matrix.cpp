@@ -1,0 +1,145 @@
+//===- bench/bench_workload_matrix.cpp - Parallel driver benchmark --------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the full workload x promotion-mode matrix through the parallel
+/// pipeline driver and reports wall time, speedup over the sequential
+/// driver, and (optionally) the aggregate pass/statistics report as JSON:
+///
+///   bench_workload_matrix                 # text: per-thread-count timings
+///   bench_workload_matrix --threads=8     # one parallel run at 8 workers
+///   bench_workload_matrix --stats-json    # JSON report of the matrix run
+///
+/// The JSON schema matches `srpc --stats-json` (docs/OBSERVABILITY.md):
+/// a "statistics" object aggregated over every job plus per-job summary
+/// rows, so dashboards can consume both tools identically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadUtil.h"
+#include "pipeline/Pipeline.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace srp;
+using namespace srp::bench;
+
+namespace {
+
+std::vector<PipelineJob> buildMatrix() {
+  const PromotionMode Modes[] = {
+      PromotionMode::None,           PromotionMode::Paper,
+      PromotionMode::PaperNoProfile, PromotionMode::LoopBaseline,
+      PromotionMode::Superblock,     PromotionMode::MemOptOnly};
+  std::vector<PipelineJob> Jobs;
+  auto addAll = [&](const std::vector<Workload> &Ws) {
+    for (const Workload &W : Ws) {
+      std::string Src = loadWorkload(W.File);
+      for (PromotionMode Mode : Modes) {
+        PipelineJob J;
+        J.Name = std::string(W.Name) + "/" + promotionModeName(Mode);
+        J.Source = Src;
+        J.Opts.Mode = Mode;
+        Jobs.push_back(std::move(J));
+      }
+    }
+  };
+  addAll(paperWorkloads());
+  addAll(extraWorkloads());
+  return Jobs;
+}
+
+double runMatrix(const std::vector<PipelineJob> &Jobs, unsigned Threads,
+                 std::vector<PipelineResult> &Results) {
+  double T0 = monotonicSeconds();
+  Results = runPipelineParallel(Jobs, Threads);
+  return monotonicSeconds() - T0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Threads = 0; // 0 = sweep 1,2,4,..,hw in text mode
+  bool StatsJson = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("--", 0) == 0)
+      A.erase(0, 1);
+    if (A.rfind("-threads=", 0) == 0) {
+      Threads = static_cast<unsigned>(std::atoi(A.c_str() + 9));
+    } else if (A == "-stats-json") {
+      StatsJson = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_workload_matrix [--threads=N] "
+                   "[--stats-json]\n");
+      return 2;
+    }
+  }
+
+  std::vector<PipelineJob> Jobs = buildMatrix();
+  unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+
+  if (StatsJson) {
+    stats::reset();
+    std::vector<PipelineResult> Results;
+    double Wall = runMatrix(Jobs, Threads ? Threads : HW, Results);
+    unsigned Failures = 0;
+    std::string JobsJson = "[";
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const PipelineResult &R = Results[I];
+      if (!R.Ok)
+        ++Failures;
+      JobsJson += std::string(I ? ",\n    " : "\n    ") + "{\"name\": \"" +
+                  jsonEscape(Jobs[I].Name) +
+                  "\", \"ok\": " + (R.Ok ? "true" : "false") +
+                  ", \"dynamic_memops_after\": " +
+                  std::to_string(R.RunAfter.Counts.memOps()) + "}";
+    }
+    JobsJson += "\n  ]";
+    std::printf("{\n"
+                "  \"jobs\": %s,\n"
+                "  \"job_count\": %zu,\n"
+                "  \"failures\": %u,\n"
+                "  \"threads\": %u,\n"
+                "  \"wall_seconds\": %.6f,\n"
+                "  \"statistics\": %s\n"
+                "}\n",
+                JobsJson.c_str(), Jobs.size(), Failures,
+                Threads ? Threads : HW, Wall,
+                stats::toJson(stats::snapshot(), 1).c_str());
+    return Failures ? 1 : 0;
+  }
+
+  std::printf("workload matrix: %zu jobs (%u cores)\n", Jobs.size(), HW);
+  std::vector<PipelineResult> Results;
+  double Base = 0;
+  std::vector<unsigned> Sweep;
+  if (Threads) {
+    Sweep = {1, Threads};
+  } else {
+    for (unsigned T = 1; T <= HW; T *= 2)
+      Sweep.push_back(T);
+    if (Sweep.back() != HW)
+      Sweep.push_back(HW);
+  }
+  for (unsigned T : Sweep) {
+    double Wall = runMatrix(Jobs, T, Results);
+    unsigned Failures = 0;
+    for (const PipelineResult &R : Results)
+      if (!R.Ok)
+        ++Failures;
+    if (T == 1)
+      Base = Wall;
+    std::printf("  threads=%-3u %8.3f s  speedup %.2fx  failures %u\n", T,
+                Wall, Base > 0 ? Base / Wall : 1.0, Failures);
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
+#include "support/Statistics.h"
 #include <unordered_map>
 
 using namespace srp;
@@ -322,6 +323,13 @@ public:
 
 } // namespace
 
+namespace {
+SRP_STATISTIC(NumExecutions, "interp", "runs",
+              "Interpreter executions (profile + measurement)");
+SRP_STATISTIC(NumInstsExecuted, "interp", "instructions-executed",
+              "Dynamic instructions interpreted across all runs");
+} // namespace
+
 ExecutionResult Interpreter::run(const std::string &EntryName,
                                  const std::vector<int64_t> &Args) {
   ExecutionResult R;
@@ -336,5 +344,7 @@ ExecutionResult Interpreter::run(const std::string &EntryName,
   if (E.call(*Entry, Args, Ret, 0))
     R.ExitValue = Ret;
   E.captureFinalMemory();
+  ++NumExecutions;
+  NumInstsExecuted += R.Counts.Instructions;
   return R;
 }

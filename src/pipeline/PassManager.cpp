@@ -1,0 +1,94 @@
+//===- pipeline/PassManager.cpp - Instrumented pass sequencing ------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/PassManager.h"
+#include "analysis/Verifier.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include <sstream>
+
+using namespace srp;
+
+namespace {
+SRP_STATISTIC(NumPassesRun, "pipeline", "passes-run",
+              "Passes executed across all pipeline runs");
+SRP_STATISTIC(NumVerifyFailures, "pipeline", "verify-failures",
+              "Post-pass verifier failures across all pipeline runs");
+} // namespace
+
+void PassManager::addPass(std::string Name, PassFn Fn) {
+  Passes.emplace_back(std::move(Name), std::move(Fn));
+}
+
+std::vector<std::string> PassManager::passNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Passes.size());
+  for (const auto &[Name, Fn] : Passes)
+    Names.push_back(Name);
+  return Names;
+}
+
+bool PassManager::run(Module &M, std::vector<std::string> &Errors) {
+  Records.clear();
+  Records.reserve(Passes.size());
+  for (const auto &[Name, Fn] : Passes)
+    Records.push_back(PassRecord{Name, 0, false, false, false, 0});
+
+  for (size_t I = 0; I != Passes.size(); ++I) {
+    PassRecord &Rec = Records[I];
+    Rec.Ran = true;
+    ++NumPassesRun;
+
+    bool PassOk;
+    {
+      ScopedTimer T(Rec.WallSeconds);
+      PassOk = Passes[I].second(M, Errors);
+    }
+    if (!PassOk) {
+      Rec.Failed = true;
+      // Make sure an aborting pass left at least one attributed message.
+      if (Errors.empty())
+        Errors.push_back("pass '" + Rec.Name + "' failed");
+      return false;
+    }
+
+    if (Opts.VerifyEachPass) {
+      Rec.Verified = true;
+      auto VErrs = verify(M);
+      Rec.VerifyErrors = static_cast<unsigned>(VErrs.size());
+      if (!VErrs.empty()) {
+        ++NumVerifyFailures;
+        for (const std::string &E : VErrs)
+          Errors.push_back("after pass '" + Rec.Name + "': " + E);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string srp::passRecordsToJson(const std::vector<PassRecord> &Records,
+                                   unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  std::string Inner(Indent * 2 + 2, ' ');
+  std::ostringstream OS;
+  OS << "[";
+  bool First = true;
+  for (const PassRecord &R : Records) {
+    OS << (First ? "\n" : ",\n") << Inner << "{\"name\": \""
+       << jsonEscape(R.Name) << "\", \"wall_seconds\": ";
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.9f", R.WallSeconds);
+    OS << Buf << ", \"ran\": " << (R.Ran ? "true" : "false")
+       << ", \"verified\": " << (R.Verified ? "true" : "false")
+       << ", \"verify_errors\": " << R.VerifyErrors << "}";
+    First = false;
+  }
+  if (!First)
+    OS << "\n" << Pad;
+  OS << "]";
+  return OS.str();
+}

@@ -1,0 +1,94 @@
+//===- pipeline/PassManager.h - Instrumented pass sequencing ---*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumented pass-manager layer underneath `srp::runPipeline`: each
+/// pipeline stage (mem2reg, canonicalise, memory-ssa, profile, promotion,
+/// cleanup, measure, pressure) runs as a named pass with
+///
+///  - per-pass wall-clock timing (support/Timer.h),
+///  - optional IR verification after every pass, with failures attributed
+///    to the pass that introduced them ("after pass 'X': ..."),
+///  - global named counters (support/Statistics.h) bumped by the passes
+///    themselves.
+///
+/// A PassManager instance is single-threaded and per-run; the parallel
+/// workload driver creates one per job, so only the statistics registry is
+/// shared across threads. Pass records serialise to JSON for
+/// `srpc --time-passes` and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_PIPELINE_PASSMANAGER_H
+#define SRP_PIPELINE_PASSMANAGER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace srp {
+
+class Module;
+
+/// Timing and verification outcome of one executed pass.
+struct PassRecord {
+  std::string Name;
+  double WallSeconds = 0;
+  bool Ran = false;        ///< false when a prior pass aborted the run
+  bool Failed = false;     ///< pass reported an error
+  bool Verified = false;   ///< post-pass verification ran
+  unsigned VerifyErrors = 0;
+};
+
+struct PassManagerOptions {
+  /// Run the IR verifier after every pass and attribute failures.
+  bool VerifyEachPass = true;
+};
+
+/// Runs a fixed sequence of named module passes with timing, verification
+/// and error attribution.
+class PassManager {
+public:
+  /// A pass body: transforms \p M, appends problems to \p Errors and
+  /// returns false to abort the remaining pipeline.
+  using PassFn = std::function<bool(Module &M, std::vector<std::string> &Errors)>;
+
+  explicit PassManager(PassManagerOptions Opts = {}) : Opts(Opts) {}
+
+  /// Appends a pass. Names should be short lower-case stage names; they
+  /// become the "name" fields of the timing report and the attribution
+  /// prefix of verifier errors.
+  void addPass(std::string Name, PassFn Fn);
+
+  /// Runs every registered pass in order over \p M. Stops at the first
+  /// pass that fails or breaks the verifier; errors are appended to
+  /// \p Errors prefixed with the offending pass's name. Returns true when
+  /// every pass ran cleanly.
+  bool run(Module &M, std::vector<std::string> &Errors);
+
+  /// Per-pass records, in registration order. Populated by run(); passes
+  /// skipped after an abort keep Ran = false and WallSeconds = 0.
+  const std::vector<PassRecord> &records() const { return Records; }
+
+  /// Registered pass names in execution order.
+  std::vector<std::string> passNames() const;
+
+  size_t size() const { return Passes.size(); }
+
+private:
+  PassManagerOptions Opts;
+  std::vector<std::pair<std::string, PassFn>> Passes;
+  std::vector<PassRecord> Records;
+};
+
+/// Renders pass records as a JSON array (name, wall_seconds, ran,
+/// verified, verify_errors), two-space indented at \p Indent levels.
+std::string passRecordsToJson(const std::vector<PassRecord> &Records,
+                              unsigned Indent = 0);
+
+} // namespace srp
+
+#endif // SRP_PIPELINE_PASSMANAGER_H

@@ -6,16 +6,47 @@
 
 #include "pipeline/Pipeline.h"
 #include "analysis/CFGCanonicalize.h"
-#include "analysis/Verifier.h"
 #include "frontend/Lowering.h"
 #include "ir/Module.h"
+#include "pipeline/PassManager.h"
 #include "profile/ProfileInfo.h"
+#include "promotion/Cleanup.h"
 #include "promotion/RegisterPromotion.h"
+#include "regalloc/Coloring.h"
 #include "ssa/Mem2Reg.h"
 #include "ssa/MemoryOpt.h"
 #include "ssa/MemorySSA.h"
+#include "support/Statistics.h"
+#include <algorithm>
+#include <atomic>
+#include <thread>
 
 using namespace srp;
+
+namespace {
+SRP_STATISTIC(NumPipelineRuns, "pipeline", "runs",
+              "Pipeline executions (all modes)");
+SRP_STATISTIC(NumParallelJobs, "pipeline", "parallel-jobs",
+              "Jobs executed through runPipelineParallel");
+} // namespace
+
+const char *srp::promotionModeName(PromotionMode Mode) {
+  switch (Mode) {
+  case PromotionMode::None:
+    return "none";
+  case PromotionMode::Paper:
+    return "paper";
+  case PromotionMode::PaperNoProfile:
+    return "noprofile";
+  case PromotionMode::LoopBaseline:
+    return "baseline";
+  case PromotionMode::Superblock:
+    return "superblock";
+  case PromotionMode::MemOptOnly:
+    return "memopt";
+  }
+  return "unknown";
+}
 
 StaticCounts srp::countStaticMemOps(const Function &F) {
   StaticCounts C;
@@ -67,94 +98,179 @@ PipelineResult srp::runPipeline(std::unique_ptr<Module> M,
   PipelineResult R;
   R.M = std::move(M);
   Module &Mod = *R.M;
+  ++NumPipelineRuns;
 
-  auto checkValid = [&](const char *Stage) {
-    if (!Opts.VerifyEachStep)
-      return true;
-    auto Errs = verify(Mod);
-    for (const std::string &E : Errs)
-      R.Errors.push_back(std::string(Stage) + ": " + E);
-    return Errs.empty();
-  };
-
-  // Common front half: locals to SSA, canonical CFG shape.
+  // Per-function analysis state shared between passes. Built by the
+  // canonicalise pass; the promoters rely on the CFG shape (and hence DT
+  // and IT) staying fixed from then on.
   struct FnState {
     Function *F;
     CanonicalCFG CFG;
   };
   std::vector<FnState> Fns;
-  for (const auto &F : Mod.functions()) {
-    DominatorTree DT(*F);
-    promoteLocalsToSSA(*F, DT);
-    FnState S{F.get(), canonicalize(*F)};
-    Fns.push_back(std::move(S));
-  }
-  if (!checkValid("after mem2reg+canonicalise"))
-    return R;
 
-  R.StaticBefore = countStaticMemOps(Mod);
+  PassManagerOptions PMOpts;
+  PMOpts.VerifyEachPass = Opts.VerifyEachStep;
+  PassManager PM(PMOpts);
 
-  // Profile run ("before" measurement doubles as the profile input).
-  Interpreter Interp(Mod);
-  R.RunBefore = Interp.run(Opts.EntryFunction);
-  if (!R.RunBefore.Ok) {
-    R.Errors.push_back("profile run failed: " + R.RunBefore.Error);
-    return R;
-  }
+  // -- Common front half: locals to SSA, canonical CFG shape. ------------
+  PM.addPass("mem2reg", [](Module &Mod, std::vector<std::string> &) {
+    for (const auto &F : Mod.functions()) {
+      DominatorTree DT(*F);
+      promoteLocalsToSSA(*F, DT);
+    }
+    return true;
+  });
+
+  PM.addPass("canonicalise", [&](Module &Mod, std::vector<std::string> &) {
+    for (const auto &F : Mod.functions())
+      Fns.push_back(FnState{F.get(), canonicalize(*F)});
+    R.StaticBefore = countStaticMemOps(Mod);
+    return true;
+  });
+
+  // -- Profile run ("before" measurement doubles as the profile input). --
+  PM.addPass("profile", [&](Module &Mod, std::vector<std::string> &Errors) {
+    Interpreter Interp(Mod);
+    R.RunBefore = Interp.run(Opts.EntryFunction);
+    if (!R.RunBefore.Ok) {
+      Errors.push_back("profile run failed: " + R.RunBefore.Error);
+      return false;
+    }
+    return true;
+  });
+
+  // -- Mode-specific transformation stages. ------------------------------
+  bool NeedsMemorySSA = Opts.Mode == PromotionMode::Paper ||
+                        Opts.Mode == PromotionMode::PaperNoProfile ||
+                        Opts.Mode == PromotionMode::MemOptOnly;
+  if (NeedsMemorySSA)
+    PM.addPass("memory-ssa", [&](Module &, std::vector<std::string> &) {
+      for (FnState &S : Fns)
+        buildMemorySSA(*S.F, S.CFG.DT);
+      return true;
+    });
 
   switch (Opts.Mode) {
   case PromotionMode::None:
     break;
   case PromotionMode::Paper:
-  case PromotionMode::PaperNoProfile: {
-    for (FnState &S : Fns) {
-      buildMemorySSA(*S.F, S.CFG.DT);
-      ProfileInfo PI = Opts.Mode == PromotionMode::Paper
-                           ? ProfileInfo::fromExecution(R.RunBefore)
-                           : ProfileInfo::estimate(*S.F, S.CFG.IT);
-      R.Promo +=
-          promoteRegisters(*S.F, S.CFG.DT, S.CFG.IT, PI, Opts.Promo);
-    }
+  case PromotionMode::PaperNoProfile:
+    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
+      for (FnState &S : Fns) {
+        ProfileInfo PI = Opts.Mode == PromotionMode::Paper
+                             ? ProfileInfo::fromExecution(R.RunBefore)
+                             : ProfileInfo::estimate(*S.F, S.CFG.IT);
+        R.Promo +=
+            promoteRegisters(*S.F, S.CFG.DT, S.CFG.IT, PI, Opts.Promo);
+      }
+      return true;
+    });
     break;
-  }
   case PromotionMode::LoopBaseline:
-    for (FnState &S : Fns)
-      R.Baseline += promoteLoopsBaseline(*S.F);
+    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
+      for (FnState &S : Fns)
+        R.Baseline += promoteLoopsBaseline(*S.F);
+      return true;
+    });
     break;
-  case PromotionMode::Superblock: {
-    ProfileInfo PI = ProfileInfo::fromExecution(R.RunBefore);
-    for (FnState &S : Fns)
-      R.Superblock += promoteSuperblocks(*S.F, PI);
+  case PromotionMode::Superblock:
+    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
+      ProfileInfo PI = ProfileInfo::fromExecution(R.RunBefore);
+      for (FnState &S : Fns)
+        R.Superblock += promoteSuperblocks(*S.F, PI);
+      return true;
+    });
     break;
-  }
   case PromotionMode::MemOptOnly:
-    for (FnState &S : Fns) {
-      buildMemorySSA(*S.F, S.CFG.DT);
-      optimizeMemorySSA(*S.F, S.CFG.DT);
-    }
+    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
+      for (FnState &S : Fns)
+        optimizeMemorySSA(*S.F, S.CFG.DT);
+      return true;
+    });
     break;
   }
-  if (!checkValid("after promotion"))
-    return R;
 
-  R.StaticAfter = countStaticMemOps(Mod);
+  // The promoters sweep up after themselves; this pass re-runs the
+  // cleanup as an idempotent fixpoint so stragglers (dummy loads, dead
+  // copies, unused memory phis) never survive into measurement.
+  if (NeedsMemorySSA)
+    PM.addPass("cleanup", [&](Module &, std::vector<std::string> &) {
+      for (FnState &S : Fns)
+        cleanupAfterPromotion(*S.F);
+      return true;
+    });
 
-  Interpreter Interp2(Mod);
-  R.RunAfter = Interp2.run(Opts.EntryFunction);
-  if (!R.RunAfter.Ok) {
-    R.Errors.push_back("measurement run failed: " + R.RunAfter.Error);
-    return R;
+  // -- Measurement back half. --------------------------------------------
+  PM.addPass("measure", [&](Module &Mod, std::vector<std::string> &Errors) {
+    R.StaticAfter = countStaticMemOps(Mod);
+    Interpreter Interp(Mod);
+    R.RunAfter = Interp.run(Opts.EntryFunction);
+    if (!R.RunAfter.Ok) {
+      Errors.push_back("measurement run failed: " + R.RunAfter.Error);
+      return false;
+    }
+    // Behavioural equivalence between the two runs is an invariant of
+    // every mode; violations are reported as errors so tests and benches
+    // notice.
+    if (R.RunBefore.Output != R.RunAfter.Output)
+      Errors.push_back("printed output changed across promotion");
+    if (R.RunBefore.ExitValue != R.RunAfter.ExitValue)
+      Errors.push_back("exit value changed across promotion");
+    if (R.RunBefore.FinalMemory != R.RunAfter.FinalMemory)
+      Errors.push_back("final memory state changed across promotion");
+    return Errors.empty();
+  });
+
+  if (Opts.MeasurePressure)
+    PM.addPass("pressure", [&](Module &, std::vector<std::string> &) {
+      for (FnState &S : Fns) {
+        PressureReport PR = measureRegisterPressure(*S.F);
+        R.Pressure.NumValues += PR.NumValues;
+        R.Pressure.Edges += PR.Edges;
+        R.Pressure.ColorsNeeded =
+            std::max(R.Pressure.ColorsNeeded, PR.ColorsNeeded);
+        R.Pressure.MaxLive = std::max(R.Pressure.MaxLive, PR.MaxLive);
+      }
+      return true;
+    });
+
+  R.Ok = PM.run(Mod, R.Errors) && R.Errors.empty();
+  R.Passes = PM.records();
+  return R;
+}
+
+std::vector<PipelineResult>
+srp::runPipelineParallel(const std::vector<PipelineJob> &Jobs,
+                         unsigned Threads) {
+  std::vector<PipelineResult> Results(Jobs.size());
+  if (Jobs.empty())
+    return Results;
+
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Threads = std::min<unsigned>(Threads, static_cast<unsigned>(Jobs.size()));
+
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Jobs.size();
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      Results[I] = runPipeline(Jobs[I].Source, Jobs[I].Opts);
+      ++NumParallelJobs;
+    }
+  };
+
+  if (Threads <= 1) {
+    Worker();
+    return Results;
   }
 
-  // Behavioural equivalence between the two runs is an invariant of every
-  // mode; violations are reported as errors so tests and benches notice.
-  if (R.RunBefore.Output != R.RunAfter.Output)
-    R.Errors.push_back("printed output changed across promotion");
-  if (R.RunBefore.ExitValue != R.RunAfter.ExitValue)
-    R.Errors.push_back("exit value changed across promotion");
-  if (R.RunBefore.FinalMemory != R.RunAfter.FinalMemory)
-    R.Errors.push_back("final memory state changed across promotion");
-
-  R.Ok = R.Errors.empty();
-  return R;
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
 }

@@ -20,9 +20,11 @@
 
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
+#include "pipeline/PassManager.h"
 #include "promotion/LoopPromotion.h"
 #include "promotion/SuperblockPromotion.h"
 #include "promotion/PromotionOptions.h"
+#include "regalloc/Coloring.h"
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,11 +54,19 @@ enum class PromotionMode {
   MemOptOnly,    ///< classic memory-SSA RLE + DSE, no promotion
 };
 
+/// Spelling used by -mode= flags, test names and JSON output.
+const char *promotionModeName(PromotionMode Mode);
+
 struct PipelineOptions {
   PromotionMode Mode = PromotionMode::Paper;
   PromotionOptions Promo;
   std::string EntryFunction = "main";
+  /// Run the IR verifier after every pass; failures are attributed to the
+  /// pass that introduced them.
   bool VerifyEachStep = true;
+  /// Measure post-promotion register pressure (Table 3's coloring) as a
+  /// final pipeline pass.
+  bool MeasurePressure = true;
 };
 
 /// Everything a pipeline run produces.
@@ -71,6 +81,13 @@ struct PipelineResult {
   PromotionStats Promo;
   LoopPromotionStats Baseline;
   SuperblockStats Superblock;
+
+  /// Per-pass wall times and verification outcomes, in execution order
+  /// (see pipeline/PassManager.h).
+  std::vector<PassRecord> Passes;
+  /// Module-wide register pressure after promotion: NumValues/Edges are
+  /// summed over functions, ColorsNeeded/MaxLive are per-function maxima.
+  PressureReport Pressure;
 };
 
 /// Runs the full pipeline over Mini-C \p Source.
@@ -82,6 +99,23 @@ PipelineResult runPipeline(const std::string &Source,
 /// common baseline every mode shares).
 PipelineResult runPipeline(std::unique_ptr<Module> M,
                            const PipelineOptions &Opts = {});
+
+/// One unit of work for the parallel workload driver.
+struct PipelineJob {
+  std::string Name;   ///< label for reports ("compress.mc/paper")
+  std::string Source; ///< Mini-C source
+  PipelineOptions Opts;
+};
+
+/// Runs every job through runPipeline on a pool of \p Threads worker
+/// threads (0 = hardware concurrency, clamped to the job count;
+/// 1 = sequential in the calling thread). Results are returned in job
+/// order and are identical to running the jobs sequentially: jobs share
+/// no mutable state except the statistics registry, whose counters are
+/// atomic and accumulate order-independently.
+std::vector<PipelineResult>
+runPipelineParallel(const std::vector<PipelineJob> &Jobs,
+                    unsigned Threads = 0);
 
 } // namespace srp
 

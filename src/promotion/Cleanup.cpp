@@ -6,9 +6,21 @@
 
 #include "promotion/Cleanup.h"
 #include "ir/Function.h"
+#include "support/Statistics.h"
 #include <unordered_set>
 
 using namespace srp;
+
+namespace {
+SRP_STATISTIC(NumDummyLoads, "cleanup", "dummy-loads-removed",
+              "Dummy aliased loads swept after promotion");
+SRP_STATISTIC(NumCopies, "cleanup", "copies-propagated",
+              "Copies forwarded into their users");
+SRP_STATISTIC(NumDeadInsts, "cleanup", "dead-instructions-removed",
+              "Dead side-effect-free instructions deleted");
+SRP_STATISTIC(NumDeadMemPhis, "cleanup", "dead-mem-phis-removed",
+              "Memory phis without observers deleted");
+} // namespace
 
 unsigned srp::removeDummyLoads(Function &F) {
   unsigned N = 0;
@@ -137,5 +149,9 @@ CleanupStats srp::cleanupAfterPromotion(Function &F) {
       break;
     S.DeadInstructionsRemoved += More;
   }
+  NumDummyLoads += S.DummyLoadsRemoved;
+  NumCopies += S.CopiesPropagated;
+  NumDeadInsts += S.DeadInstructionsRemoved;
+  NumDeadMemPhis += S.DeadMemPhisRemoved;
   return S;
 }

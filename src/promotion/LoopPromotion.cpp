@@ -10,8 +10,18 @@
 #include "ir/Function.h"
 #include "ssa/Mem2Reg.h"
 #include "ssa/MemorySSA.h"
+#include "support/Statistics.h"
 #include <algorithm>
 #include <unordered_set>
+
+namespace {
+SRP_STATISTIC(NumVarsPromoted, "loop-promotion", "vars-promoted",
+              "Variables promoted by the Lu-Cooper baseline");
+SRP_STATISTIC(NumLoops, "loop-promotion", "loops-considered",
+              "Proper loops examined by the baseline");
+SRP_STATISTIC(NumBlocked, "loop-promotion", "blocked-by-aliases",
+              "Variable/loop pairs rejected for ambiguous references");
+} // namespace
 
 using namespace srp;
 
@@ -123,5 +133,9 @@ LoopPromotionStats srp::promoteLoopsBaseline(Function &F) {
   // The temporaries become SSA registers.
   DT.recompute(F);
   promoteLocalsToSSA(F, DT);
+
+  NumVarsPromoted += Stats.VariablesPromoted;
+  NumLoops += Stats.LoopsConsidered;
+  NumBlocked += Stats.BlockedByAliases;
   return Stats;
 }

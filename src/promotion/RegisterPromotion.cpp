@@ -10,8 +10,26 @@
 #include "promotion/Cleanup.h"
 #include "promotion/SSAWeb.h"
 #include "promotion/WebPromotion.h"
+#include "support/Statistics.h"
 
 using namespace srp;
+
+namespace {
+SRP_STATISTIC(NumWebsConsidered, "promotion", "webs-considered",
+              "SSA webs examined for profitability");
+SRP_STATISTIC(NumWebsPromoted, "promotion", "webs-promoted",
+              "SSA webs moved into registers");
+SRP_STATISTIC(NumLoadsDeleted, "promotion", "loads-deleted",
+              "Singleton loads replaced by register reads");
+SRP_STATISTIC(NumLoadsInserted, "promotion", "loads-inserted",
+              "Boundary/compensation loads inserted");
+SRP_STATISTIC(NumStoresDeleted, "promotion", "stores-deleted",
+              "Singleton stores eliminated");
+SRP_STATISTIC(NumStoresInserted, "promotion", "stores-inserted",
+              "Compensating stores inserted");
+SRP_STATISTIC(NumRegPhis, "promotion", "reg-phis-created",
+              "Register phis created for promoted values");
+} // namespace
 
 PromotionStats srp::promoteRegisters(Function &F, const DominatorTree &DT,
                                      const IntervalTree &IT,
@@ -30,5 +48,13 @@ PromotionStats srp::promoteRegisters(Function &F, const DominatorTree &DT,
   }
 
   cleanupAfterPromotion(F);
+
+  NumWebsConsidered += Stats.WebsConsidered;
+  NumWebsPromoted += Stats.WebsPromoted;
+  NumLoadsDeleted += Stats.LoadsReplaced;
+  NumLoadsInserted += Stats.LoadsInserted;
+  NumStoresDeleted += Stats.StoresDeleted;
+  NumStoresInserted += Stats.StoresInserted;
+  NumRegPhis += Stats.RegisterPhisCreated;
   return Stats;
 }

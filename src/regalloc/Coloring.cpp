@@ -7,13 +7,26 @@
 #include "regalloc/Coloring.h"
 #include "ir/Function.h"
 #include "regalloc/Liveness.h"
+#include "support/Statistics.h"
 #include <algorithm>
 #include <set>
 
 using namespace srp;
 
+namespace {
+SRP_STATISTIC(NumFunctionsColored, "coloring", "functions-colored",
+              "Functions whose interference graph was colored");
+SRP_STATISTIC(NumEdges, "coloring", "interference-edges",
+              "Interference edges built across all colorings");
+SRP_STATISTIC(MaxPressure, "coloring", "max-pressure",
+              "Peak simultaneous liveness seen in any function");
+SRP_STATISTIC(MaxColors, "coloring", "max-colors-needed",
+              "Most colors any function's coloring required");
+} // namespace
+
 PressureReport srp::measureRegisterPressure(Function &F) {
   PressureReport R;
+  ++NumFunctionsColored;
   Liveness LV(F);
   unsigned N = LV.numValues();
   R.NumValues = N;
@@ -96,5 +109,8 @@ PressureReport srp::measureRegisterPressure(Function &F) {
     MaxColor = std::max(MaxColor, static_cast<unsigned>(C) + 1);
   }
   R.ColorsNeeded = MaxColor;
+  NumEdges += R.Edges;
+  MaxPressure.updateMax(R.MaxLive);
+  MaxColors.updateMax(R.ColorsNeeded);
   return R;
 }

@@ -7,11 +7,17 @@
 #include "ssa/Mem2Reg.h"
 #include "analysis/Dominators.h"
 #include "ir/Module.h"
+#include "support/Statistics.h"
 #include <unordered_map>
 
 using namespace srp;
 
 namespace {
+
+SRP_STATISTIC(NumPromoted, "mem2reg", "promoted",
+              "Local scalars promoted out of memory");
+SRP_STATISTIC(NumSkipped, "mem2reg", "candidates-rejected",
+              "Locals kept in memory (address-taken or aggregate)");
 
 bool isCandidate(const MemoryObject &Obj) {
   return Obj.kind() == MemoryObject::Kind::Local && !Obj.isAddressTaken() &&
@@ -98,12 +104,15 @@ void promoteObject(Function &F, const DominatorTree &DT, MemoryObject *Obj) {
 } // namespace
 
 unsigned srp::promoteLocalsToSSA(Function &F, const DominatorTree &DT) {
-  unsigned NumPromoted = 0;
+  unsigned Count = 0;
   for (const auto &L : F.locals()) {
-    if (!isCandidate(*L))
+    if (!isCandidate(*L)) {
+      ++NumSkipped;
       continue;
+    }
     promoteObject(F, DT, L.get());
-    ++NumPromoted;
+    ++Count;
   }
-  return NumPromoted;
+  NumPromoted += Count;
+  return Count;
 }

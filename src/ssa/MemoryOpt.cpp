@@ -8,11 +8,21 @@
 #include "analysis/Dominators.h"
 #include "ir/Function.h"
 #include "ssa/SSAUpdater.h"
+#include "support/Statistics.h"
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 using namespace srp;
+
+namespace {
+SRP_STATISTIC(NumForwarded, "memopt", "loads-forwarded",
+              "Loads forwarded from the defining store");
+SRP_STATISTIC(NumReused, "memopt", "loads-reused",
+              "Loads replaced by a dominating load of the same version");
+SRP_STATISTIC(NumDeadStores, "memopt", "dead-stores-removed",
+              "Stores deleted because no instruction observes them");
+} // namespace
 
 MemoryOptStats srp::eliminateRedundantLoads(Function &F,
                                             const DominatorTree &DT) {
@@ -60,6 +70,8 @@ MemoryOptStats srp::eliminateRedundantLoads(Function &F,
   }
   for (LoadInst *Ld : ToErase)
     Ld->eraseFromParent();
+  NumForwarded += Stats.LoadsForwardedFromStores;
+  NumReused += Stats.LoadsReusedFromLoads;
   return Stats;
 }
 
@@ -77,6 +89,7 @@ MemoryOptStats srp::eliminateDeadStores(Function &F) {
     }
   SSAUpdateStats Sweep = sweepDeadDefs(F, StoreVersions);
   Stats.DeadStoresRemoved = Sweep.DefsDeleted;
+  NumDeadStores += Stats.DeadStoresRemoved;
   return Stats;
 }
 

@@ -7,12 +7,22 @@
 #include "ssa/SSAUpdater.h"
 #include "analysis/Dominators.h"
 #include "ir/Function.h"
+#include "support/Statistics.h"
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
 #include <unordered_set>
 
 using namespace srp;
+
+namespace {
+SRP_STATISTIC(NumIDF, "ssa-update", "idf-computations",
+              "Iterated-dominance-frontier computations");
+SRP_STATISTIC(NumPhisInserted, "ssa-update", "phis-inserted",
+              "Memory phis placed by incremental SSA update");
+SRP_STATISTIC(NumUsesRenamed, "ssa-update", "uses-renamed",
+              "Memory uses renamed to their reaching definitions");
+} // namespace
 
 namespace {
 
@@ -295,6 +305,9 @@ SSAUpdateStats srp::updateSSAForClonedResources(
     }
     F.purgeDeadMemoryNames();
   }
+  NumIDF += Stats.IDFComputations;
+  NumPhisInserted += Stats.PhisInserted;
+  NumUsesRenamed += Stats.UsesRenamed;
   return Stats;
 }
 

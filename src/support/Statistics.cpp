@@ -1,0 +1,119 @@
+//===- support/Statistics.cpp - Global pass statistics registry -----------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+using namespace srp;
+
+namespace {
+
+/// The process-wide registry. Construction order of namespace-scope
+/// Statistic objects across TUs is unspecified, so the registry itself is
+/// a function-local static (constructed on first use, destroyed after all
+/// statics that registered into it are no longer bumped).
+struct Registry {
+  std::mutex Lock;
+  std::vector<Statistic *> Stats;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+Statistic::Statistic(const char *Component, const char *Name,
+                     const char *Desc)
+    : Component(Component), Name(Name), Desc(Desc) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  R.Stats.push_back(this);
+}
+
+StatsSnapshot srp::stats::snapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  StatsSnapshot S;
+  for (const Statistic *St : R.Stats)
+    S[St->fullName()] = St->get();
+  return S;
+}
+
+void srp::stats::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  for (Statistic *St : R.Stats)
+    St->set(0);
+}
+
+size_t srp::stats::numRegistered() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  return R.Stats.size();
+}
+
+std::string srp::stats::description(const std::string &FullName) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  for (const Statistic *St : R.Stats)
+    if (St->fullName() == FullName)
+      return St->description();
+  return "";
+}
+
+std::string srp::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string srp::stats::toJson(const StatsSnapshot &S, unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  std::string Inner(Indent * 2 + 2, ' ');
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (const auto &[Name, Value] : S) {
+    OS << (First ? "\n" : ",\n")
+       << Inner << "\"" << jsonEscape(Name) << "\": " << Value;
+    First = false;
+  }
+  if (!First)
+    OS << "\n" << Pad;
+  OS << "}";
+  return OS.str();
+}

@@ -1,0 +1,113 @@
+//===- support/Statistics.h - Global pass statistics registry --*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style named counters for the instrumented pass manager. A
+/// `Statistic` registers itself once (thread-safely) in a process-wide
+/// registry under the name `<component>.<name>` — e.g. `mem2reg.promoted`
+/// or `coloring.max-pressure` — and is bumped from anywhere in the
+/// compiler, including concurrently from the parallel workload driver:
+/// counters are relaxed atomics, so aggregate totals are deterministic
+/// regardless of thread interleaving (sums and maxima are
+/// order-independent).
+///
+/// Naming convention: `component` is the short lower-case pass or
+/// subsystem name (mem2reg, memssa, memopt, promotion, loop-promotion,
+/// ssa-update, coloring, interp, pipeline); `name` is a lower-case
+/// hyphenated metric. Declare counters at namespace scope in the pass's
+/// .cpp with SRP_STATISTIC.
+///
+/// `srp::stats::snapshot()` returns an ordered name -> value map (ordered
+/// so that serialised output is byte-stable), `reset()` zeroes every
+/// counter between independent runs, and `toJson()` renders a snapshot as
+/// a JSON object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_STATISTICS_H
+#define SRP_SUPPORT_STATISTICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace srp {
+
+/// One named, process-global, thread-safe counter.
+class Statistic {
+  const char *Component;
+  const char *Name;
+  const char *Desc;
+  std::atomic<uint64_t> Value{0};
+
+public:
+  Statistic(const char *Component, const char *Name, const char *Desc);
+
+  const char *component() const { return Component; }
+  const char *name() const { return Name; }
+  const char *description() const { return Desc; }
+  /// `<component>.<name>`, the registry key.
+  std::string fullName() const {
+    return std::string(Component) + "." + Name;
+  }
+
+  uint64_t get() const { return Value.load(std::memory_order_relaxed); }
+  void set(uint64_t V) { Value.store(V, std::memory_order_relaxed); }
+
+  Statistic &operator++() {
+    Value.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    Value.fetch_add(N, std::memory_order_relaxed);
+    return *this;
+  }
+  /// Raises the counter to \p V if it is currently lower (for peak-style
+  /// metrics such as coloring.max-pressure).
+  void updateMax(uint64_t V) {
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !Value.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+};
+
+/// Ordered name -> value view of the registry at one point in time.
+using StatsSnapshot = std::map<std::string, uint64_t>;
+
+namespace stats {
+
+/// All registered counters with their current values (including zeros, so
+/// the schema is stable across runs).
+StatsSnapshot snapshot();
+
+/// Zeroes every registered counter. Call between independent measurement
+/// runs; do not call while pipelines are executing on other threads.
+void reset();
+
+/// Number of registered counters.
+size_t numRegistered();
+
+/// Description for a registered full name, or "" if unknown.
+std::string description(const std::string &FullName);
+
+/// Renders \p S as a JSON object, keys sorted, two-space indented at
+/// \p Indent levels. Byte-stable for equal snapshots.
+std::string toJson(const StatsSnapshot &S, unsigned Indent = 0);
+
+} // namespace stats
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace srp
+
+/// Declares (at namespace or function scope) a registered statistic.
+#define SRP_STATISTIC(Var, Component, Name, Desc)                            \
+  static ::srp::Statistic Var(Component, Name, Desc)
+
+#endif // SRP_SUPPORT_STATISTICS_H

@@ -1,0 +1,14 @@
+//===- support/Timer.cpp - Wall-clock timing helpers ----------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+#include <chrono>
+
+double srp::monotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}

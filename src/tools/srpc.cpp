@@ -21,6 +21,7 @@
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
 #include "pipeline/Pipeline.h"
+#include "support/Statistics.h"
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,8 +47,13 @@ void usage() {
       "  -direct-stores       improved aliased-store placement\n"
       "  -stats               print promotion statistics\n"
       "  -counts              print static/dynamic memop counts\n"
+      "  -stats-json          emit run report (passes, statistics, counts)\n"
+      "                       as JSON on stdout (implies -quiet)\n"
+      "  -time-passes         print per-pass wall times (text; with\n"
+      "                       -stats-json the times are in the JSON)\n"
       "  -ir                  input is textual IR, not Mini-C\n"
-      "  -quiet               do not echo program output\n");
+      "  -quiet               do not echo program output\n"
+      "  (options may also be spelled with a leading --)\n");
 }
 
 } // namespace
@@ -56,10 +62,14 @@ int main(int argc, char **argv) {
   PipelineOptions Opts;
   bool PrintBefore = false, PrintAfter = false, Stats = false;
   bool Counts = false, Quiet = false, InputIsIR = false;
+  bool StatsJson = false, TimePasses = false;
   std::string File;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    // Accept GNU-style double dashes for every option.
+    if (A.rfind("--", 0) == 0)
+      A.erase(0, 1);
     if (A.rfind("-mode=", 0) == 0) {
       std::string Mode = A.substr(6);
       if (Mode == "none")
@@ -96,6 +106,11 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (A == "-counts") {
       Counts = true;
+    } else if (A == "-stats-json") {
+      StatsJson = true;
+      Quiet = true;
+    } else if (A == "-time-passes") {
+      TimePasses = true;
     } else if (A == "-quiet") {
       Quiet = true;
     } else if (A == "-ir") {
@@ -134,6 +149,10 @@ int main(int argc, char **argv) {
     return runPipeline(std::move(M), O);
   };
 
+  // With -stats-json, stdout must stay pure JSON: IR dumps and the
+  // -counts/-stats text go to stderr (the numbers are in the JSON anyway).
+  std::FILE *Txt = StatsJson ? stderr : stdout;
+
   // The pipeline prints "before" IR only via its result module, which has
   // already been transformed; for -print-ir-before run a None-mode
   // pipeline first.
@@ -142,7 +161,8 @@ int main(int argc, char **argv) {
     NoneOpts.Mode = PromotionMode::None;
     PipelineResult R0 = runOnce(NoneOpts);
     if (R0.M)
-      std::printf(";; IR before promotion\n%s\n", toString(*R0.M).c_str());
+      std::fprintf(Txt, ";; IR before promotion\n%s\n",
+                   toString(*R0.M).c_str());
   }
 
   PipelineResult R = runOnce(Opts);
@@ -153,17 +173,17 @@ int main(int argc, char **argv) {
   }
 
   if (PrintAfter)
-    std::printf(";; IR after promotion\n%s\n", toString(*R.M).c_str());
+    std::fprintf(Txt, ";; IR after promotion\n%s\n", toString(*R.M).c_str());
 
   if (!Quiet)
     for (int64_t V : R.RunAfter.Output)
       std::printf("%lld\n", static_cast<long long>(V));
 
   if (Counts) {
-    std::printf("static:  loads %u -> %u, stores %u -> %u\n",
+    std::fprintf(Txt, "static:  loads %u -> %u, stores %u -> %u\n",
                 R.StaticBefore.Loads, R.StaticAfter.Loads,
                 R.StaticBefore.Stores, R.StaticAfter.Stores);
-    std::printf("dynamic: loads %llu -> %llu, stores %llu -> %llu\n",
+    std::fprintf(Txt, "dynamic: loads %llu -> %llu, stores %llu -> %llu\n",
                 static_cast<unsigned long long>(
                     R.RunBefore.Counts.SingletonLoads),
                 static_cast<unsigned long long>(
@@ -174,14 +194,61 @@ int main(int argc, char **argv) {
                     R.RunAfter.Counts.SingletonStores));
   }
   if (Stats) {
-    std::printf("webs: %u considered, %u promoted, %u store-eliminated\n",
+    std::fprintf(Txt, "webs: %u considered, %u promoted, %u store-eliminated\n",
                 R.Promo.WebsConsidered, R.Promo.WebsPromoted,
                 R.Promo.WebsStoreEliminated);
-    std::printf("loads: %u replaced, %u inserted; stores: %u deleted, %u "
-                "inserted; dummies: %u; reg-phis: %u\n",
+    std::fprintf(Txt, "loads: %u replaced, %u inserted; stores: %u deleted, "
+                 "%u inserted; dummies: %u; reg-phis: %u\n",
                 R.Promo.LoadsReplaced, R.Promo.LoadsInserted,
                 R.Promo.StoresDeleted, R.Promo.StoresInserted,
                 R.Promo.DummyLoadsInserted, R.Promo.RegisterPhisCreated);
+  }
+
+  if (TimePasses && !StatsJson) {
+    std::printf("=== per-pass wall times ===\n");
+    double Total = 0;
+    for (const PassRecord &P : R.Passes)
+      Total += P.WallSeconds;
+    for (const PassRecord &P : R.Passes)
+      std::printf("  %-14s %9.3f ms%s\n", P.Name.c_str(),
+                  P.WallSeconds * 1e3, P.Verified ? "  (verified)" : "");
+    std::printf("  %-14s %9.3f ms\n", "total", Total * 1e3);
+  }
+
+  if (StatsJson) {
+    // Schema documented in docs/OBSERVABILITY.md. Keep stdout pure JSON.
+    std::ostringstream OS;
+    OS << "{\n"
+       << "  \"file\": \"" << jsonEscape(File) << "\",\n"
+       << "  \"mode\": \"" << promotionModeName(Opts.Mode) << "\",\n"
+       << "  \"entry\": \"" << jsonEscape(Opts.EntryFunction) << "\",\n"
+       << "  \"ok\": " << (R.Ok ? "true" : "false") << ",\n"
+       << "  \"exit_value\": " << R.RunAfter.ExitValue << ",\n"
+       << "  \"passes\": " << passRecordsToJson(R.Passes, 1) << ",\n"
+       << "  \"statistics\": " << stats::toJson(stats::snapshot(), 1)
+       << ",\n"
+       << "  \"counts\": {\n"
+       << "    \"static_loads_before\": " << R.StaticBefore.Loads << ",\n"
+       << "    \"static_loads_after\": " << R.StaticAfter.Loads << ",\n"
+       << "    \"static_stores_before\": " << R.StaticBefore.Stores << ",\n"
+       << "    \"static_stores_after\": " << R.StaticAfter.Stores << ",\n"
+       << "    \"dynamic_loads_before\": "
+       << R.RunBefore.Counts.SingletonLoads << ",\n"
+       << "    \"dynamic_loads_after\": "
+       << R.RunAfter.Counts.SingletonLoads << ",\n"
+       << "    \"dynamic_stores_before\": "
+       << R.RunBefore.Counts.SingletonStores << ",\n"
+       << "    \"dynamic_stores_after\": "
+       << R.RunAfter.Counts.SingletonStores << "\n"
+       << "  },\n"
+       << "  \"pressure\": {\n"
+       << "    \"values\": " << R.Pressure.NumValues << ",\n"
+       << "    \"edges\": " << R.Pressure.Edges << ",\n"
+       << "    \"colors_needed\": " << R.Pressure.ColorsNeeded << ",\n"
+       << "    \"max_live\": " << R.Pressure.MaxLive << "\n"
+       << "  }\n"
+       << "}\n";
+    std::fputs(OS.str().c_str(), stdout);
   }
   return 0;
 }

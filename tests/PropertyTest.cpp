@@ -22,6 +22,7 @@
 #include "RandomProgramGen.h"
 #include "TestHelpers.h"
 #include <gtest/gtest.h>
+#include <iterator>
 
 using namespace srp;
 using namespace srp::test;
@@ -150,5 +151,64 @@ TEST_P(GeneratorSanityTest, GeneratedProgramsCompileAndRun) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSanityTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===
+// Seeded fuzz sweep through the parallel workload driver: >= 200 random
+// CFG+memory programs, each run under every promotion mode. Verifier
+// cleanliness and before/after oracle equivalence are enforced inside the
+// pipeline (VerifyEachStep is on and the measure pass compares the two
+// interpreter runs), so any violation surfaces as a job error. Seeds are
+// fixed: a failure message names the seed and mode that reproduce it.
+// The *Heavy* suite name schedules this under ctest's `heavy` label.
+//===----------------------------------------------------------------------===
+
+class ParallelFuzzHeavyTest : public ::testing::Test {};
+
+TEST_F(ParallelFuzzHeavyTest, SeededProgramsCleanUnderAllModes) {
+  constexpr uint64_t NumPrograms = 200;
+  const PromotionMode AllModes[] = {
+      PromotionMode::None,           PromotionMode::Paper,
+      PromotionMode::PaperNoProfile, PromotionMode::LoopBaseline,
+      PromotionMode::Superblock,     PromotionMode::MemOptOnly};
+
+  std::vector<PipelineJob> Jobs;
+  Jobs.reserve(NumPrograms * std::size(AllModes));
+  for (uint64_t Seed = 1; Seed <= NumPrograms; ++Seed) {
+    // Vary program shape deterministically with the seed.
+    GenConfig Cfg;
+    Cfg.MaxFunctions = 1 + static_cast<unsigned>(Seed % 4);
+    Cfg.MaxLoopDepth = 1 + static_cast<unsigned>(Seed % 3);
+    Cfg.ExtraStmts = static_cast<unsigned>(Seed % 3);
+    Cfg.AllowPointerWrites = Seed % 5 != 0;
+    RandomProgramGen Gen(Seed * 6364136223846793005ull + 1442695040888963407ull,
+                         Cfg);
+    std::string Src = Gen.generate();
+
+    for (PromotionMode Mode : AllModes) {
+      PipelineJob J;
+      J.Name = "seed-" + std::to_string(Seed) + "/" +
+               promotionModeName(Mode);
+      J.Source = Src;
+      J.Opts.Mode = Mode;
+      Jobs.push_back(std::move(J));
+    }
+  }
+
+  std::vector<PipelineResult> Results = runPipelineParallel(Jobs);
+  ASSERT_EQ(Results.size(), Jobs.size());
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const PipelineResult &R = Results[I];
+    for (const auto &E : R.Errors)
+      ADD_FAILURE() << Jobs[I].Name << ": " << E << "\nprogram:\n"
+                    << Jobs[I].Source;
+    EXPECT_TRUE(R.Ok) << Jobs[I].Name;
+    // Profile-guided promotion with boundary accounting never loses.
+    if (R.Ok && Jobs[I].Opts.Mode == PromotionMode::Paper) {
+      EXPECT_LE(R.RunAfter.Counts.memOps(), R.RunBefore.Counts.memOps())
+          << Jobs[I].Name << "\n"
+          << Jobs[I].Source;
+    }
+  }
+}
 
 } // namespace

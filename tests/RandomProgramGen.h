@@ -23,8 +23,19 @@
 
 namespace srp::test {
 
+/// Shape knobs for generated programs. Defaults match the original
+/// generator; the fuzz suites vary them per seed to widen CFG and memory
+/// shape coverage while staying deterministic.
+struct GenConfig {
+  unsigned MaxFunctions = 3;   ///< helper functions besides main (0..N-1)
+  unsigned MaxLoopDepth = 2;   ///< nesting bound for counted loops
+  unsigned ExtraStmts = 0;     ///< added to every statement budget
+  bool AllowPointerWrites = true; ///< permit *p stores through &global0
+};
+
 class RandomProgramGen {
   RNG Rand;
+  GenConfig Cfg;
   std::ostringstream OS;
   std::vector<std::string> Globals;
   std::vector<std::pair<std::string, unsigned>> Arrays;
@@ -148,7 +159,7 @@ class RandomProgramGen {
         break;
       }
       case 5: { // bounded for loop
-        if (LoopDepth >= 2)
+        if (LoopDepth >= Cfg.MaxLoopDepth)
           break;
         std::string IV = fresh("i");
         unsigned Trip = 1 + static_cast<unsigned>(Rand.below(12));
@@ -225,7 +236,8 @@ class RandomProgramGen {
   }
 
 public:
-  explicit RandomProgramGen(uint64_t Seed) : Rand(Seed) {}
+  explicit RandomProgramGen(uint64_t Seed, GenConfig Cfg = {})
+      : Rand(Seed), Cfg(Cfg) {}
 
   /// Generates one complete program.
   std::string generate() {
@@ -246,9 +258,11 @@ public:
       Fields.push_back("s0.f0");
       Fields.push_back("s0.f1");
     }
-    PointerToGlobal0 = Rand.chance(1, 3);
+    PointerToGlobal0 = Cfg.AllowPointerWrites && Rand.chance(1, 3);
 
-    unsigned NumFns = static_cast<unsigned>(Rand.below(3));
+    unsigned NumFns =
+        Cfg.MaxFunctions ? static_cast<unsigned>(Rand.below(Cfg.MaxFunctions))
+                         : 0;
     for (unsigned I = 0; I != NumFns; ++I) {
       std::string N = fresh("f");
       unsigned Arity = static_cast<unsigned>(Rand.below(3));
@@ -262,7 +276,7 @@ public:
       OS << ") {\n";
       ScalarLocals = Params; // params readable (read-only)
       ReadOnly = Params;
-      stmt(1, 2 + Rand.below(4));
+      stmt(1, 2 + Cfg.ExtraStmts + Rand.below(4));
       ScalarLocals.clear();
       ReadOnly.clear();
       OS << "}\n";
@@ -272,7 +286,7 @@ public:
     OS << "void main() {\n";
     ScalarLocals.clear();
     ReadOnly.clear();
-    stmt(1, 4 + Rand.below(6));
+    stmt(1, 4 + Cfg.ExtraStmts + Rand.below(6));
     // Make every global observable so equivalence checks bite.
     for (const std::string &G : Globals)
       OS << "  print(" << G << ");\n";
