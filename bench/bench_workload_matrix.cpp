@@ -34,15 +34,13 @@ using namespace srp::bench;
 namespace {
 
 std::vector<PipelineJob> buildMatrix() {
-  const PromotionMode Modes[] = {
-      PromotionMode::None,           PromotionMode::Paper,
-      PromotionMode::PaperNoProfile, PromotionMode::LoopBaseline,
-      PromotionMode::Superblock,     PromotionMode::MemOptOnly};
   std::vector<PipelineJob> Jobs;
   auto addAll = [&](const std::vector<Workload> &Ws) {
     for (const Workload &W : Ws) {
-      std::string Src = loadWorkload(W.File);
-      for (PromotionMode Mode : Modes) {
+      // One shared SourceText per workload: the six mode jobs alias the
+      // same immutable program text instead of copying it.
+      SourceText Src(loadWorkload(W.File));
+      for (PromotionMode Mode : allPromotionModes()) {
         PipelineJob J;
         J.Name = std::string(W.Name) + "/" + promotionModeName(Mode);
         J.Source = Src;

@@ -73,3 +73,26 @@ CanonicalCFG srp::canonicalize(Function &F) {
   Result.IT.assignPreheaders(Result.DT);
   return Result;
 }
+
+void srp::canonicalize(Function &F, AnalysisManager &AM) {
+  // ensureVirginEntry edits the CFG with raw block surgery, bypassing the
+  // CFGEdit utilities, so it must report the change itself.
+  if (ensureVirginEntry(F))
+    notifyCFGChanged(F);
+
+  while (true) {
+    bool Changed = splitAllCriticalEdges(F) > 0;
+    // Splits invalidated the cached trees via the listener; this rebuilds
+    // them once per changed round and reuses them on the final quiet one.
+    IntervalTree &IT = AM.get<IntervalTree>(F);
+    Changed |= insertPreheaders(IT);
+    if (!Changed)
+      break;
+  }
+
+  // The loop exited on a quiet round, so the cached trees match the final
+  // CFG; they just predate the canonical flag. Assign preheaders in place
+  // (idempotent if a rebuild already did) instead of forcing a rebuild.
+  AM.markCanonical(F);
+  AM.get<IntervalTree>(F).assignPreheaders(AM.get<DominatorTree>(F));
+}

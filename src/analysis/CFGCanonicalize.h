@@ -16,6 +16,7 @@
 #ifndef SRP_ANALYSIS_CFGCANONICALIZE_H
 #define SRP_ANALYSIS_CFGCANONICALIZE_H
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
 #include "analysis/Intervals.h"
 
@@ -34,6 +35,14 @@ struct CanonicalCFG {
 /// construction (phi incoming lists are maintained), but the standard
 /// pipeline runs it before.
 CanonicalCFG canonicalize(Function &F);
+
+/// Cache-aware variant: the fixpoint pulls dominator/interval trees from
+/// \p AM (edge splits invalidate them through the IRChangeListener hook,
+/// so unchanged rounds reuse the cached trees) and, on return, \p F is
+/// marked canonical in the manager — from then on every IntervalTree
+/// rebuild assigns promotion preheaders. The cached trees are current
+/// when this returns; clients fetch them with AM.get<>().
+void canonicalize(Function &F, AnalysisManager &AM);
 
 } // namespace srp
 

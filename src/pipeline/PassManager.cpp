@@ -6,6 +6,7 @@
 
 #include "pipeline/PassManager.h"
 #include "analysis/Verifier.h"
+#include "ir/Module.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include <sstream>
@@ -20,7 +21,30 @@ SRP_STATISTIC(NumVerifyFailures, "pipeline", "verify-failures",
 } // namespace
 
 void PassManager::addPass(std::string Name, PassFn Fn) {
+  addPass(std::move(Name),
+          ModulePassFn([Fn = std::move(Fn)](Module &M, AnalysisManager &,
+                                            std::vector<std::string> &Errors) {
+            return Fn(M, Errors);
+          }));
+}
+
+void PassManager::addPass(std::string Name, ModulePassFn Fn) {
   Passes.emplace_back(std::move(Name), std::move(Fn));
+}
+
+void PassManager::addFunctionPass(std::string Name, FunctionPassFn Fn) {
+  addPass(std::move(Name),
+          ModulePassFn([Fn = std::move(Fn)](Module &M, AnalysisManager &AM,
+                                            std::vector<std::string> &Errors) {
+            const size_t Before = Errors.size();
+            for (const auto &F : M.functions()) {
+              PreservedAnalyses PA = Fn(*F, AM, Errors);
+              AM.invalidate(*F, PA);
+              if (Errors.size() > Before)
+                return false;
+            }
+            return true;
+          }));
 }
 
 std::vector<std::string> PassManager::passNames() const {
@@ -32,6 +56,12 @@ std::vector<std::string> PassManager::passNames() const {
 }
 
 bool PassManager::run(Module &M, std::vector<std::string> &Errors) {
+  AnalysisManager AM(&M);
+  return run(M, AM, Errors);
+}
+
+bool PassManager::run(Module &M, AnalysisManager &AM,
+                      std::vector<std::string> &Errors) {
   Records.clear();
   Records.reserve(Passes.size());
   for (const auto &[Name, Fn] : Passes)
@@ -45,7 +75,7 @@ bool PassManager::run(Module &M, std::vector<std::string> &Errors) {
     bool PassOk;
     {
       ScopedTimer T(Rec.WallSeconds);
-      PassOk = Passes[I].second(M, Errors);
+      PassOk = Passes[I].second(M, AM, Errors);
     }
     if (!PassOk) {
       Rec.Failed = true;

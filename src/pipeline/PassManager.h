@@ -20,17 +20,26 @@
 /// shared across threads. Pass records serialise to JSON for
 /// `srpc --time-passes` and the benchmark harnesses.
 ///
+/// Passes receive the run's AnalysisManager and pull dominators, interval
+/// trees, memory SSA, profiles and liveness from it instead of rebuilding
+/// them. A function pass returns the PreservedAnalyses set it kept valid;
+/// the manager invalidates the rest per function. Module passes and the
+/// legacy (Module&, Errors&) form manage invalidation themselves (the
+/// CFGEdit/SSAUpdater notifier hooks cover the common cases).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SRP_PIPELINE_PASSMANAGER_H
 #define SRP_PIPELINE_PASSMANAGER_H
 
+#include "analysis/AnalysisManager.h"
 #include <functional>
 #include <string>
 #include <vector>
 
 namespace srp {
 
+class Function;
 class Module;
 
 /// Timing and verification outcome of one executed pass.
@@ -52,9 +61,23 @@ struct PassManagerOptions {
 /// and error attribution.
 class PassManager {
 public:
-  /// A pass body: transforms \p M, appends problems to \p Errors and
-  /// returns false to abort the remaining pipeline.
+  /// Legacy pass body (no analysis manager): transforms \p M, appends
+  /// problems to \p Errors and returns false to abort the remaining
+  /// pipeline. Kept so pre-AnalysisManager passes and tests compile.
   using PassFn = std::function<bool(Module &M, std::vector<std::string> &Errors)>;
+
+  /// A module pass: like PassFn but with access to the run's analysis
+  /// cache. Responsible for its own invalidation (usually implicit via
+  /// the IR-change notifier).
+  using ModulePassFn = std::function<bool(
+      Module &M, AnalysisManager &AM, std::vector<std::string> &Errors)>;
+
+  /// A function pass: runs once per function and declares, through its
+  /// return value, which cached analyses it preserved; the pass manager
+  /// invalidates the rest for that function. Report problems by appending
+  /// to \p Errors — any new entry aborts the pipeline.
+  using FunctionPassFn = std::function<PreservedAnalyses(
+      Function &F, AnalysisManager &AM, std::vector<std::string> &Errors)>;
 
   explicit PassManager(PassManagerOptions Opts = {}) : Opts(Opts) {}
 
@@ -62,12 +85,22 @@ public:
   /// become the "name" fields of the timing report and the attribution
   /// prefix of verifier errors.
   void addPass(std::string Name, PassFn Fn);
+  void addPass(std::string Name, ModulePassFn Fn);
+
+  /// Appends a pass that runs over every function of the module, with
+  /// per-function PreservedAnalyses-driven invalidation.
+  void addFunctionPass(std::string Name, FunctionPassFn Fn);
 
   /// Runs every registered pass in order over \p M. Stops at the first
   /// pass that fails or breaks the verifier; errors are appended to
   /// \p Errors prefixed with the offending pass's name. Returns true when
-  /// every pass ran cleanly.
+  /// every pass ran cleanly. This overload serves legacy callers by
+  /// running against a fresh, run-local AnalysisManager.
   bool run(Module &M, std::vector<std::string> &Errors);
+
+  /// Same, against the caller's AnalysisManager (the pipeline threads the
+  /// builder-owned manager through here).
+  bool run(Module &M, AnalysisManager &AM, std::vector<std::string> &Errors);
 
   /// Per-pass records, in registration order. Populated by run(); passes
   /// skipped after an abort keep Ran = false and WallSeconds = 0.
@@ -80,7 +113,9 @@ public:
 
 private:
   PassManagerOptions Opts;
-  std::vector<std::pair<std::string, PassFn>> Passes;
+  // Every form is stored as a ModulePassFn; the other addPass overloads
+  // wrap into it.
+  std::vector<std::pair<std::string, ModulePassFn>> Passes;
   std::vector<PassRecord> Records;
 };
 

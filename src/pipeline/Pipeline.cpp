@@ -30,24 +30,6 @@ SRP_STATISTIC(NumParallelJobs, "pipeline", "parallel-jobs",
               "Jobs executed through runPipelineParallel");
 } // namespace
 
-const char *srp::promotionModeName(PromotionMode Mode) {
-  switch (Mode) {
-  case PromotionMode::None:
-    return "none";
-  case PromotionMode::Paper:
-    return "paper";
-  case PromotionMode::PaperNoProfile:
-    return "noprofile";
-  case PromotionMode::LoopBaseline:
-    return "baseline";
-  case PromotionMode::Superblock:
-    return "superblock";
-  case PromotionMode::MemOptOnly:
-    return "memopt";
-  }
-  return "unknown";
-}
-
 StaticCounts srp::countStaticMemOps(const Function &F) {
   StaticCounts C;
   for (const auto &BB : F) {
@@ -84,110 +66,117 @@ StaticCounts srp::countStaticMemOps(const Module &M) {
   return C;
 }
 
-PipelineResult srp::runPipeline(const std::string &Source,
-                                const PipelineOptions &Opts) {
+PipelineResult PipelineBuilder::run(const SourceText &Source) {
   PipelineResult R;
-  auto M = compileMiniC(Source, R.Errors);
+  auto M = compileMiniC(Source.str(), R.Errors);
   if (!M)
     return R;
-  return runPipeline(std::move(M), Opts);
+  return run(std::move(M));
 }
 
-PipelineResult srp::runPipeline(std::unique_ptr<Module> M,
-                                const PipelineOptions &Opts) {
+PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
   PipelineResult R;
   R.M = std::move(M);
   Module &Mod = *R.M;
   ++NumPipelineRuns;
 
-  // Per-function analysis state shared between passes. Built by the
-  // canonicalise pass; the promoters rely on the CFG shape (and hence DT
-  // and IT) staying fixed from then on.
-  struct FnState {
-    Function *F;
-    CanonicalCFG CFG;
-  };
-  std::vector<FnState> Fns;
+  // Fresh manager per run: analyses of the previous run's module must not
+  // leak into this one. The builder keeps it alive past the run so tests
+  // can inspect cache state.
+  AM = std::make_unique<AnalysisManager>(&Mod);
+  AnalysisManager &AMRef = *AM;
+  if (Opts.DisableAnalysisCache)
+    AMRef.setCachingEnabled(false);
 
   PassManagerOptions PMOpts;
   PMOpts.VerifyEachPass = Opts.VerifyEachStep;
   PassManager PM(PMOpts);
 
   // -- Common front half: locals to SSA, canonical CFG shape. ------------
-  PM.addPass("mem2reg", [](Module &Mod, std::vector<std::string> &) {
-    for (const auto &F : Mod.functions()) {
-      DominatorTree DT(*F);
-      promoteLocalsToSSA(*F, DT);
-    }
-    return true;
-  });
+  PM.addFunctionPass(
+      "mem2reg", [](Function &F, AnalysisManager &AM,
+                    std::vector<std::string> &) {
+        // The AM overload reports the rewrite through the notifier, which
+        // invalidates exactly what went stale (liveness).
+        promoteLocalsToSSA(F, AM);
+        return PreservedAnalyses::all();
+      });
 
-  PM.addPass("canonicalise", [&](Module &Mod, std::vector<std::string> &) {
+  PM.addPass("canonicalise", PassManager::ModulePassFn(
+                                 [&](Module &Mod, AnalysisManager &AM,
+                                     std::vector<std::string> &) {
     for (const auto &F : Mod.functions())
-      Fns.push_back(FnState{F.get(), canonicalize(*F)});
+      canonicalize(*F, AM);
     R.StaticBefore = countStaticMemOps(Mod);
     return true;
-  });
+  }));
 
   // -- Profile run ("before" measurement doubles as the profile input). --
-  PM.addPass("profile", [&](Module &Mod, std::vector<std::string> &Errors) {
+  PM.addPass("profile", PassManager::ModulePassFn(
+                            [&](Module &Mod, AnalysisManager &AM,
+                                std::vector<std::string> &Errors) {
     Interpreter Interp(Mod);
     R.RunBefore = Interp.run(Opts.EntryFunction);
     if (!R.RunBefore.Ok) {
       Errors.push_back("profile run failed: " + R.RunBefore.Error);
       return false;
     }
+    // One module-wide profile for every function (the old pipeline
+    // re-derived it per function inside the promotion pass).
+    AM.setExecution(R.RunBefore.BlockCounts);
     return true;
-  });
+  }));
 
   // -- Mode-specific transformation stages. ------------------------------
   bool NeedsMemorySSA = Opts.Mode == PromotionMode::Paper ||
                         Opts.Mode == PromotionMode::PaperNoProfile ||
                         Opts.Mode == PromotionMode::MemOptOnly;
   if (NeedsMemorySSA)
-    PM.addPass("memory-ssa", [&](Module &, std::vector<std::string> &) {
-      for (FnState &S : Fns)
-        buildMemorySSA(*S.F, S.CFG.DT);
-      return true;
-    });
+    PM.addFunctionPass(
+        "memory-ssa", [](Function &F, AnalysisManager &AM,
+                         std::vector<std::string> &) {
+          AM.get<MemorySSAInfo>(F);
+          return PreservedAnalyses::all();
+        });
 
   switch (Opts.Mode) {
   case PromotionMode::None:
     break;
   case PromotionMode::Paper:
   case PromotionMode::PaperNoProfile:
-    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
-      for (FnState &S : Fns) {
-        ProfileInfo PI = Opts.Mode == PromotionMode::Paper
-                             ? ProfileInfo::fromExecution(R.RunBefore)
-                             : ProfileInfo::estimate(*S.F, S.CFG.IT);
-        R.Promo +=
-            promoteRegisters(*S.F, S.CFG.DT, S.CFG.IT, PI, Opts.Promo);
-      }
-      return true;
-    });
+    PM.addFunctionPass(
+        "promotion", [&](Function &F, AnalysisManager &AM,
+                         std::vector<std::string> &) {
+          const ProfileInfo &PI = Opts.Mode == PromotionMode::Paper
+                                      ? AM.executionProfile()
+                                      : AM.get<StaticFrequency>(F).Freq;
+          R.Promo += promoteRegisters(F, PI, AM, Opts.Promo);
+          return PreservedAnalyses::all();
+        });
     break;
   case PromotionMode::LoopBaseline:
-    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
-      for (FnState &S : Fns)
-        R.Baseline += promoteLoopsBaseline(*S.F);
-      return true;
-    });
+    PM.addFunctionPass(
+        "promotion", [&](Function &F, AnalysisManager &AM,
+                         std::vector<std::string> &) {
+          R.Baseline += promoteLoopsBaseline(F, AM);
+          return PreservedAnalyses::all();
+        });
     break;
   case PromotionMode::Superblock:
-    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
-      ProfileInfo PI = ProfileInfo::fromExecution(R.RunBefore);
-      for (FnState &S : Fns)
-        R.Superblock += promoteSuperblocks(*S.F, PI);
-      return true;
-    });
+    PM.addFunctionPass(
+        "promotion", [&](Function &F, AnalysisManager &AM,
+                         std::vector<std::string> &) {
+          R.Superblock += promoteSuperblocks(F, AM.executionProfile(), AM);
+          return PreservedAnalyses::all();
+        });
     break;
   case PromotionMode::MemOptOnly:
-    PM.addPass("promotion", [&](Module &, std::vector<std::string> &) {
-      for (FnState &S : Fns)
-        optimizeMemorySSA(*S.F, S.CFG.DT);
-      return true;
-    });
+    PM.addFunctionPass(
+        "promotion", [](Function &F, AnalysisManager &AM,
+                        std::vector<std::string> &) {
+          optimizeMemorySSA(F, AM);
+          return PreservedAnalyses::all();
+        });
     break;
   }
 
@@ -195,14 +184,17 @@ PipelineResult srp::runPipeline(std::unique_ptr<Module> M,
   // cleanup as an idempotent fixpoint so stragglers (dummy loads, dead
   // copies, unused memory phis) never survive into measurement.
   if (NeedsMemorySSA)
-    PM.addPass("cleanup", [&](Module &, std::vector<std::string> &) {
-      for (FnState &S : Fns)
-        cleanupAfterPromotion(*S.F);
-      return true;
-    });
+    PM.addFunctionPass(
+        "cleanup", [](Function &F, AnalysisManager &AM,
+                      std::vector<std::string> &) {
+          cleanupAfterPromotion(F, AM);
+          return PreservedAnalyses::all();
+        });
 
   // -- Measurement back half. --------------------------------------------
-  PM.addPass("measure", [&](Module &Mod, std::vector<std::string> &Errors) {
+  PM.addPass("measure", PassManager::ModulePassFn(
+                            [&](Module &Mod, AnalysisManager &,
+                                std::vector<std::string> &Errors) {
     R.StaticAfter = countStaticMemOps(Mod);
     Interpreter Interp(Mod);
     R.RunAfter = Interp.run(Opts.EntryFunction);
@@ -220,24 +212,35 @@ PipelineResult srp::runPipeline(std::unique_ptr<Module> M,
     if (R.RunBefore.FinalMemory != R.RunAfter.FinalMemory)
       Errors.push_back("final memory state changed across promotion");
     return Errors.empty();
-  });
+  }));
 
   if (Opts.MeasurePressure)
-    PM.addPass("pressure", [&](Module &, std::vector<std::string> &) {
-      for (FnState &S : Fns) {
-        PressureReport PR = measureRegisterPressure(*S.F);
-        R.Pressure.NumValues += PR.NumValues;
-        R.Pressure.Edges += PR.Edges;
-        R.Pressure.ColorsNeeded =
-            std::max(R.Pressure.ColorsNeeded, PR.ColorsNeeded);
-        R.Pressure.MaxLive = std::max(R.Pressure.MaxLive, PR.MaxLive);
-      }
-      return true;
-    });
+    PM.addFunctionPass(
+        "pressure", [&](Function &F, AnalysisManager &AM,
+                        std::vector<std::string> &) {
+          PressureReport PR = measureRegisterPressure(F, AM);
+          R.Pressure.NumValues += PR.NumValues;
+          R.Pressure.Edges += PR.Edges;
+          R.Pressure.ColorsNeeded =
+              std::max(R.Pressure.ColorsNeeded, PR.ColorsNeeded);
+          R.Pressure.MaxLive = std::max(R.Pressure.MaxLive, PR.MaxLive);
+          return PreservedAnalyses::all();
+        });
 
-  R.Ok = PM.run(Mod, R.Errors) && R.Errors.empty();
+  R.Ok = PM.run(Mod, AMRef, R.Errors) && R.Errors.empty();
   R.Passes = PM.records();
+  R.Analysis = AMRef.cacheStats();
   return R;
+}
+
+PipelineResult srp::runPipeline(const std::string &Source,
+                                const PipelineOptions &Opts) {
+  return PipelineBuilder().options(Opts).run(SourceText(Source));
+}
+
+PipelineResult srp::runPipeline(std::unique_ptr<Module> M,
+                                const PipelineOptions &Opts) {
+  return PipelineBuilder().options(Opts).run(std::move(M));
 }
 
 std::vector<PipelineResult>
@@ -256,7 +259,7 @@ srp::runPipelineParallel(const std::vector<PipelineJob> &Jobs,
     for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
          I < Jobs.size();
          I = Next.fetch_add(1, std::memory_order_relaxed)) {
-      Results[I] = runPipeline(Jobs[I].Source, Jobs[I].Opts);
+      Results[I] = PipelineBuilder().options(Jobs[I].Opts).run(Jobs[I].Source);
       ++NumParallelJobs;
     }
   };

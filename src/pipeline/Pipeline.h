@@ -13,14 +13,27 @@
 /// plus the baseline variant (Lu-Cooper-style loop promotion) and the
 /// no-promotion control. Static memory-operation counting lives here too.
 ///
+/// The primary entry point is PipelineBuilder, a fluent configuration
+/// API that owns the run's AnalysisManager:
+///
+///   PipelineResult R = PipelineBuilder()
+///                          .mode(PromotionMode::Paper)
+///                          .entry("main")
+///                          .run(Source);
+///
+/// The free runPipeline functions are thin deprecated wrappers kept for
+/// existing callers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SRP_PIPELINE_PIPELINE_H
 #define SRP_PIPELINE_PIPELINE_H
 
+#include "analysis/AnalysisManager.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 #include "pipeline/PassManager.h"
+#include "pipeline/PipelineConfig.h"
 #include "promotion/LoopPromotion.h"
 #include "promotion/SuperblockPromotion.h"
 #include "promotion/PromotionOptions.h"
@@ -44,31 +57,6 @@ struct StaticCounts {
 StaticCounts countStaticMemOps(const Module &M);
 StaticCounts countStaticMemOps(const Function &F);
 
-/// How to transform the program between the profile run and measurement.
-enum class PromotionMode {
-  None,          ///< control: mem2reg only
-  Paper,         ///< the paper's SSA/interval/profile promoter
-  PaperNoProfile,///< paper promoter driven by static frequency estimates
-  LoopBaseline,  ///< Lu-Cooper-style loop promotion
-  Superblock,    ///< Mahlke-style superblock (hot trace) migration
-  MemOptOnly,    ///< classic memory-SSA RLE + DSE, no promotion
-};
-
-/// Spelling used by -mode= flags, test names and JSON output.
-const char *promotionModeName(PromotionMode Mode);
-
-struct PipelineOptions {
-  PromotionMode Mode = PromotionMode::Paper;
-  PromotionOptions Promo;
-  std::string EntryFunction = "main";
-  /// Run the IR verifier after every pass; failures are attributed to the
-  /// pass that introduced them.
-  bool VerifyEachStep = true;
-  /// Measure post-promotion register pressure (Table 3's coloring) as a
-  /// final pipeline pass.
-  bool MeasurePressure = true;
-};
-
 /// Everything a pipeline run produces.
 struct PipelineResult {
   bool Ok = false;
@@ -88,26 +76,88 @@ struct PipelineResult {
   /// Module-wide register pressure after promotion: NumValues/Edges are
   /// summed over functions, ColorsNeeded/MaxLive are per-function maxima.
   PressureReport Pressure;
+  /// Analysis-cache accounting for this run (hits, misses, invalidations,
+  /// per-kind build counts). Feeds the `analysis` section of --stats-json.
+  AnalysisCacheStats Analysis;
 };
 
-/// Runs the full pipeline over Mini-C \p Source.
+/// Fluent pipeline configuration and driver. A builder owns the
+/// AnalysisManager its runs execute against: each run() constructs a
+/// fresh manager bound to the compiled module and leaves it accessible
+/// through analysisManager() until the next run, so tests can inspect
+/// cache state post-mortem. Builders are reusable but single-threaded;
+/// the parallel workload driver uses one builder per worker job.
+class PipelineBuilder {
+  PipelineOptions Opts;
+  std::unique_ptr<AnalysisManager> AM;
+
+public:
+  PipelineBuilder() = default;
+
+  PipelineBuilder &mode(PromotionMode M) {
+    Opts.Mode = M;
+    return *this;
+  }
+  PipelineBuilder &entry(std::string Name) {
+    Opts.EntryFunction = std::move(Name);
+    return *this;
+  }
+  PipelineBuilder &promotion(const PromotionOptions &P) {
+    Opts.Promo = P;
+    return *this;
+  }
+  PipelineBuilder &verifyEachStep(bool On) {
+    Opts.VerifyEachStep = On;
+    return *this;
+  }
+  PipelineBuilder &measurePressure(bool On) {
+    Opts.MeasurePressure = On;
+    return *this;
+  }
+  PipelineBuilder &disableAnalysisCache(bool On) {
+    Opts.DisableAnalysisCache = On;
+    return *this;
+  }
+  /// Replaces the whole option set (for callers that already hold one).
+  PipelineBuilder &options(const PipelineOptions &O) {
+    Opts = O;
+    return *this;
+  }
+  const PipelineOptions &options() const { return Opts; }
+
+  /// Compiles and runs Mini-C source. SourceText converts implicitly from
+  /// std::string / string literals.
+  PipelineResult run(const SourceText &Source);
+
+  /// Runs the pipeline stages on an already-built module (consumed). The
+  /// "before" run/counts are taken after mem2reg + canonicalisation (the
+  /// common baseline every mode shares).
+  PipelineResult run(std::unique_ptr<Module> M);
+
+  /// The manager of the most recent run (null before the first). Valid
+  /// until the next run() or the builder's destruction; its references
+  /// point into the module owned by that run's PipelineResult.
+  AnalysisManager *analysisManager() { return AM.get(); }
+};
+
+/// Deprecated: use PipelineBuilder().options(Opts).run(Source).
 PipelineResult runPipeline(const std::string &Source,
                            const PipelineOptions &Opts = {});
 
-/// Runs the pipeline stages on an already-built module (consumed). The
-/// "before" run/counts are taken after mem2reg + canonicalisation (the
-/// common baseline every mode shares).
+/// Deprecated: use PipelineBuilder().options(Opts).run(std::move(M)).
 PipelineResult runPipeline(std::unique_ptr<Module> M,
                            const PipelineOptions &Opts = {});
 
-/// One unit of work for the parallel workload driver.
+/// One unit of work for the parallel workload driver. Source is shared
+/// immutable storage: building a workload x mode matrix copies pointers,
+/// not program text.
 struct PipelineJob {
   std::string Name;   ///< label for reports ("compress.mc/paper")
-  std::string Source; ///< Mini-C source
+  SourceText Source;  ///< Mini-C source (shared, immutable)
   PipelineOptions Opts;
 };
 
-/// Runs every job through runPipeline on a pool of \p Threads worker
+/// Runs every job through the pipeline on a pool of \p Threads worker
 /// threads (0 = hardware concurrency, clamped to the job count;
 /// 1 = sequential in the calling thread). Results are returned in job
 /// order and are identical to running the jobs sequentially: jobs share

@@ -1,0 +1,46 @@
+//===- pipeline/PipelineConfig.cpp - Pipeline configuration ---------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/PipelineConfig.h"
+
+using namespace srp;
+
+const char *srp::promotionModeName(PromotionMode Mode) {
+  switch (Mode) {
+  case PromotionMode::None:
+    return "none";
+  case PromotionMode::Paper:
+    return "paper";
+  case PromotionMode::PaperNoProfile:
+    return "noprofile";
+  case PromotionMode::LoopBaseline:
+    return "baseline";
+  case PromotionMode::Superblock:
+    return "superblock";
+  case PromotionMode::MemOptOnly:
+    return "memopt";
+  }
+  return "unknown";
+}
+
+bool srp::parsePromotionMode(const std::string &Name, PromotionMode &Mode) {
+  for (PromotionMode M : allPromotionModes()) {
+    if (Name == promotionModeName(M)) {
+      Mode = M;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::array<PromotionMode, 6> &srp::allPromotionModes() {
+  static const std::array<PromotionMode, 6> Modes = {
+      PromotionMode::None,         PromotionMode::Paper,
+      PromotionMode::PaperNoProfile, PromotionMode::LoopBaseline,
+      PromotionMode::Superblock,   PromotionMode::MemOptOnly,
+  };
+  return Modes;
+}

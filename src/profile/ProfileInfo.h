@@ -17,7 +17,9 @@
 #ifndef SRP_PROFILE_PROFILEINFO_H
 #define SRP_PROFILE_PROFILEINFO_H
 
+#include "analysis/AnalysisManager.h"
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 namespace srp {
@@ -53,6 +55,23 @@ public:
   /// Static estimate for \p F: 10^depth per interval-nesting level,
   /// halved along the less likely branch direction.
   static ProfileInfo estimate(Function &F, const IntervalTree &IT);
+};
+
+/// The cached static frequency estimate (the no-profile ablation's
+/// ProfileInfo provider). Derived from the interval nesting, so the
+/// AnalysisManager invalidates it whenever the interval tree goes stale.
+struct StaticFrequency {
+  ProfileInfo Freq;
+};
+
+template <> struct AnalysisTraits<StaticFrequency> {
+  static constexpr AnalysisKind Kind = AnalysisKind::StaticFrequency;
+  static std::unique_ptr<StaticFrequency> build(Function &F,
+                                                AnalysisManager &AM) {
+    auto S = std::make_unique<StaticFrequency>();
+    S->Freq = ProfileInfo::estimate(F, AM.get<IntervalTree>(F));
+    return S;
+  }
 };
 
 } // namespace srp

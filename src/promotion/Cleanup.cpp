@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "promotion/Cleanup.h"
+#include "ir/CFGEdit.h"
 #include "ir/Function.h"
 #include "support/Statistics.h"
 #include <unordered_set>
@@ -153,5 +154,14 @@ CleanupStats srp::cleanupAfterPromotion(Function &F) {
   NumCopies += S.CopiesPropagated;
   NumDeadInsts += S.DeadInstructionsRemoved;
   NumDeadMemPhis += S.DeadMemPhisRemoved;
+  return S;
+}
+
+CleanupStats srp::cleanupAfterPromotion(Function &F, AnalysisManager &AM) {
+  (void)AM; // cleanup consumes no analyses; it only reports edits
+  CleanupStats S = cleanupAfterPromotion(F);
+  if (S.DummyLoadsRemoved || S.CopiesPropagated ||
+      S.DeadInstructionsRemoved || S.DeadMemPhisRemoved)
+    notifySSAEdited(F);
   return S;
 }

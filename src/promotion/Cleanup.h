@@ -17,6 +17,7 @@
 
 namespace srp {
 
+class AnalysisManager;
 class Function;
 
 struct CleanupStats {
@@ -40,6 +41,10 @@ unsigned removeDeadMemPhis(Function &F);
 
 /// Runs all of the above in order.
 CleanupStats cleanupAfterPromotion(Function &F);
+
+/// Cache-aware variant: same cleanup, but edits (if any) are reported to
+/// the IR-change notifier so cached liveness goes stale.
+CleanupStats cleanupAfterPromotion(Function &F, AnalysisManager &AM);
 
 } // namespace srp
 

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "promotion/LoopPromotion.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
 #include "analysis/Intervals.h"
 #include "ir/Function.h"
@@ -106,16 +107,12 @@ void promoteInLoop(Function &F, const Interval &Iv, MemoryObject *Obj) {
   }
 }
 
-} // namespace
-
-LoopPromotionStats srp::promoteLoopsBaseline(Function &F) {
+/// The baseline proper: walks the loops of \p IT innermost-first and
+/// promotes every unambiguous scalar. Only inserts instructions — the CFG
+/// and the interval tree stay valid.
+LoopPromotionStats runOnIntervals(Function &F, const IntervalTree &IT,
+                                  const AliasInfo &AI) {
   LoopPromotionStats Stats;
-  AliasInfo AI = AliasInfo::compute(F);
-
-  DominatorTree DT(F);
-  IntervalTree IT(F, DT);
-  IT.assignPreheaders(DT);
-
   for (Interval *Iv : IT.postorder()) {
     if (Iv->isRoot() || !Iv->isProper())
       continue; // the baseline is loop based and needs a unique preheader
@@ -129,10 +126,39 @@ LoopPromotionStats srp::promoteLoopsBaseline(Function &F) {
       ++Stats.VariablesPromoted;
     }
   }
+  return Stats;
+}
+
+} // namespace
+
+LoopPromotionStats srp::promoteLoopsBaseline(Function &F) {
+  AliasInfo AI = AliasInfo::compute(F);
+
+  DominatorTree DT(F);
+  IntervalTree IT(F, DT);
+  IT.assignPreheaders(DT);
+
+  LoopPromotionStats Stats = runOnIntervals(F, IT, AI);
 
   // The temporaries become SSA registers.
   DT.recompute(F);
   promoteLocalsToSSA(F, DT);
+
+  NumVarsPromoted += Stats.VariablesPromoted;
+  NumLoops += Stats.LoopsConsidered;
+  NumBlocked += Stats.BlockedByAliases;
+  return Stats;
+}
+
+LoopPromotionStats srp::promoteLoopsBaseline(Function &F,
+                                             AnalysisManager &AM) {
+  AliasInfo AI = AliasInfo::compute(F);
+
+  // The cached interval tree has preheaders when canonicalisation went
+  // through the manager; promotion only inserts instructions, so the
+  // trees stay valid and the final mem2reg reuses the cached dominators.
+  LoopPromotionStats Stats = runOnIntervals(F, AM.get<IntervalTree>(F), AI);
+  promoteLocalsToSSA(F, AM);
 
   NumVarsPromoted += Stats.VariablesPromoted;
   NumLoops += Stats.LoopsConsidered;

@@ -24,6 +24,7 @@
 
 namespace srp {
 
+class AnalysisManager;
 class Function;
 
 struct LoopPromotionStats {
@@ -43,6 +44,11 @@ struct LoopPromotionStats {
 /// attached yet; the CFG must be canonicalised. Ends by re-running
 /// mem2reg so the introduced temporaries become registers.
 LoopPromotionStats promoteLoopsBaseline(Function &F);
+
+/// Cache-aware variant: pulls the interval tree (with preheaders) and the
+/// dominator tree from \p AM. \p F must have been canonicalised through
+/// the manager so preheaders are assigned.
+LoopPromotionStats promoteLoopsBaseline(Function &F, AnalysisManager &AM);
 
 } // namespace srp
 

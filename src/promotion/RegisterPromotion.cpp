@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "promotion/RegisterPromotion.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Intervals.h"
 #include "ir/Function.h"
 #include "promotion/Cleanup.h"
@@ -57,4 +58,14 @@ PromotionStats srp::promoteRegisters(Function &F, const DominatorTree &DT,
   NumStoresInserted += Stats.StoresInserted;
   NumRegPhis += Stats.RegisterPhisCreated;
   return Stats;
+}
+
+PromotionStats srp::promoteRegisters(Function &F, const ProfileInfo &PI,
+                                     AnalysisManager &AM,
+                                     const PromotionOptions &Opts) {
+  // The pass changes no CFG edges, so the cached trees stay valid across
+  // it; the in-place SSA edits it performs are reported by the updater.
+  const DominatorTree &DT = AM.get<DominatorTree>(F);
+  const IntervalTree &IT = AM.get<IntervalTree>(F);
+  return promoteRegisters(F, DT, IT, PI, Opts);
 }

@@ -19,6 +19,7 @@
 
 namespace srp {
 
+class AnalysisManager;
 class DominatorTree;
 class Function;
 class IntervalTree;
@@ -33,6 +34,14 @@ class ProfileInfo;
 PromotionStats promoteRegisters(Function &F, const DominatorTree &DT,
                                 const IntervalTree &IT,
                                 const ProfileInfo &PI,
+                                const PromotionOptions &Opts = {});
+
+/// Cache-aware variant: pulls the dominator and interval trees (with
+/// preheaders, assigned when canonicalisation marked \p F) from \p AM.
+/// The same requirements apply; memory SSA must have been built through
+/// the manager or by hand beforehand.
+PromotionStats promoteRegisters(Function &F, const ProfileInfo &PI,
+                                AnalysisManager &AM,
                                 const PromotionOptions &Opts = {});
 
 } // namespace srp

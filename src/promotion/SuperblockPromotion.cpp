@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "promotion/SuperblockPromotion.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
 #include "analysis/Intervals.h"
 #include "ir/CFGEdit.h"
@@ -182,25 +183,14 @@ void promoteInTrace(Function &F, const Interval &Iv,
     refreshOnEdge(F, E.From, E.To, Obj, Tmp);
 }
 
-} // namespace
-
-SuperblockStats srp::promoteSuperblocks(Function &F, const ProfileInfo &PI) {
+/// Trace formation and promotion over a snapshotted loop list. The
+/// snapshot is required because promotion splits edges, which would
+/// invalidate a live traversal; intervals themselves stay usable (no
+/// block of a loop is removed; new blocks are edge splits outside/inside
+/// recorded before use).
+SuperblockStats runOnLoops(Function &F, const std::vector<Interval *> &Loops,
+                           const ProfileInfo &PI, const AliasInfo &AI) {
   SuperblockStats Stats;
-  AliasInfo AI = AliasInfo::compute(F);
-
-  DominatorTree DT(F);
-  IntervalTree IT(F, DT);
-  IT.assignPreheaders(DT);
-
-  // Snapshot the loop list: promotion splits edges, which would invalidate
-  // a live traversal. Intervals themselves stay valid (no block of a loop
-  // is removed; new blocks are edge splits outside/inside recorded before
-  // use).
-  std::vector<Interval *> Loops;
-  for (Interval *Iv : IT.postorder())
-    if (!Iv->isRoot() && Iv->isProper())
-      Loops.push_back(Iv);
-
   for (Interval *Iv : Loops) {
     std::vector<BasicBlock *> Trace = formTrace(*Iv, PI);
     if (Trace.empty())
@@ -237,8 +227,46 @@ SuperblockStats srp::promoteSuperblocks(Function &F, const ProfileInfo &PI) {
       ++Stats.VariablesPromoted;
     }
   }
+  return Stats;
+}
+
+} // namespace
+
+SuperblockStats srp::promoteSuperblocks(Function &F, const ProfileInfo &PI) {
+  AliasInfo AI = AliasInfo::compute(F);
+
+  DominatorTree DT(F);
+  IntervalTree IT(F, DT);
+  IT.assignPreheaders(DT);
+
+  std::vector<Interval *> Loops;
+  for (Interval *Iv : IT.postorder())
+    if (!Iv->isRoot() && Iv->isProper())
+      Loops.push_back(Iv);
+
+  SuperblockStats Stats = runOnLoops(F, Loops, PI, AI);
 
   DominatorTree DT2(F);
   promoteLocalsToSSA(F, DT2);
+  return Stats;
+}
+
+SuperblockStats srp::promoteSuperblocks(Function &F, const ProfileInfo &PI,
+                                        AnalysisManager &AM) {
+  AliasInfo AI = AliasInfo::compute(F);
+
+  // The snapshotted Interval pointers survive the edge splits promotion
+  // performs: the splits invalidate the cached tree, but the manager
+  // retires (rather than frees) it, so the snapshot stays readable.
+  std::vector<Interval *> Loops;
+  for (Interval *Iv : AM.get<IntervalTree>(F).postorder())
+    if (!Iv->isRoot() && Iv->isProper())
+      Loops.push_back(Iv);
+
+  SuperblockStats Stats = runOnLoops(F, Loops, PI, AI);
+
+  // The splits above invalidated the cached dominators through the
+  // listener; this pulls a fresh tree for the mem2reg round.
+  promoteLocalsToSSA(F, AM);
   return Stats;
 }

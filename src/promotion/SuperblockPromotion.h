@@ -27,6 +27,7 @@
 
 namespace srp {
 
+class AnalysisManager;
 class Function;
 class ProfileInfo;
 
@@ -49,6 +50,13 @@ struct SuperblockStats {
 /// loop's hot trace. Requirements as for the loop baseline: canonicalised
 /// CFG, no memory SSA attached. Ends with a mem2reg round.
 SuperblockStats promoteSuperblocks(Function &F, const ProfileInfo &PI);
+
+/// Cache-aware variant: the loop list is snapshotted from the cached
+/// interval tree (kept alive by the manager across the edge splits the
+/// trace sync/refresh code performs), and the final mem2reg round uses
+/// the freshly rebuilt dominator tree from \p AM.
+SuperblockStats promoteSuperblocks(Function &F, const ProfileInfo &PI,
+                                   AnalysisManager &AM);
 
 } // namespace srp
 

@@ -25,9 +25,19 @@ SRP_STATISTIC(MaxColors, "coloring", "max-colors-needed",
 } // namespace
 
 PressureReport srp::measureRegisterPressure(Function &F) {
+  Liveness LV(F);
+  return measureRegisterPressure(F, LV);
+}
+
+PressureReport srp::measureRegisterPressure(Function &F,
+                                            AnalysisManager &AM) {
+  return measureRegisterPressure(F, AM.get<Liveness>(F));
+}
+
+PressureReport srp::measureRegisterPressure(Function &F,
+                                            const Liveness &LV) {
   PressureReport R;
   ++NumFunctionsColored;
-  Liveness LV(F);
   unsigned N = LV.numValues();
   R.NumValues = N;
   if (N == 0)

@@ -19,7 +19,9 @@
 
 namespace srp {
 
+class AnalysisManager;
 class Function;
+class Liveness;
 
 struct PressureReport {
   unsigned NumValues = 0;     ///< Virtual registers considered.
@@ -30,6 +32,13 @@ struct PressureReport {
 
 /// Builds the interference graph of \p F and colors it.
 PressureReport measureRegisterPressure(Function &F);
+
+/// Same, over an already-computed liveness.
+PressureReport measureRegisterPressure(Function &F, const Liveness &LV);
+
+/// Cache-aware variant: liveness comes from \p AM (rebuilt only when an
+/// IR edit since the last query invalidated it).
+PressureReport measureRegisterPressure(Function &F, AnalysisManager &AM);
 
 } // namespace srp
 

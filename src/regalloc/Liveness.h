@@ -15,7 +15,9 @@
 #ifndef SRP_REGALLOC_LIVENESS_H
 #define SRP_REGALLOC_LIVENESS_H
 
+#include "analysis/AnalysisManager.h"
 #include "support/BitVector.h"
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +47,13 @@ public:
   }
   const BitVector &liveOut(const BasicBlock *BB) const {
     return LiveOutSet.at(BB);
+  }
+};
+
+template <> struct AnalysisTraits<Liveness> {
+  static constexpr AnalysisKind Kind = AnalysisKind::Liveness;
+  static std::unique_ptr<Liveness> build(Function &F, AnalysisManager &) {
+    return std::make_unique<Liveness>(F);
   }
 };
 

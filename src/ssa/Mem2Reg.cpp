@@ -5,7 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "ssa/Mem2Reg.h"
+#include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
+#include "ir/CFGEdit.h"
 #include "ir/Module.h"
 #include "support/Statistics.h"
 #include <unordered_map>
@@ -114,5 +116,12 @@ unsigned srp::promoteLocalsToSSA(Function &F, const DominatorTree &DT) {
     ++Count;
   }
   NumPromoted += Count;
+  return Count;
+}
+
+unsigned srp::promoteLocalsToSSA(Function &F, AnalysisManager &AM) {
+  unsigned Count = promoteLocalsToSSA(F, AM.get<DominatorTree>(F));
+  if (Count)
+    notifySSAEdited(F);
   return Count;
 }

@@ -18,6 +18,7 @@
 
 namespace srp {
 
+class AnalysisManager;
 class DominatorTree;
 class Function;
 
@@ -26,6 +27,11 @@ class Function;
 /// SSA values. Returns the number of objects promoted. Must run before
 /// memory SSA construction.
 unsigned promoteLocalsToSSA(Function &F, const DominatorTree &DT);
+
+/// Cache-aware variant: pulls the dominator tree from \p AM and reports
+/// the rewrite through the IR-change notifier (liveness goes stale; the
+/// CFG and dominators do not).
+unsigned promoteLocalsToSSA(Function &F, AnalysisManager &AM);
 
 } // namespace srp
 

@@ -7,6 +7,7 @@
 #include "ssa/MemoryOpt.h"
 #include "analysis/Dominators.h"
 #include "ir/Function.h"
+#include "ssa/MemorySSA.h"
 #include "ssa/SSAUpdater.h"
 #include "support/Statistics.h"
 #include <unordered_map>
@@ -108,4 +109,11 @@ MemoryOptStats srp::optimizeMemorySSA(Function &F, const DominatorTree &DT) {
     if (Round.total() == 0)
       return Total;
   }
+}
+
+MemoryOptStats srp::optimizeMemorySSA(Function &F, AnalysisManager &AM) {
+  AM.get<MemorySSAInfo>(F); // no-op when the memory-ssa pass already ran
+  return optimizeMemorySSA(F, AM.get<DominatorTree>(F));
+  // Edits go through sweepDeadDefs / in-place rewrites that end in
+  // notifySSAEdited, so no explicit invalidation is needed here.
 }

@@ -27,6 +27,7 @@
 
 namespace srp {
 
+class AnalysisManager;
 class DominatorTree;
 class Function;
 
@@ -53,6 +54,10 @@ MemoryOptStats eliminateDeadStores(Function &F);
 
 /// Convenience: loads then stores, to a fixpoint.
 MemoryOptStats optimizeMemorySSA(Function &F, const DominatorTree &DT);
+
+/// Cache-aware variant: ensures memory SSA is built (via the manager) and
+/// uses the cached dominator tree; edits are reported to the notifier.
+MemoryOptStats optimizeMemorySSA(Function &F, AnalysisManager &AM);
 
 } // namespace srp
 

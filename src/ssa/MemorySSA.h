@@ -18,6 +18,8 @@
 #ifndef SRP_SSA_MEMORYSSA_H
 #define SRP_SSA_MEMORYSSA_H
 
+#include "analysis/AnalysisManager.h"
+#include <memory>
 #include <vector>
 
 namespace srp {
@@ -58,6 +60,26 @@ struct AliasInfo {
 void buildMemorySSA(Function &F, const DominatorTree &DT);
 void buildMemorySSA(Function &F, const DominatorTree &DT,
                     const AliasInfo &AI);
+
+/// Cache identity of a function's built memory SSA form. The form itself
+/// lives in the IR (MemPhi instructions, mu/chi operands); this object
+/// records that it is current and keeps the alias model it was built
+/// against, so clients reached through the AnalysisManager share one
+/// AliasInfo computation and one in-place build per function.
+struct MemorySSAInfo {
+  AliasInfo Aliases;
+};
+
+template <> struct AnalysisTraits<MemorySSAInfo> {
+  static constexpr AnalysisKind Kind = AnalysisKind::MemorySSA;
+  static std::unique_ptr<MemorySSAInfo> build(Function &F,
+                                              AnalysisManager &AM) {
+    auto Info = std::make_unique<MemorySSAInfo>();
+    Info->Aliases = AliasInfo::compute(F);
+    buildMemorySSA(F, AM.get<DominatorTree>(F), Info->Aliases);
+    return Info;
+  }
+};
 
 } // namespace srp
 

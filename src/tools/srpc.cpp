@@ -45,6 +45,8 @@ void usage() {
       "  -whole-variable      disable SSA-web granularity\n"
       "  -no-boundary-cost    use the paper's exact profit formula\n"
       "  -direct-stores       improved aliased-store placement\n"
+      "  -no-analysis-cache   rebuild every analysis on each request\n"
+      "                       (also: SRP_DISABLE_ANALYSIS_CACHE=1)\n"
       "  -stats               print promotion statistics\n"
       "  -counts              print static/dynamic memop counts\n"
       "  -stats-json          emit run report (passes, statistics, counts)\n"
@@ -72,19 +74,7 @@ int main(int argc, char **argv) {
       A.erase(0, 1);
     if (A.rfind("-mode=", 0) == 0) {
       std::string Mode = A.substr(6);
-      if (Mode == "none")
-        Opts.Mode = PromotionMode::None;
-      else if (Mode == "paper")
-        Opts.Mode = PromotionMode::Paper;
-      else if (Mode == "noprofile")
-        Opts.Mode = PromotionMode::PaperNoProfile;
-      else if (Mode == "baseline")
-        Opts.Mode = PromotionMode::LoopBaseline;
-      else if (Mode == "superblock")
-        Opts.Mode = PromotionMode::Superblock;
-      else if (Mode == "memopt")
-        Opts.Mode = PromotionMode::MemOptOnly;
-      else {
+      if (!parsePromotionMode(Mode, Opts.Mode)) {
         std::fprintf(stderr, "error: unknown mode '%s'\n", Mode.c_str());
         return 2;
       }
@@ -102,6 +92,8 @@ int main(int argc, char **argv) {
       Opts.Promo.CountBoundaryOps = false;
     } else if (A == "-direct-stores") {
       Opts.Promo.DirectAliasedStores = true;
+    } else if (A == "-no-analysis-cache") {
+      Opts.DisableAnalysisCache = true;
     } else if (A == "-stats") {
       Stats = true;
     } else if (A == "-counts") {
@@ -226,6 +218,8 @@ int main(int argc, char **argv) {
        << "  \"exit_value\": " << R.RunAfter.ExitValue << ",\n"
        << "  \"passes\": " << passRecordsToJson(R.Passes, 1) << ",\n"
        << "  \"statistics\": " << stats::toJson(stats::snapshot(), 1)
+       << ",\n"
+       << "  \"analysis\": " << analysisCacheStatsToJson(R.Analysis, 1)
        << ",\n"
        << "  \"counts\": {\n"
        << "    \"static_loads_before\": " << R.StaticBefore.Loads << ",\n"

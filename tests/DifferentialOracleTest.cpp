@@ -37,11 +37,6 @@ const char *WorkloadFiles[] = {"go.mc",       "li.mc",      "ijpeg.mc",
                                "perl.mc",     "m88ksim.mc", "gcc.mc",
                                "compress.mc", "vortex.mc",  "eqntott.mc"};
 
-const PromotionMode AllModes[] = {
-    PromotionMode::None,         PromotionMode::Paper,
-    PromotionMode::PaperNoProfile, PromotionMode::LoopBaseline,
-    PromotionMode::Superblock,   PromotionMode::MemOptOnly};
-
 std::string loadWorkload(const std::string &File) {
   std::string Path = std::string(SRP_WORKLOAD_DIR) + "/" + File;
   std::ifstream In(Path);
@@ -118,7 +113,7 @@ TEST_P(DifferentialOracleHeavyTest, MatchesInterpreterOracle) {
 std::vector<Case> allCases() {
   std::vector<Case> Cases;
   for (const char *File : WorkloadFiles)
-    for (PromotionMode Mode : AllModes)
+    for (PromotionMode Mode : allPromotionModes())
       Cases.push_back(Case{File, Mode});
   return Cases;
 }
@@ -133,14 +128,16 @@ INSTANTIATE_TEST_SUITE_P(WorkloadsByMode, DifferentialOracleHeavyTest,
 
 std::vector<PipelineJob> workloadMatrix() {
   std::vector<PipelineJob> Jobs;
-  for (const char *File : WorkloadFiles)
-    for (PromotionMode Mode : AllModes) {
+  for (const char *File : WorkloadFiles) {
+    SourceText Src(loadWorkload(File));
+    for (PromotionMode Mode : allPromotionModes()) {
       PipelineJob J;
       J.Name = std::string(File) + "/" + promotionModeName(Mode);
-      J.Source = loadWorkload(File);
+      J.Source = Src;
       J.Opts.Mode = Mode;
       Jobs.push_back(std::move(J));
     }
+  }
   return Jobs;
 }
 
