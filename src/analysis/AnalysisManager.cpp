@@ -120,6 +120,15 @@ bool AnalysisManager::retire(Slot &S) {
   return true;
 }
 
+void AnalysisManager::retireExecProfile() {
+  if (!ExecProfile)
+    return;
+  Slot S;
+  S.Ptr = ExecProfile.release();
+  S.Destroy = destroyAs<ProfileInfo>;
+  Graveyard.push_back(S);
+}
+
 void AnalysisManager::recordHit(AnalysisKind K) {
   (void)K;
   ++Stats.Hits;
@@ -171,7 +180,7 @@ void AnalysisManager::invalidate(Function &F, const PreservedAnalyses &PA) {
       // Module-wide: the built ProfileInfo is dropped (executionProfile()
       // rebuilds from the recorded counts) but the measurement stays.
       if (ExecProfile) {
-        ExecProfile.reset();
+        retireExecProfile();
         ++ProfileGen;
         ++Stats.Invalidations;
         ++NumInvalidations;
@@ -202,7 +211,7 @@ void AnalysisManager::setExecution(
     const std::unordered_map<const BasicBlock *, uint64_t> &BlockCounts) {
   ExecCounts = BlockCounts;
   HaveExecution = true;
-  ExecProfile.reset();
+  retireExecProfile();
   ++ProfileGen;
 }
 
@@ -218,6 +227,7 @@ const ProfileInfo &AnalysisManager::executionProfile() {
   auto PI = std::make_unique<ProfileInfo>();
   for (const auto &[BB, N] : ExecCounts)
     PI->setFrequency(BB, N);
+  retireExecProfile(); // forced-miss mode: supersede, don't free
   ExecProfile = std::move(PI);
   ++ProfileGen;
   return *ExecProfile;

@@ -293,6 +293,10 @@ private:
   /// Moves a live slot's instance to the graveyard and bumps its
   /// generation; no-op for empty slots. Returns true if it was live.
   bool retire(Slot &S);
+  /// Same retire-don't-free contract for the module-wide execution
+  /// profile: references handed out by executionProfile() stay valid
+  /// until clear().
+  void retireExecProfile();
   void invalidateOne(Function &F, AnalysisKind K);
   void recordHit(AnalysisKind K);
   void recordMiss(AnalysisKind K);

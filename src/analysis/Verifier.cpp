@@ -5,203 +5,35 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Verifier.h"
-#include "analysis/Dominators.h"
+#include "analysis/StaticAnalysis.h"
 #include "ir/Module.h"
-#include "ir/Printer.h"
-#include <algorithm>
-#include <sstream>
-#include <unordered_map>
 
 using namespace srp;
 
-namespace {
+// The legacy string API is a shim over the layered checker framework at
+// Fast strictness (the historical verifier's coverage). Messages keep
+// their old wording; the structured form (check ID, location, fix-it) is
+// available through runChecks directly.
 
-class FunctionVerifier {
-  Function &F;
-  std::vector<std::string> &Errors;
-  DominatorTree DT;
-
-  void error(const std::string &Msg) { Errors.push_back(F.name() + ": " + Msg); }
-
-  void checkStructure() {
-    BasicBlock *Entry = F.entry();
-    if (!Entry->preds().empty())
-      error("entry block has predecessors");
-
-    for (BasicBlock *BB : F.blocks()) {
-      unsigned Terms = 0;
-      for (auto &I : *BB) {
-        if (I->isTerminator()) {
-          ++Terms;
-          if (I.get() != BB->back())
-            error("terminator not at end of block " + BB->name());
-        }
-      }
-      if (Terms != 1)
-        error("block " + BB->name() + " has " + std::to_string(Terms) +
-              " terminators");
-    }
-  }
-
-  void checkEdges() {
-    // succ -> pred consistency (multiset: an edge may appear twice if a
-    // condbr has identical targets, which canonicalisation removes but raw
-    // IR may contain).
-    std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
-        ExpectedPreds;
-    for (BasicBlock *BB : F.blocks())
-      for (BasicBlock *S : BB->succs())
-        ExpectedPreds[S].push_back(BB);
-    for (BasicBlock *BB : F.blocks()) {
-      std::vector<BasicBlock *> Got = BB->preds();
-      std::vector<BasicBlock *> Want = ExpectedPreds[BB];
-      std::sort(Got.begin(), Got.end());
-      std::sort(Want.begin(), Want.end());
-      if (Got != Want)
-        error("pred list of " + BB->name() + " inconsistent with edges");
-    }
-  }
-
-  void checkPhis() {
-    for (BasicBlock *BB : F.blocks()) {
-      std::vector<BasicBlock *> Preds = BB->preds();
-      std::sort(Preds.begin(), Preds.end());
-      bool SeenNonPhi = false;
-      for (auto &I : *BB) {
-        bool IsPhi = isa<PhiInst>(I.get()) || isa<MemPhiInst>(I.get());
-        if (IsPhi && SeenNonPhi)
-          error("phi after non-phi in " + BB->name());
-        if (!IsPhi) {
-          SeenNonPhi = true;
-          continue;
-        }
-        std::vector<BasicBlock *> Incoming;
-        if (auto *P = dyn_cast<PhiInst>(I.get())) {
-          for (unsigned Idx = 0; Idx != P->numIncoming(); ++Idx)
-            Incoming.push_back(P->incomingBlock(Idx));
-        } else {
-          auto *MP = cast<MemPhiInst>(I.get());
-          for (unsigned Idx = 0; Idx != MP->numIncoming(); ++Idx)
-            Incoming.push_back(MP->incomingBlock(Idx));
-          if (!MP->target())
-            error("memphi without target in " + BB->name());
-          else if (MP->target()->def() != I.get())
-            error("memphi target def link broken in " + BB->name());
-        }
-        std::sort(Incoming.begin(), Incoming.end());
-        if (Incoming != Preds)
-          error("phi incoming blocks mismatch preds in " + BB->name() +
-                ": " + toString(*I));
-      }
-    }
-  }
-
-  /// The block/instruction at which a value use must be dominated, given
-  /// phi semantics (an incoming value is live at the end of the incoming
-  /// block).
-  void checkUseDominance(Instruction *User, Value *V, int PhiIncoming,
-                         bool IsMem) {
-    Instruction *DefInst = nullptr;
-    if (auto *I = dyn_cast<Instruction>(V))
-      DefInst = I;
-    else if (auto *MN = dyn_cast<MemoryName>(V))
-      DefInst = MN->def(); // null for the entry version (always dominates)
-    if (!DefInst)
-      return; // constants, arguments, undef, entry memory versions
-
-    if (!DT.contains(DefInst->parent()) || !DT.contains(User->parent()))
-      return; // unreachable code is not checked
-
-    if (PhiIncoming >= 0) {
-      BasicBlock *In = nullptr;
-      if (auto *P = dyn_cast<PhiInst>(User))
-        In = P->incomingBlock(static_cast<unsigned>(PhiIncoming));
-      else
-        In = cast<MemPhiInst>(User)->incomingBlock(
-            static_cast<unsigned>(PhiIncoming));
-      if (!DT.contains(In))
-        return;
-      if (!DT.dominates(DefInst->parent(), In)) {
-        error("phi incoming value " + V->referenceString() +
-              " does not dominate edge from " + In->name());
-      }
-      return;
-    }
-    if (!DT.dominates(DefInst, User))
-      error(std::string(IsMem ? "memory " : "") + "use of " +
-            V->referenceString() + " in '" + toString(*User) +
-            "' not dominated by its definition");
-  }
-
-  void checkSSA() {
-    for (BasicBlock *BB : F.blocks()) {
-      for (auto &I : *BB) {
-        bool IsPhi = isa<PhiInst>(I.get()) || isa<MemPhiInst>(I.get());
-        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx)
-          checkUseDominance(I.get(), I->operand(Idx),
-                            IsPhi ? static_cast<int>(Idx) : -1, false);
-        for (unsigned Idx = 0; Idx != I->numMemOperands(); ++Idx)
-          checkUseDominance(I.get(), I->memOperand(Idx),
-                            IsPhi ? static_cast<int>(Idx) : -1, true);
-        for (MemoryName *D : I->memDefs())
-          if (D->def() != I.get())
-            error("memory def link broken: " + D->name());
-      }
-    }
-  }
-
-  void checkUseLists() {
-    for (BasicBlock *BB : F.blocks()) {
-      for (auto &I : *BB) {
-        for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
-          const auto &Uses = I->operand(Idx)->uses();
-          Use U{I.get(), Idx, false};
-          if (std::find(Uses.begin(), Uses.end(), U) == Uses.end())
-            error("operand use not registered: " + toString(*I));
-        }
-        for (unsigned Idx = 0; Idx != I->numMemOperands(); ++Idx) {
-          const auto &Uses = I->memOperand(Idx)->uses();
-          Use U{I.get(), Idx, true};
-          if (std::find(Uses.begin(), Uses.end(), U) == Uses.end())
-            error("memory operand use not registered: " + toString(*I));
-        }
-      }
-    }
-  }
-
-public:
-  FunctionVerifier(Function &F, std::vector<std::string> &Errors)
-      : F(F), Errors(Errors) {}
-
-  void run() {
-    if (F.empty()) {
-      error("function has no blocks");
-      return;
-    }
-    checkStructure();
-    checkEdges();
-    if (!Errors.empty())
-      return; // dominator computation requires a sane CFG
-    DT.recompute(F);
-    checkPhis();
-    checkSSA();
-    checkUseLists();
-  }
-};
-
-} // namespace
+static void renderErrors(const DiagnosticEngine &DE,
+                         std::vector<std::string> &Errors) {
+  for (const Diagnostic &D : DE.diagnostics())
+    if (D.Severity == DiagSeverity::Error)
+      Errors.push_back(D.Loc.Function + ": " + D.Message);
+}
 
 std::vector<std::string> srp::verify(Function &F) {
+  DiagnosticEngine DE;
+  runChecks(F, DE, Strictness::Fast);
   std::vector<std::string> Errors;
-  FunctionVerifier(F, Errors).run();
+  renderErrors(DE, Errors);
   return Errors;
 }
 
 std::vector<std::string> srp::verify(Module &M) {
+  DiagnosticEngine DE;
+  runChecks(M, DE, Strictness::Fast);
   std::vector<std::string> Errors;
-  for (const auto &F : M.functions()) {
-    auto E = verify(*F);
-    Errors.insert(Errors.end(), E.begin(), E.end());
-  }
+  renderErrors(DE, Errors);
   return Errors;
 }

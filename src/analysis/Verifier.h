@@ -5,15 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Structural and SSA invariants checker. Run after every transformation in
-/// tests; returns a list of human-readable violations (empty == valid).
-///
-/// Checked invariants:
-///  - every block ends in exactly one terminator, and only at the end
-///  - pred/succ lists are mutually consistent; entry has no preds
-///  - phi/memphi incoming lists match the predecessor multiset
-///  - every value/memory use is dominated by its definition
-///  - memory names have consistent object/def links
+/// Legacy string-based verifier API: a thin shim over the layered checker
+/// framework (analysis/StaticAnalysis.h) at Fast strictness. Returns a
+/// list of human-readable violations (empty == valid). New code should
+/// call runChecks() directly and get structured diagnostics with check
+/// IDs, locations, and fix-it hints; the between-pass hook in the
+/// PassManager already does.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -20,6 +20,7 @@ class FunctionLowerer {
   Module &M;
   srp::Function &IRF;
   ast::Function &FnAST;
+  const LoweringOptions &Opts;
   IRBuilder B;
 
   struct LoopContext {
@@ -29,8 +30,9 @@ class FunctionLowerer {
   std::vector<LoopContext> Loops;
 
 public:
-  FunctionLowerer(Module &M, srp::Function &IRF, ast::Function &FnAST)
-      : M(M), IRF(IRF), FnAST(FnAST) {}
+  FunctionLowerer(Module &M, srp::Function &IRF, ast::Function &FnAST,
+                  const LoweringOptions &Opts)
+      : M(M), IRF(IRF), FnAST(FnAST), Opts(Opts) {}
 
   void run() {
     BasicBlock *Entry = IRF.createBlock("entry");
@@ -70,6 +72,8 @@ private:
         lowerStmt(*Sub);
       break;
     case Stmt::Kind::LocalDecl: {
+      if (!S.Init && !Opts.ImplicitZeroInitLocals)
+        break; // analyzer mode: leave the local observably uninitialised
       Value *Init = S.Init ? lowerExpr(*S.Init)
                            : static_cast<Value *>(M.constant(0));
       B.store(S.Object, Init);
@@ -304,17 +308,19 @@ private:
 
 } // namespace
 
-void srp::lowerProgram(ast::Program &P, Module &M) {
+void srp::lowerProgram(ast::Program &P, Module &M,
+                       const LoweringOptions &Opts) {
   for (auto &F : P.Functions) {
     srp::Function *IRF = M.getFunction(F->Name);
     assert(IRF && "sema did not declare the function");
-    FunctionLowerer(M, *IRF, *F).run();
+    FunctionLowerer(M, *IRF, *F, Opts).run();
   }
 }
 
 std::unique_ptr<Module> srp::compileMiniC(const std::string &Source,
                                           std::vector<std::string> &Errors,
-                                          const std::string &ModuleName) {
+                                          const std::string &ModuleName,
+                                          const LoweringOptions &Opts) {
   ast::Program P = parseProgram(Source, Errors);
   if (!Errors.empty())
     return nullptr;
@@ -323,6 +329,6 @@ std::unique_ptr<Module> srp::compileMiniC(const std::string &Source,
   Errors.insert(Errors.end(), SemaErrors.begin(), SemaErrors.end());
   if (!Errors.empty())
     return nullptr;
-  lowerProgram(P, *M);
+  lowerProgram(P, *M, Opts);
   return M;
 }

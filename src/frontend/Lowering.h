@@ -25,14 +25,25 @@ namespace srp {
 
 class Module;
 
+struct LoweringOptions {
+  /// Lower `int x;` (no initialiser) as a store of 0. The language gives
+  /// locals defined-zero semantics (the interpreter and the measurement
+  /// pipelines rely on it); the static analyzer (`srpc --analyze`) turns
+  /// this off so a load-before-store is visible as a read of the entry
+  /// memory version and lint-uninitialized-load can fire.
+  bool ImplicitZeroInitLocals = true;
+};
+
 /// Lowers \p P (already analyzed against \p M) into \p M's functions.
-void lowerProgram(ast::Program &P, Module &M);
+void lowerProgram(ast::Program &P, Module &M,
+                  const LoweringOptions &Opts = {});
 
 /// Convenience front door: parse + analyze + lower. Returns null and fills
 /// \p Errors on any problem.
 std::unique_ptr<Module> compileMiniC(const std::string &Source,
                                      std::vector<std::string> &Errors,
-                                     const std::string &ModuleName = "mc");
+                                     const std::string &ModuleName = "mc",
+                                     const LoweringOptions &Opts = {});
 
 } // namespace srp
 

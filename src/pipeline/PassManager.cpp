@@ -5,11 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/PassManager.h"
-#include "analysis/Verifier.h"
 #include "ir/Module.h"
+#include "ir/Printer.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include <sstream>
+#include <unordered_set>
 
 using namespace srp;
 
@@ -62,6 +63,7 @@ bool PassManager::run(Module &M, std::vector<std::string> &Errors) {
 
 bool PassManager::run(Module &M, AnalysisManager &AM,
                       std::vector<std::string> &Errors) {
+  VStats = VerifyRunStats{};
   Records.clear();
   Records.reserve(Passes.size());
   for (const auto &[Name, Fn] : Passes)
@@ -85,14 +87,37 @@ bool PassManager::run(Module &M, AnalysisManager &AM,
       return false;
     }
 
-    if (Opts.VerifyEachPass) {
+    const Strictness Level = Opts.effectiveStrictness();
+    if (Level != Strictness::Off) {
       Rec.Verified = true;
-      auto VErrs = verify(M);
-      Rec.VerifyErrors = static_cast<unsigned>(VErrs.size());
-      if (!VErrs.empty()) {
+      DiagnosticEngine DE;
+      CheckRunStats CS;
+      {
+        ScopedTimer T(VStats.WallSeconds);
+        CS = runChecks(M, DE, Level, &AM);
+      }
+      ++VStats.PassesVerified;
+      VStats.ChecksRun += CS.ChecksRun;
+      VStats.Diagnostics += CS.Diagnostics;
+      Rec.VerifyErrors = DE.errors();
+      if (DE.hasErrors()) {
         ++NumVerifyFailures;
-        for (const std::string &E : VErrs)
-          Errors.push_back("after pass '" + Rec.Name + "': " + E);
+        std::unordered_set<std::string> BrokenFns;
+        for (const Diagnostic &D : DE.diagnostics())
+          if (D.Severity == DiagSeverity::Error) {
+            Errors.push_back("after pass '" + Rec.Name + "': " + toText(D));
+            if (!D.Loc.Function.empty())
+              BrokenFns.insert(D.Loc.Function);
+          }
+        // At Full strictness (the fuzz sweep's setting) also dump the
+        // offending functions so a seed failure is diagnosable from the
+        // error list alone.
+        if (Level == Strictness::Full)
+          for (const auto &F : M.functions())
+            if (BrokenFns.count(F->name()))
+              Errors.push_back("after pass '" + Rec.Name +
+                               "': IR of function '" + F->name() + "':\n" +
+                               toString(*F));
         return false;
       }
     }

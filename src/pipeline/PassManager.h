@@ -33,6 +33,7 @@
 #define SRP_PIPELINE_PASSMANAGER_H
 
 #include "analysis/AnalysisManager.h"
+#include "analysis/StaticAnalysis.h"
 #include <functional>
 #include <string>
 #include <vector>
@@ -53,8 +54,29 @@ struct PassRecord {
 };
 
 struct PassManagerOptions {
-  /// Run the IR verifier after every pass and attribute failures.
+  /// Run the IR verifier after every pass and attribute failures. The
+  /// master switch; when false, VerifyStrictness is ignored.
   bool VerifyEachPass = true;
+  /// How deep the between-pass verification digs (see
+  /// analysis/StaticAnalysis.h). Fast is the historical verifier; Full
+  /// adds the whole-function memory-SSA walks and the L3/L4 canonical and
+  /// promotion invariants, and dumps the IR of every offending function
+  /// on failure (the fuzz sweep runs at Full).
+  Strictness VerifyStrictness = Strictness::Fast;
+
+  /// The level verification actually runs at.
+  Strictness effectiveStrictness() const {
+    return VerifyEachPass ? VerifyStrictness : Strictness::Off;
+  }
+};
+
+/// Aggregate verification accounting for one PassManager run (surfaced as
+/// the `verification` section of `srpc --stats-json`).
+struct VerifyRunStats {
+  uint64_t PassesVerified = 0; ///< Between-pass verifications executed.
+  uint64_t ChecksRun = 0;      ///< Individual checker executions.
+  uint64_t Diagnostics = 0;    ///< Diagnostics emitted (all severities).
+  double WallSeconds = 0;      ///< Time spent verifying.
 };
 
 /// Runs a fixed sequence of named module passes with timing, verification
@@ -111,8 +133,12 @@ public:
 
   size_t size() const { return Passes.size(); }
 
+  /// Verification accounting for the last run().
+  const VerifyRunStats &verifyStats() const { return VStats; }
+
 private:
   PassManagerOptions Opts;
+  VerifyRunStats VStats;
   // Every form is stored as a ModulePassFn; the other addPass overloads
   // wrap into it.
   std::vector<std::pair<std::string, ModulePassFn>> Passes;

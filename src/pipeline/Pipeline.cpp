@@ -90,6 +90,7 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
 
   PassManagerOptions PMOpts;
   PMOpts.VerifyEachPass = Opts.VerifyEachStep;
+  PMOpts.VerifyStrictness = Opts.VerifyStrictness;
   PassManager PM(PMOpts);
 
   // -- Common front half: locals to SSA, canonical CFG shape. ------------
@@ -146,11 +147,39 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
   case PromotionMode::PaperNoProfile:
     PM.addFunctionPass(
         "promotion", [&](Function &F, AnalysisManager &AM,
-                         std::vector<std::string> &) {
+                         std::vector<std::string> &Errors) {
           const ProfileInfo &PI = Opts.Mode == PromotionMode::Paper
                                       ? AM.executionProfile()
                                       : AM.get<StaticFrequency>(F).Freq;
-          R.Promo += promoteRegisters(F, PI, AM, Opts.Promo);
+          // At Full strictness, cross-check the promoter's ledger (L4's
+          // promo-count-delta): the static load/store deltas must stay
+          // within what the reported replacements/insertions/deletions
+          // allow.
+          const bool CheckDelta =
+              Opts.VerifyEachStep &&
+              Opts.VerifyStrictness == Strictness::Full;
+          StaticCounts Before =
+              CheckDelta ? countStaticMemOps(F) : StaticCounts{};
+          PromotionStats S = promoteRegisters(F, PI, AM, Opts.Promo);
+          R.Promo += S;
+          if (CheckDelta) {
+            StaticCounts After = countStaticMemOps(F);
+            PromotionDeltaExpectation E;
+            E.LoadsBefore = Before.Loads;
+            E.LoadsAfter = After.Loads;
+            E.LoadsReplaced = S.LoadsReplaced;
+            E.LoadsInserted = S.LoadsInserted;
+            E.StoresBefore = Before.Stores;
+            E.StoresAfter = After.Stores;
+            E.StoresDeleted = S.StoresDeleted;
+            E.StoresInserted = S.StoresInserted;
+            DiagnosticEngine DE;
+            checkPromotionDelta(E, DE);
+            for (const Diagnostic &D : DE.diagnostics())
+              if (D.Severity == DiagSeverity::Error)
+                Errors.push_back("promotion ledger mismatch in '" +
+                                 F.name() + "': " + D.Message);
+          }
           return PreservedAnalyses::all();
         });
     break;
@@ -230,6 +259,7 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
   R.Ok = PM.run(Mod, AMRef, R.Errors) && R.Errors.empty();
   R.Passes = PM.records();
   R.Analysis = AMRef.cacheStats();
+  R.Verify = PM.verifyStats();
   return R;
 }
 

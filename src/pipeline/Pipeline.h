@@ -79,6 +79,9 @@ struct PipelineResult {
   /// Analysis-cache accounting for this run (hits, misses, invalidations,
   /// per-kind build counts). Feeds the `analysis` section of --stats-json.
   AnalysisCacheStats Analysis;
+  /// Between-pass verification accounting (checks run, diagnostics,
+  /// wall time). Feeds the `verification` section of --stats-json.
+  VerifyRunStats Verify;
 };
 
 /// Fluent pipeline configuration and driver. A builder owns the
@@ -108,6 +111,10 @@ public:
   }
   PipelineBuilder &verifyEachStep(bool On) {
     Opts.VerifyEachStep = On;
+    return *this;
+  }
+  PipelineBuilder &verifyStrictness(Strictness S) {
+    Opts.VerifyStrictness = S;
     return *this;
   }
   PipelineBuilder &measurePressure(bool On) {

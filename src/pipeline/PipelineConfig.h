@@ -18,6 +18,7 @@
 #ifndef SRP_PIPELINE_PIPELINECONFIG_H
 #define SRP_PIPELINE_PIPELINECONFIG_H
 
+#include "analysis/StaticAnalysis.h"
 #include "promotion/PromotionOptions.h"
 #include <array>
 #include <memory>
@@ -58,6 +59,12 @@ struct PipelineOptions {
   /// Run the IR verifier after every pass; failures are attributed to the
   /// pass that introduced them.
   bool VerifyEachStep = true;
+  /// How deep the between-pass verification digs (srpc -verify-each=).
+  /// Fast is the historical verifier (L0/L1 + memory-SSA link checks);
+  /// Full adds the whole-function memory-SSA walks, the canonical-shape
+  /// checks, the promotion invariants, and the promotion-ledger
+  /// cross-check. Ignored when VerifyEachStep is false.
+  Strictness VerifyStrictness = Strictness::Fast;
   /// Measure post-promotion register pressure (Table 3's coloring) as a
   /// final pipeline pass.
   bool MeasurePressure = true;

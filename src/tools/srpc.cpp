@@ -15,12 +15,18 @@
 ///   srpc -entry=driver file.mc        # run a different entry function
 ///   srpc -stats file.mc               # promotion statistics
 ///   srpc -quiet file.mc               # suppress program output
+///   srpc -analyze file.mc             # static analysis only (lints)
+///   srpc -analyze -diag-json file.mc  # ... as JSON diagnostics
+///   srpc -verify-each=full file.mc    # deep between-pass verification
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticAnalysis.h"
+#include "frontend/Lowering.h"
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
 #include "pipeline/Pipeline.h"
+#include "ssa/MemorySSA.h"
 #include "support/Statistics.h"
 #include <cstdio>
 #include <cstring>
@@ -47,6 +53,14 @@ void usage() {
       "  -direct-stores       improved aliased-store placement\n"
       "  -no-analysis-cache   rebuild every analysis on each request\n"
       "                       (also: SRP_DISABLE_ANALYSIS_CACHE=1)\n"
+      "  -analyze             static analysis only: run the IR checkers\n"
+      "                       and the source lints (uninitialized load,\n"
+      "                       dead store, unreachable code), don't run\n"
+      "                       the program; exit 1 on errors\n"
+      "  -diag-json           with -analyze, emit diagnostics as JSON\n"
+      "  -verify-each=<off|fast|full>  between-pass verification depth\n"
+      "                       (default fast; full adds the memory-SSA\n"
+      "                       walks, canonical-shape and promotion checks)\n"
       "  -stats               print promotion statistics\n"
       "  -counts              print static/dynamic memop counts\n"
       "  -stats-json          emit run report (passes, statistics, counts)\n"
@@ -65,6 +79,7 @@ int main(int argc, char **argv) {
   bool PrintBefore = false, PrintAfter = false, Stats = false;
   bool Counts = false, Quiet = false, InputIsIR = false;
   bool StatsJson = false, TimePasses = false;
+  bool Analyze = false, DiagJson = false;
   std::string File;
 
   for (int I = 1; I < argc; ++I) {
@@ -94,6 +109,20 @@ int main(int argc, char **argv) {
       Opts.Promo.DirectAliasedStores = true;
     } else if (A == "-no-analysis-cache") {
       Opts.DisableAnalysisCache = true;
+    } else if (A == "-analyze") {
+      Analyze = true;
+    } else if (A == "-diag-json") {
+      DiagJson = true;
+    } else if (A.rfind("-verify-each=", 0) == 0) {
+      std::string Level = A.substr(13);
+      Strictness S;
+      if (!parseStrictness(Level, S)) {
+        std::fprintf(stderr, "error: unknown strictness '%s'\n",
+                     Level.c_str());
+        return 2;
+      }
+      Opts.VerifyStrictness = S;
+      Opts.VerifyEachStep = S != Strictness::Off;
     } else if (A == "-stats") {
       Stats = true;
     } else if (A == "-counts") {
@@ -130,6 +159,45 @@ int main(int argc, char **argv) {
   }
   std::ostringstream SS;
   SS << In.rdbuf();
+
+  if (Analyze) {
+    // Static analysis mode: compile (without the implicit zero-init of
+    // locals, so a load-before-store is visible as a read of the entry
+    // memory version), run the layered IR checkers, then the source
+    // lints on the un-mem2reg'd IR. No execution, no transformation.
+    std::vector<std::string> Errors;
+    std::unique_ptr<Module> M;
+    if (InputIsIR) {
+      M = parseIR(SS.str(), Errors);
+    } else {
+      LoweringOptions LO;
+      LO.ImplicitZeroInitLocals = false;
+      M = compileMiniC(SS.str(), Errors, "mc", LO);
+    }
+    if (!M) {
+      for (const auto &E : Errors)
+        std::fprintf(stderr, "error: %s\n", E.c_str());
+      return 1;
+    }
+    AnalysisManager AM(M.get());
+    DiagnosticEngine DE;
+    runChecks(*M, DE, Strictness::Fast, &AM);
+    if (!DE.hasErrors()) {
+      // The memory lints read mu/chi tags: build memory SSA first.
+      for (const auto &F : M->functions())
+        if (!F->empty())
+          AM.get<MemorySSAInfo>(*F);
+      runSourceLints(*M, AM, DE);
+    }
+    if (DiagJson) {
+      std::printf("%s\n", diagnosticsToJson(DE.diagnostics()).c_str());
+    } else {
+      std::fputs(diagnosticsToText(DE.diagnostics()).c_str(), stdout);
+      std::fprintf(stderr, "%s: %u error(s), %u warning(s)\n", File.c_str(),
+                   DE.errors(), DE.warnings());
+    }
+    return DE.hasErrors() ? 1 : 0;
+  }
 
   auto runOnce = [&](const PipelineOptions &O) {
     if (!InputIsIR)
@@ -221,6 +289,16 @@ int main(int argc, char **argv) {
        << ",\n"
        << "  \"analysis\": " << analysisCacheStatsToJson(R.Analysis, 1)
        << ",\n"
+       << "  \"verification\": {\n"
+       << "    \"strictness\": \""
+       << strictnessName(Opts.VerifyEachStep ? Opts.VerifyStrictness
+                                             : Strictness::Off)
+       << "\",\n"
+       << "    \"passes_verified\": " << R.Verify.PassesVerified << ",\n"
+       << "    \"checks_run\": " << R.Verify.ChecksRun << ",\n"
+       << "    \"diagnostics\": " << R.Verify.Diagnostics << ",\n"
+       << "    \"wall_seconds\": " << R.Verify.WallSeconds << "\n"
+       << "  },\n"
        << "  \"counts\": {\n"
        << "    \"static_loads_before\": " << R.StaticBefore.Loads << ",\n"
        << "    \"static_loads_after\": " << R.StaticAfter.Loads << ",\n"

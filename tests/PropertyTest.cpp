@@ -154,12 +154,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSanityTest,
 
 //===----------------------------------------------------------------------===
 // Seeded fuzz sweep through the parallel workload driver: >= 200 random
-// CFG+memory programs, each run under every promotion mode. Verifier
-// cleanliness and before/after oracle equivalence are enforced inside the
-// pipeline (VerifyEachStep is on and the measure pass compares the two
-// interpreter runs), so any violation surfaces as a job error. Seeds are
-// fixed: a failure message names the seed and mode that reproduce it.
-// The *Heavy* suite name schedules this under ctest's `heavy` label.
+// CFG+memory programs, each run under every promotion mode. The full
+// checker stack (L0 CFG through L4 promotion invariants, Strictness::Full)
+// runs between every pass, and the measure pass compares the two
+// interpreter runs, so any violation surfaces as a job error attributed
+// to the pass that introduced it — at Full strictness the offending
+// function's IR is part of the error text. Seeds are fixed: a failure
+// message names the seed and mode that reproduce it. The *Heavy* suite
+// name schedules this under ctest's `heavy` label.
 //===----------------------------------------------------------------------===
 
 class ParallelFuzzHeavyTest : public ::testing::Test {};
@@ -190,6 +192,7 @@ TEST_F(ParallelFuzzHeavyTest, SeededProgramsCleanUnderAllModes) {
                promotionModeName(Mode);
       J.Source = Src;
       J.Opts.Mode = Mode;
+      J.Opts.VerifyStrictness = Strictness::Full;
       Jobs.push_back(std::move(J));
     }
   }
