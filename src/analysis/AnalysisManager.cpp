@@ -36,6 +36,8 @@ SRP_STATISTIC(NumStaticFreqBuilt, "analysis", "static-freq-built",
               "Static frequency estimates constructed");
 SRP_STATISTIC(NumLivenessBuilt, "analysis", "liveness-built",
               "Liveness analyses constructed");
+SRP_STATISTIC(NumBytecodeBuilt, "analysis", "bytecode-built",
+              "Interpreter bytecode decodes constructed");
 
 const char *srp::analysisKindName(AnalysisKind K) {
   switch (K) {
@@ -51,6 +53,8 @@ const char *srp::analysisKindName(AnalysisKind K) {
     return "static-freq";
   case AnalysisKind::Liveness:
     return "liveness";
+  case AnalysisKind::Bytecode:
+    return "bytecode";
   }
   return "unknown";
 }
@@ -71,6 +75,8 @@ Statistic *buildCounterFor(AnalysisKind K) {
     return &NumStaticFreqBuilt;
   case AnalysisKind::Liveness:
     return &NumLivenessBuilt;
+  case AnalysisKind::Bytecode:
+    return &NumBytecodeBuilt;
   }
   return nullptr;
 }
@@ -239,13 +245,15 @@ void AnalysisManager::cfgChanged(Function &F) {
   ++Stats.CFGEditEvents;
   ++NumCFGEditEvents;
   // Edge splitting / pred redirection moves blocks and edges: dominators
-  // (and everything derived from them) and liveness are stale. Memory SSA
+  // (and everything derived from them), liveness and the decoded bytecode
+  // (block indices, branch targets, phi copy lists) are stale. Memory SSA
   // survives — CFGEdit maintains memory-phi incoming lists itself — and
   // the execution profile is block-keyed, so existing blocks keep their
   // measured frequencies (new blocks report 0, which is conservative).
   invalidate(F, PreservedAnalyses::all()
                     .abandon(AnalysisKind::Dominators)
-                    .abandon(AnalysisKind::Liveness));
+                    .abandon(AnalysisKind::Liveness)
+                    .abandon(AnalysisKind::Bytecode));
 }
 
 void AnalysisManager::ssaEdited(Function &F) {
@@ -255,8 +263,11 @@ void AnalysisManager::ssaEdited(Function &F) {
   ++NumSSAEditEvents;
   // In-place SSA edits (phi insertion, use renaming) change live ranges
   // but no CFG edge, and the memory-SSA chains are exactly what the
-  // updater keeps consistent.
-  invalidate(F, PreservedAnalyses::all().abandon(AnalysisKind::Liveness));
+  // updater keeps consistent. Decoded bytecode bakes operand slots and
+  // instruction streams, so any instruction-level edit retires it.
+  invalidate(F, PreservedAnalyses::all()
+                    .abandon(AnalysisKind::Liveness)
+                    .abandon(AnalysisKind::Bytecode));
 }
 
 std::string srp::analysisCacheStatsToJson(const AnalysisCacheStats &S,

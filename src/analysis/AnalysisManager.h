@@ -71,8 +71,9 @@ enum class AnalysisKind : unsigned {
   Profile,         ///< ProfileInfo from a measured execution (module-wide)
   StaticFrequency, ///< StaticFrequency estimate (profile/ProfileInfo.h)
   Liveness,        ///< Liveness (regalloc/Liveness.h)
+  Bytecode,        ///< DecodedFunction (interp/Bytecode.h): interpreter tier
 };
-inline constexpr unsigned NumAnalysisKinds = 6;
+inline constexpr unsigned NumAnalysisKinds = 7;
 
 /// Short stable spelling used in statistics and JSON ("dominators", ...).
 const char *analysisKindName(AnalysisKind K);

@@ -2,39 +2,107 @@
 //
 // Part of the srp project: SSA-based scalar register promotion.
 //
+// Two engines, one observable behaviour (docs/INTERPRETER.md):
+//  - callWalk: the reference tree-walker. Interprets the IR in place with a
+//    hash-map frame; every register read is checked, so use-before-def is a
+//    trap (UndefValue stays a deterministic 0).
+//  - execDecoded: the bytecode engine. Runs the decoded stream from
+//    interp/Bytecode.h over a flat register stack; fuel is charged per
+//    segment (block prefix / post-call run) in one subtraction, with a
+//    per-instruction slow path once fuel runs low so exhaustion traps at
+//    exactly the same instruction as the walker.
+// The two share the memory image, the trap plumbing and the result object,
+// and may interleave within one run: functions the decoder rejects
+// (use-before-def it cannot disprove, malformed blocks) execute via the
+// walker call by call.
+//
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
+#include "analysis/Dominators.h"
+#include "interp/Bytecode.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
 #include "support/Statistics.h"
+#include "support/Timer.h"
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 
 using namespace srp;
 
 namespace {
+SRP_STATISTIC(NumExecutions, "interp", "runs",
+              "Interpreter executions (profile + measurement)");
+SRP_STATISTIC(NumInstsExecuted, "interp", "instructions-executed",
+              "Dynamic instructions interpreted across all runs");
+SRP_STATISTIC(NumBytecodeRuns, "interp", "bytecode-runs",
+              "Runs executed by the bytecode engine");
+SRP_STATISTIC(NumWalkRuns, "interp", "walk-runs",
+              "Runs executed by the reference tree-walker");
+SRP_STATISTIC(NumDecodeCacheHits, "interp", "decode-cache-hits",
+              "Function decodes served from the analysis-manager cache");
+SRP_STATISTIC(NumWalkFallbackCalls, "interp", "walk-fallback-calls",
+              "Calls executed by the walker because decoding was refused");
+SRP_STATISTIC(ExecMicros, "interp", "exec-micros",
+              "Wall time spent in interpreter runs, in microseconds");
+} // namespace
+
+const char *srp::interpEngineName(InterpEngine E) {
+  return E == InterpEngine::Walk ? "walk" : "bytecode";
+}
+
+bool srp::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
+  if (Name == "walk") {
+    Out = InterpEngine::Walk;
+    return true;
+  }
+  if (Name == "bytecode") {
+    Out = InterpEngine::Bytecode;
+    return true;
+  }
+  return false;
+}
+
+InterpEngine srp::defaultInterpEngine() {
+  if (const char *V = std::getenv("SRP_INTERP")) {
+    InterpEngine E;
+    if (parseInterpEngine(V, E))
+      return E;
+  }
+  return InterpEngine::Bytecode;
+}
+
+namespace {
 
 /// Flat memory image: every object gets a contiguous range of cells;
-/// pointers are absolute cell indices.
+/// pointers are absolute cell indices. Bases are a dense per-object-id
+/// vector so the bytecode engine resolves them without hashing.
 class MemoryImage {
-  std::unordered_map<unsigned, uint64_t> BaseOfObject; ///< object id -> base
+  std::vector<int64_t> BaseById; ///< object id -> base, -1 = not static
   std::vector<int64_t> Cells;
   std::vector<const MemoryObject *> Objects;
 
 public:
+  explicit MemoryImage(const Module &M) : BaseById(M.numObjectIds(), -1) {}
+
   void add(const MemoryObject &Obj) {
-    BaseOfObject[Obj.id()] = Cells.size();
+    BaseById[Obj.id()] = static_cast<int64_t>(Cells.size());
     Objects.push_back(&Obj);
     for (unsigned I = 0; I != Obj.size(); ++I)
       Cells.push_back(I == 0 ? Obj.initialValue() : 0);
   }
 
   bool knows(const MemoryObject &Obj) const {
-    return BaseOfObject.count(Obj.id()) != 0;
+    return BaseById[Obj.id()] >= 0;
   }
 
   uint64_t base(const MemoryObject &Obj) const {
-    return BaseOfObject.at(Obj.id());
+    return static_cast<uint64_t>(BaseById[Obj.id()]);
+  }
+  uint64_t baseOfId(unsigned Id) const {
+    return static_cast<uint64_t>(BaseById[Id]);
   }
 
   bool validAddress(uint64_t Addr) const { return Addr < Cells.size(); }
@@ -45,30 +113,74 @@ public:
   const std::vector<const MemoryObject *> &objects() const { return Objects; }
 };
 
+/// Tree-walker register frame. get() distinguishes "never written" from
+/// zero so the engine can trap use-before-def instead of minting silent
+/// zeros; constants and the deterministic undef read without a frame entry.
 class Frame {
 public:
   std::unordered_map<const Value *, int64_t> Regs;
 
-  int64_t get(const Value *V) const {
-    if (auto *C = dyn_cast<ConstantInt>(V))
-      return C->value();
-    if (isa<UndefValue>(V))
-      return 0; // deterministic "undefined"
+  bool get(const Value *V, int64_t &Out) const {
+    if (auto *C = dyn_cast<ConstantInt>(V)) {
+      Out = C->value();
+      return true;
+    }
+    if (isa<UndefValue>(V)) {
+      Out = 0; // deterministic "undefined"
+      return true;
+    }
     auto It = Regs.find(V);
-    return It == Regs.end() ? 0 : It->second;
+    if (It == Regs.end())
+      return false;
+    Out = It->second;
+    return true;
   }
   void set(const Value *V, int64_t X) { Regs[V] = X; }
 };
 
-class Engine {
+class ExecEngine {
   Module &M;
   uint64_t FuelLeft;
   ExecutionResult &R;
   MemoryImage Mem;
+  const bool UseBytecode;
+  AnalysisManager *AM;
+
+  /// Private decode cache when no AnalysisManager is supplied.
+  std::unordered_map<const Function *, std::unique_ptr<DecodedFunction>>
+      LocalDecoded;
+
+  /// Dense per-function execution counters, converted to the pointer-keyed
+  /// result maps by finish(). The walker fallback writes the maps
+  /// directly; finish() merges with +=, so mixed runs stay exact.
+  struct FnState {
+    const DecodedFunction *DF = nullptr;
+    std::vector<uint64_t> BlockCnt;
+    std::vector<uint64_t> EdgeCnt;
+    /// Per-callee-index resolved state (parallel to DF->Callees), filled
+    /// lazily so hot call sites skip the States hash lookup entirely.
+    /// FnState references are stable across States rehashes, so the raw
+    /// pointers stay valid for the whole run.
+    std::vector<FnState *> CalleeStates;
+  };
+  std::unordered_map<const Function *, FnState> States;
+
+  /// Register / frame-local-memory stacks shared by all bytecode frames
+  /// (one contiguous arena each instead of a malloc per call). Grown
+  /// manually through Top watermarks: frames are NOT zeroed on entry —
+  /// the decoder proves every plain slot is written before read, and
+  /// constant/undef slots come from DecodedFunction::ConstInits.
+  std::vector<int64_t> RegStack;
+  std::vector<int64_t> LocalStack;
+  size_t RegTop = 0;
+  size_t LocalTop = 0;
+  std::vector<int64_t> PhiScratch; ///< Parallel-copy staging buffer.
+  std::vector<int64_t> ArgStack;   ///< Call-argument staging stack.
 
 public:
-  Engine(Module &M, uint64_t Fuel, ExecutionResult &R)
-      : M(M), FuelLeft(Fuel), R(R) {
+  ExecEngine(Module &M, uint64_t Fuel, ExecutionResult &R, bool UseBytecode,
+             AnalysisManager *AM)
+      : M(M), FuelLeft(Fuel), R(R), Mem(M), UseBytecode(UseBytecode), AM(AM) {
     for (const auto &G : M.globals())
       Mem.add(*G);
     // Address-taken locals get static storage (single activation).
@@ -84,14 +196,381 @@ public:
     return false;
   }
 
-  /// Executes \p F; the result lands in \p RetVal. Returns false on trap.
-  bool call(Function &F, const std::vector<int64_t> &Args, int64_t &RetVal,
+  /// One decode resolution (and one cache-hit/miss count) per function
+  /// per run; later calls reuse the state through CalleeStates pointers.
+  FnState &stateFor(Function &F) {
+    auto [It, Inserted] = States.try_emplace(&F);
+    FnState &FS = It->second;
+    if (Inserted) {
+      FS.DF = &getDecoded(F);
+      FS.BlockCnt.assign(FS.DF->Blocks.size(), 0);
+      FS.EdgeCnt.assign(FS.DF->numEdges(), 0);
+      FS.CalleeStates.assign(FS.DF->Callees.size(), nullptr);
+    }
+    return FS;
+  }
+
+  /// Per-call engine dispatch: decoded fast path when the bytecode tier is
+  /// on and the decoder accepted the function, reference walker otherwise.
+  /// Arguments are passed as a raw span so callers can stage them in
+  /// ArgStack without a per-call allocation.
+  bool call(Function &F, const int64_t *Args, size_t NArgs, int64_t &RetVal,
             unsigned Depth) {
     if (Depth > 400)
       return trap("call stack overflow in " + F.name());
+    if (UseBytecode) {
+      FnState &FS = stateFor(F);
+      const DecodedFunction &DF = *FS.DF;
+      if (!DF.NeedsWalk) {
+        if (DF.Empty)
+          return trap("call to empty function " + F.name());
+        if (NArgs != DF.NumArgs)
+          return trap("arity mismatch calling " + F.name());
+        return execDecoded(DF, FS, Args, RetVal, Depth);
+      }
+      ++R.Interp.WalkFallbackCalls;
+      ++NumWalkFallbackCalls;
+    }
+    return callWalk(F, Args, NArgs, RetVal, Depth);
+  }
+
+  /// Converts dense counters into the result maps and snapshots final
+  /// memory. Must run exactly once, after the outermost call returns
+  /// (including on traps: partial counts are part of the observable
+  /// behaviour the parity suite compares).
+  void finish() {
+    for (auto &[F, FS] : States) {
+      (void)F;
+      const DecodedFunction &DF = *FS.DF;
+      for (size_t I = 0; I != FS.BlockCnt.size(); ++I)
+        if (FS.BlockCnt[I])
+          R.BlockCounts[DF.BlockPtrs[I]] += FS.BlockCnt[I];
+      for (size_t E = 0; E != FS.EdgeCnt.size(); ++E)
+        if (FS.EdgeCnt[E])
+          R.EdgeCounts[DF.BlockPtrs[DF.EdgeFrom[E]]]
+                      [DF.BlockPtrs[DF.EdgeTo[E]]] += FS.EdgeCnt[E];
+    }
+    for (const MemoryObject *Obj : Mem.objects()) {
+      // Only module-scope memory is observable after exit; locals (even
+      // address-taken ones with static storage) are dead, and dead-store
+      // elimination may legitimately leave different garbage in them.
+      if (Obj->owner())
+        continue;
+      std::vector<int64_t> Cells(Obj->size());
+      for (unsigned I = 0; I != Obj->size(); ++I)
+        Cells[I] = Mem.read(Mem.base(*Obj) + I);
+      R.FinalMemory[Obj->id()] = std::move(Cells);
+    }
+  }
+
+private:
+  const DecodedFunction &getDecoded(Function &F) {
+    if (AM) {
+      if (AM->cachingEnabled() && AM->isCached(F, AnalysisKind::Bytecode)) {
+        ++R.Interp.DecodeCacheHits;
+        ++NumDecodeCacheHits;
+        return AM->get<DecodedFunction>(F);
+      }
+      double T0 = monotonicSeconds();
+      const DecodedFunction &DF = AM->get<DecodedFunction>(F);
+      R.Interp.DecodeSeconds += monotonicSeconds() - T0;
+      ++R.Interp.FunctionsDecoded;
+      return DF;
+    }
+    auto It = LocalDecoded.find(&F);
+    if (It != LocalDecoded.end())
+      return *It->second;
+    double T0 = monotonicSeconds();
+    std::unique_ptr<DominatorTree> DT;
+    if (!F.empty())
+      DT = std::make_unique<DominatorTree>(F);
+    auto DF = decodeFunction(F, DT.get());
+    R.Interp.DecodeSeconds += monotonicSeconds() - T0;
+    ++R.Interp.FunctionsDecoded;
+    return *(LocalDecoded[&F] = std::move(DF));
+  }
+
+  //===-- Bytecode engine --------------------------------------------------===
+
+  bool execDecoded(const DecodedFunction &DF, FnState &FS,
+                   const int64_t *Args, int64_t &RetVal, unsigned Depth) {
+    // Frame push: bump the watermarks; beyond them the arenas hold stale
+    // garbage, which is fine — the decoder's dominance proof guarantees
+    // no plain slot is read before it is written, and constants/undef
+    // are seeded from the sparse ConstInits list.
+    const size_t Base = RegTop;
+    RegTop += DF.NumSlots;
+    if (RegTop > RegStack.size())
+      RegStack.resize(std::max(RegTop, RegStack.size() * 2));
+    const size_t LocalBase = LocalTop;
+    LocalTop += DF.LocalArenaSize;
+    if (LocalTop > LocalStack.size())
+      LocalStack.resize(std::max(LocalTop, LocalStack.size() * 2));
+    if (PhiScratch.size() < DF.MaxPhiCopies)
+      PhiScratch.resize(DF.MaxPhiCopies);
+
+    int64_t *Rg = RegStack.data() + Base;
+    int64_t *Lc = LocalStack.data() + LocalBase;
+    for (const auto &CI : DF.ConstInits)
+      Rg[CI.Slot] = CI.Val;
+    for (uint32_t I = 0; I != DF.NumArgs; ++I)
+      Rg[I] = Args[I];
+    // Frame-local memory does carry defined initial values.
+    for (const auto &L : DF.Locals)
+      std::fill_n(Lc + L.Off, L.Size, L.Init);
+    DynamicCounts &Cnt = R.Counts;
+    auto Wrap = [](uint64_t X) { return static_cast<int64_t>(X); };
+    auto U = [](int64_t X) { return static_cast<uint64_t>(X); };
+
+    uint64_t Prepaid = 0;
+    uint32_t BI = 0;
+    const BInst *IP = nullptr;
+
+    // Taking edge E: bump its counter, run its pre-resolved phi moves with
+    // parallel-copy semantics (gather, then scatter), move to the target.
+    auto TakeEdge = [&](int32_t EI) {
+      const BEdge &E = DF.Edges[EI];
+      ++FS.EdgeCnt[E.Id];
+      const uint32_t N = E.CopyEnd - E.CopyBegin;
+      if (N) {
+        const PhiCopy *C = DF.PhiCopies.data() + E.CopyBegin;
+        for (uint32_t I = 0; I != N; ++I)
+          PhiScratch[I] = Rg[C[I].Src];
+        for (uint32_t I = 0; I != N; ++I)
+          Rg[C[I].Dst] = PhiScratch[I];
+      }
+      BI = E.To;
+    };
+
+  NextBlock: {
+    const BBlock &Blk = DF.Blocks[BI];
+    ++FS.BlockCnt[BI];
+    // Bulk fuel charge for the block's leading segment. When fuel is too
+    // low for the whole segment, fall back to paying per instruction so
+    // the exhaustion trap fires at exactly the walker's instruction.
+    if (FuelLeft >= Blk.SegCost) {
+      FuelLeft -= Blk.SegCost;
+      Prepaid = Blk.SegCost;
+    }
+    IP = DF.Code.data() + Blk.First;
+  }
+    for (;;) {
+      const BInst &X = *IP++;
+      if (Prepaid)
+        --Prepaid;
+      else if (FuelLeft == 0)
+        return trap("out of fuel (infinite loop?)");
+      else
+        --FuelLeft;
+      ++Cnt.Instructions;
+
+      switch (X.Op) {
+      case BOp::Add:
+        Rg[X.Dst] = Wrap(U(Rg[X.A]) + U(Rg[X.B]));
+        break;
+      case BOp::Sub:
+        Rg[X.Dst] = Wrap(U(Rg[X.A]) - U(Rg[X.B]));
+        break;
+      case BOp::Mul:
+        Rg[X.Dst] = Wrap(U(Rg[X.A]) * U(Rg[X.B]));
+        break;
+      case BOp::Div:
+        if (Rg[X.B] == 0)
+          return trap("division by zero");
+        Rg[X.Dst] = Rg[X.A] / Rg[X.B];
+        break;
+      case BOp::Rem:
+        if (Rg[X.B] == 0)
+          return trap("remainder by zero");
+        Rg[X.Dst] = Rg[X.A] % Rg[X.B];
+        break;
+      case BOp::And:
+        Rg[X.Dst] = Rg[X.A] & Rg[X.B];
+        break;
+      case BOp::Or:
+        Rg[X.Dst] = Rg[X.A] | Rg[X.B];
+        break;
+      case BOp::Xor:
+        Rg[X.Dst] = Rg[X.A] ^ Rg[X.B];
+        break;
+      case BOp::Shl:
+        Rg[X.Dst] = Wrap(U(Rg[X.A]) << (Rg[X.B] & 63));
+        break;
+      case BOp::Shr:
+        Rg[X.Dst] = Rg[X.A] >> (Rg[X.B] & 63);
+        break;
+      case BOp::CmpEQ:
+        Rg[X.Dst] = Rg[X.A] == Rg[X.B];
+        break;
+      case BOp::CmpNE:
+        Rg[X.Dst] = Rg[X.A] != Rg[X.B];
+        break;
+      case BOp::CmpLT:
+        Rg[X.Dst] = Rg[X.A] < Rg[X.B];
+        break;
+      case BOp::CmpLE:
+        Rg[X.Dst] = Rg[X.A] <= Rg[X.B];
+        break;
+      case BOp::CmpGT:
+        Rg[X.Dst] = Rg[X.A] > Rg[X.B];
+        break;
+      case BOp::CmpGE:
+        Rg[X.Dst] = Rg[X.A] >= Rg[X.B];
+        break;
+      case BOp::Copy:
+        ++Cnt.Copies;
+        Rg[X.Dst] = Rg[X.A];
+        break;
+      case BOp::Load:
+        ++Cnt.SingletonLoads;
+        Rg[X.Dst] = Mem.read(Mem.baseOfId(X.Obj));
+        break;
+      case BOp::Store:
+        ++Cnt.SingletonStores;
+        Mem.write(Mem.baseOfId(X.Obj), Rg[X.A]);
+        break;
+      case BOp::LoadLocal:
+        ++Cnt.SingletonLoads;
+        Rg[X.Dst] = Lc[X.Obj];
+        break;
+      case BOp::StoreLocal:
+        ++Cnt.SingletonStores;
+        Lc[X.Obj] = Rg[X.A];
+        break;
+      case BOp::AddrOf:
+        Rg[X.Dst] = static_cast<int64_t>(Mem.baseOfId(X.Obj));
+        break;
+      case BOp::PtrLoad: {
+        ++Cnt.AliasedLoads;
+        uint64_t Addr = U(Rg[X.A]);
+        if (!Mem.validAddress(Addr))
+          return trap("wild pointer read");
+        Rg[X.Dst] = Mem.read(Addr);
+        break;
+      }
+      case BOp::PtrStore: {
+        ++Cnt.AliasedStores;
+        uint64_t Addr = U(Rg[X.A]);
+        if (!Mem.validAddress(Addr))
+          return trap("wild pointer write");
+        Mem.write(Addr, Rg[X.B]);
+        break;
+      }
+      case BOp::ArrayLoad: {
+        ++Cnt.AliasedLoads;
+        uint64_t Idx = U(Rg[X.A]);
+        if (Idx >= X.Size)
+          return trap("out-of-bounds read of " + X.MObj->name());
+        Rg[X.Dst] = Mem.read(Mem.baseOfId(X.Obj) + Idx);
+        break;
+      }
+      case BOp::ArrayStore: {
+        ++Cnt.AliasedStores;
+        uint64_t Idx = U(Rg[X.A]);
+        if (Idx >= X.Size)
+          return trap("out-of-bounds write of " + X.MObj->name());
+        Mem.write(Mem.baseOfId(X.Obj) + Idx, Rg[X.B]);
+        break;
+      }
+      case BOp::ArrayLoadLocal: {
+        ++Cnt.AliasedLoads;
+        uint64_t Idx = U(Rg[X.A]);
+        if (Idx >= X.Size)
+          return trap("out-of-bounds read of " + X.MObj->name());
+        Rg[X.Dst] = Lc[X.Obj + Idx];
+        break;
+      }
+      case BOp::ArrayStoreLocal: {
+        ++Cnt.AliasedStores;
+        uint64_t Idx = U(Rg[X.A]);
+        if (Idx >= X.Size)
+          return trap("out-of-bounds write of " + X.MObj->name());
+        Lc[X.Obj + Idx] = Rg[X.B];
+        break;
+      }
+      case BOp::Call: {
+        Function &Callee = *DF.Callees[X.T0];
+        if (Depth >= 400)
+          return trap("call stack overflow in " + Callee.name());
+        // Resolve the callee's state once per call site per run; later
+        // executions skip the States hash lookup.
+        FnState *CS = FS.CalleeStates[X.T0];
+        if (!CS)
+          CS = FS.CalleeStates[X.T0] = &stateFor(Callee);
+        const uint32_t NA = X.ArgsEnd - X.ArgsBegin;
+        // Stage arguments on the shared stack (no per-call allocation);
+        // the callee copies them into its frame before pushing any of its
+        // own, so the span stays valid exactly long enough.
+        const size_t AB = ArgStack.size();
+        ArgStack.resize(AB + NA);
+        for (uint32_t I = 0; I != NA; ++I)
+          ArgStack[AB + I] = Rg[DF.CallArgSlots[X.ArgsBegin + I]];
+        int64_t Out = 0;
+        bool CallOk;
+        const DecodedFunction &CDF = *CS->DF;
+        if (!CDF.NeedsWalk) {
+          if (CDF.Empty)
+            return trap("call to empty function " + Callee.name());
+          if (NA != CDF.NumArgs)
+            return trap("arity mismatch calling " + Callee.name());
+          CallOk = execDecoded(CDF, *CS, ArgStack.data() + AB, Out, Depth + 1);
+        } else {
+          ++R.Interp.WalkFallbackCalls;
+          ++NumWalkFallbackCalls;
+          CallOk = callWalk(Callee, ArgStack.data() + AB, NA, Out, Depth + 1);
+        }
+        ArgStack.resize(AB);
+        if (!CallOk)
+          return false;
+        // The callee may have grown the shared arenas; re-anchor.
+        Rg = RegStack.data() + Base;
+        Lc = LocalStack.data() + LocalBase;
+        if (X.Dst >= 0)
+          Rg[X.Dst] = Out;
+        // Charge the segment that resumes after the call.
+        if (FuelLeft >= X.ResumeCost) {
+          FuelLeft -= X.ResumeCost;
+          Prepaid = X.ResumeCost;
+        }
+        break;
+      }
+      case BOp::Print:
+        R.Output.push_back(Rg[X.A]);
+        break;
+      case BOp::Jmp:
+        TakeEdge(X.T0);
+        goto NextBlock;
+      case BOp::JmpIf:
+        TakeEdge(Rg[X.A] != 0 ? X.T0 : X.T1);
+        goto NextBlock;
+      case BOp::Ret:
+        RetVal = X.A >= 0 ? Rg[X.A] : 0;
+        RegTop = Base;
+        LocalTop = LocalBase;
+        return true;
+      case BOp::Trap:
+        return trap(DF.TrapMsgs[X.T0]);
+      }
+    }
+  }
+
+  //===-- Reference tree-walker --------------------------------------------===
+
+  /// Checked register read: traps on use of a never-written register
+  /// (use-before-def). Constants and UndefValue always read.
+  bool readReg(const Frame &Fr, const Value *V, int64_t &Out) {
+    if (Fr.get(V, Out))
+      return true;
+    return trap("use of undefined value " + V->referenceString());
+  }
+
+  /// Executes \p F in the walker; the result lands in \p RetVal. Returns
+  /// false on trap.
+  bool callWalk(Function &F, const int64_t *Args, size_t NArgs,
+                int64_t &RetVal, unsigned Depth) {
     if (F.empty())
       return trap("call to empty function " + F.name());
-    if (Args.size() != F.numArgs())
+    if (NArgs != F.numArgs())
       return trap("arity mismatch calling " + F.name());
 
     Frame Fr;
@@ -139,7 +618,10 @@ public:
       for (auto &I : *BB) {
         if (auto *P = dyn_cast<PhiInst>(I.get())) {
           assert(PrevBB && "phi in entry block");
-          PhiVals.emplace_back(P, Fr.get(P->incomingValueFor(PrevBB)));
+          int64_t V;
+          if (!readReg(Fr, P->incomingValueFor(PrevBB), V))
+            return false;
+          PhiVals.emplace_back(P, V);
         } else if (!isa<MemPhiInst>(I.get())) {
           break;
         }
@@ -147,8 +629,8 @@ public:
       for (auto &[P, V] : PhiVals)
         Fr.set(P, V);
 
-      for (auto &IP : *BB) {
-        Instruction *I = IP.get();
+      for (auto &IPt : *BB) {
+        Instruction *I = IPt.get();
         if (isa<PhiInst>(I) || isa<MemPhiInst>(I) || isa<DummyLoadInst>(I))
           continue;
         if (FuelLeft-- == 0)
@@ -158,7 +640,9 @@ public:
         switch (I->kind()) {
         case Value::Kind::BinOp: {
           auto *B = cast<BinOpInst>(I);
-          int64_t L = Fr.get(B->lhs()), Rv = Fr.get(B->rhs()), Out = 0;
+          int64_t L, Rv, Out = 0;
+          if (!readReg(Fr, B->lhs(), L) || !readReg(Fr, B->rhs(), Rv))
+            return false;
           // Wrapping arithmetic through uint64_t: random workloads may
           // overflow, which must stay well defined.
           auto Wrap = [](uint64_t X) { return static_cast<int64_t>(X); };
@@ -199,10 +683,14 @@ public:
           Fr.set(B, Out);
           break;
         }
-        case Value::Kind::Copy:
+        case Value::Kind::Copy: {
           ++R.Counts.Copies;
-          Fr.set(I, Fr.get(cast<CopyInst>(I)->source()));
+          int64_t V;
+          if (!readReg(Fr, cast<CopyInst>(I)->source(), V))
+            return false;
+          Fr.set(I, V);
           break;
+        }
         case Value::Kind::Load: {
           auto *L = cast<LoadInst>(I);
           ++R.Counts.SingletonLoads;
@@ -215,7 +703,10 @@ public:
         case Value::Kind::Store: {
           auto *S = cast<StoreInst>(I);
           ++R.Counts.SingletonStores;
-          if (!writeObject(S->object(), 0, Fr.get(S->storedValue())))
+          int64_t V;
+          if (!readReg(Fr, S->storedValue(), V))
+            return false;
+          if (!writeObject(S->object(), 0, V))
             return false;
           break;
         }
@@ -230,7 +721,10 @@ public:
         case Value::Kind::PtrLoad: {
           auto *P = cast<PtrLoadInst>(I);
           ++R.Counts.AliasedLoads;
-          uint64_t Addr = static_cast<uint64_t>(Fr.get(P->address()));
+          int64_t AddrV;
+          if (!readReg(Fr, P->address(), AddrV))
+            return false;
+          uint64_t Addr = static_cast<uint64_t>(AddrV);
           if (!Mem.validAddress(Addr))
             return trap("wild pointer read");
           Fr.set(P, Mem.read(Addr));
@@ -239,18 +733,23 @@ public:
         case Value::Kind::PtrStore: {
           auto *P = cast<PtrStoreInst>(I);
           ++R.Counts.AliasedStores;
-          uint64_t Addr = static_cast<uint64_t>(Fr.get(P->address()));
+          int64_t AddrV, V;
+          if (!readReg(Fr, P->address(), AddrV) ||
+              !readReg(Fr, P->storedValue(), V))
+            return false;
+          uint64_t Addr = static_cast<uint64_t>(AddrV);
           if (!Mem.validAddress(Addr))
             return trap("wild pointer write");
-          Mem.write(Addr, Fr.get(P->storedValue()));
+          Mem.write(Addr, V);
           break;
         }
         case Value::Kind::ArrayLoad: {
           auto *A = cast<ArrayLoadInst>(I);
           ++R.Counts.AliasedLoads;
-          int64_t V;
-          if (!readObject(A->object(),
-                          static_cast<uint64_t>(Fr.get(A->index())), V))
+          int64_t Idx, V;
+          if (!readReg(Fr, A->index(), Idx))
+            return false;
+          if (!readObject(A->object(), static_cast<uint64_t>(Idx), V))
             return false;
           Fr.set(A, V);
           break;
@@ -258,41 +757,60 @@ public:
         case Value::Kind::ArrayStore: {
           auto *A = cast<ArrayStoreInst>(I);
           ++R.Counts.AliasedStores;
-          if (!writeObject(A->object(),
-                           static_cast<uint64_t>(Fr.get(A->index())),
-                           Fr.get(A->storedValue())))
+          int64_t Idx, V;
+          if (!readReg(Fr, A->index(), Idx) ||
+              !readReg(Fr, A->storedValue(), V))
+            return false;
+          if (!writeObject(A->object(), static_cast<uint64_t>(Idx), V))
             return false;
           break;
         }
         case Value::Kind::Call: {
           auto *C = cast<CallInst>(I);
           std::vector<int64_t> CallArgs;
-          for (Value *A : C->operands())
-            CallArgs.push_back(Fr.get(A));
+          CallArgs.reserve(C->operands().size());
+          for (Value *A : C->operands()) {
+            int64_t V;
+            if (!readReg(Fr, A, V))
+              return false;
+            CallArgs.push_back(V);
+          }
           int64_t Out = 0;
-          if (!call(*C->callee(), CallArgs, Out, Depth + 1))
+          if (!call(*C->callee(), CallArgs.data(), CallArgs.size(), Out,
+                    Depth + 1))
             return false;
           if (C->type() != Type::Void)
             Fr.set(C, Out);
           break;
         }
-        case Value::Kind::Print:
-          R.Output.push_back(Fr.get(cast<PrintInst>(I)->value()));
+        case Value::Kind::Print: {
+          int64_t V;
+          if (!readReg(Fr, cast<PrintInst>(I)->value(), V))
+            return false;
+          R.Output.push_back(V);
           break;
+        }
         case Value::Kind::Br:
           PrevBB = BB;
           BB = cast<BrInst>(I)->target();
           break;
         case Value::Kind::CondBr: {
           auto *C = cast<CondBrInst>(I);
+          int64_t V;
+          if (!readReg(Fr, C->condition(), V))
+            return false;
           PrevBB = BB;
-          BB = Fr.get(C->condition()) != 0 ? C->trueTarget()
-                                           : C->falseTarget();
+          BB = V != 0 ? C->trueTarget() : C->falseTarget();
           break;
         }
         case Value::Kind::Ret: {
           auto *Rt = cast<RetInst>(I);
-          RetVal = Rt->returnValue() ? Fr.get(Rt->returnValue()) : 0;
+          if (Rt->returnValue()) {
+            if (!readReg(Fr, Rt->returnValue(), RetVal))
+              return false;
+          } else {
+            RetVal = 0;
+          }
           return true;
         }
         default:
@@ -305,46 +823,33 @@ public:
         return trap("fell off the end of block " + BB->name());
     }
   }
-
-  void captureFinalMemory() {
-    for (const MemoryObject *Obj : Mem.objects()) {
-      // Only module-scope memory is observable after exit; locals (even
-      // address-taken ones with static storage) are dead, and dead-store
-      // elimination may legitimately leave different garbage in them.
-      if (Obj->owner())
-        continue;
-      std::vector<int64_t> Cells(Obj->size());
-      for (unsigned I = 0; I != Obj->size(); ++I)
-        Cells[I] = Mem.read(Mem.base(*Obj) + I);
-      R.FinalMemory[Obj->id()] = std::move(Cells);
-    }
-  }
 };
 
-} // namespace
-
-namespace {
-SRP_STATISTIC(NumExecutions, "interp", "runs",
-              "Interpreter executions (profile + measurement)");
-SRP_STATISTIC(NumInstsExecuted, "interp", "instructions-executed",
-              "Dynamic instructions interpreted across all runs");
 } // namespace
 
 ExecutionResult Interpreter::run(const std::string &EntryName,
                                  const std::vector<int64_t> &Args) {
   ExecutionResult R;
+  R.Interp.Engine = Engine;
   Function *Entry = M.getFunction(EntryName);
   if (!Entry) {
     R.Error = "no function named " + EntryName;
     return R;
   }
-  Engine E(M, Fuel, R);
+  double T0 = monotonicSeconds();
+  ExecEngine E(M, Fuel, R, Engine == InterpEngine::Bytecode, AM);
   int64_t Ret = 0;
   R.Ok = true;
-  if (E.call(*Entry, Args, Ret, 0))
+  if (E.call(*Entry, Args.data(), Args.size(), Ret, 0))
     R.ExitValue = Ret;
-  E.captureFinalMemory();
+  E.finish();
+  R.Interp.ExecSeconds = monotonicSeconds() - T0;
   ++NumExecutions;
+  if (Engine == InterpEngine::Bytecode)
+    ++NumBytecodeRuns;
+  else
+    ++NumWalkRuns;
   NumInstsExecuted += R.Counts.Instructions;
+  ExecMicros += static_cast<uint64_t>(R.Interp.ExecSeconds * 1e6);
   return R;
 }

@@ -18,6 +18,18 @@
 /// Address-taken locals get static storage (one activation at a time), a
 /// documented simplification; the Mini-C workloads comply.
 ///
+/// Two engines share these semantics (docs/INTERPRETER.md):
+///  - the *tree-walker*, the reference engine: interprets the IR in place,
+///    one hash lookup per operand;
+///  - the *bytecode* engine (default): functions are decoded once into
+///    dense slot-numbered instruction streams (interp/Bytecode.h) and run
+///    by a flat register-file dispatch loop with per-block fuel accounting
+///    and dense block/edge counters.
+/// Results are required to be identical field by field; the parity suite
+/// (tests/InterpParityTest.cpp) and the srp_oracle_walk ctest gate enforce
+/// it. Functions the decoder cannot statically validate fall back to the
+/// walker per call, so mixed execution is still exact.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SRP_INTERP_INTERPRETER_H
@@ -30,9 +42,27 @@
 
 namespace srp {
 
+class AnalysisManager;
 class BasicBlock;
 class Function;
 class Module;
+
+/// Which execution engine an Interpreter uses.
+enum class InterpEngine : uint8_t {
+  Walk,     ///< Reference tree-walker (slow, obviously correct).
+  Bytecode, ///< Decoded dispatch loop (default).
+};
+
+/// Stable spelling for flags/JSON: "walk" / "bytecode".
+const char *interpEngineName(InterpEngine E);
+
+/// Inverse of interpEngineName; returns false for unknown spellings.
+bool parseInterpEngine(const std::string &Name, InterpEngine &Out);
+
+/// The build-default engine (Bytecode), overridable per process with
+/// SRP_INTERP=walk|bytecode — the hook the srp_oracle_walk ctest gate uses
+/// to re-run the differential oracle on the reference engine.
+InterpEngine defaultInterpEngine();
 
 /// Dynamic operation counters. "Singleton" loads/stores are the paper's
 /// promotion targets; aliased operations are calls/pointer/array accesses.
@@ -45,6 +75,17 @@ struct DynamicCounts {
   uint64_t Instructions = 0;
 
   uint64_t memOps() const { return SingletonLoads + SingletonStores; }
+};
+
+/// Per-run engine accounting (not part of the observable behaviour the
+/// parity suite compares; feeds the `interp` section of --stats-json).
+struct InterpRunStats {
+  InterpEngine Engine = InterpEngine::Bytecode;
+  uint64_t FunctionsDecoded = 0;  ///< Decodes performed during this run.
+  uint64_t DecodeCacheHits = 0;   ///< Decodes served from the manager cache.
+  uint64_t WalkFallbackCalls = 0; ///< Calls executed by the walker fallback.
+  double DecodeSeconds = 0;
+  double ExecSeconds = 0; ///< Whole run, decode included.
 };
 
 /// Result of one execution.
@@ -62,17 +103,28 @@ struct ExecutionResult {
   std::unordered_map<const BasicBlock *,
                      std::unordered_map<const BasicBlock *, uint64_t>>
       EdgeCounts;
+  /// Engine accounting for this run (excluded from parity comparisons).
+  InterpRunStats Interp;
 };
 
 class Interpreter {
   Module &M;
   uint64_t Fuel;
+  InterpEngine Engine;
+  AnalysisManager *AM;
 
 public:
   /// \p Fuel bounds the number of executed instructions (default generous;
-  /// protects tests against accidental infinite loops).
-  explicit Interpreter(Module &M, uint64_t Fuel = 200'000'000)
-      : M(M), Fuel(Fuel) {}
+  /// protects tests against accidental infinite loops). \p AM, when given,
+  /// caches decoded functions across runs (AnalysisKind::Bytecode) so an
+  /// unchanged function is decoded once for profile + measurement; without
+  /// a manager the interpreter decodes privately per instance.
+  explicit Interpreter(Module &M, uint64_t Fuel = 200'000'000,
+                       InterpEngine Engine = defaultInterpEngine(),
+                       AnalysisManager *AM = nullptr)
+      : M(M), Fuel(Fuel), Engine(Engine), AM(AM) {}
+
+  InterpEngine engine() const { return Engine; }
 
   /// Runs \p EntryName (default "main") with the given arguments.
   ExecutionResult run(const std::string &EntryName = "main",

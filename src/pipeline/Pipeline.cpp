@@ -116,7 +116,7 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
   PM.addPass("profile", PassManager::ModulePassFn(
                             [&](Module &Mod, AnalysisManager &AM,
                                 std::vector<std::string> &Errors) {
-    Interpreter Interp(Mod);
+    Interpreter Interp(Mod, 200'000'000, Opts.Interp, &AM);
     R.RunBefore = Interp.run(Opts.EntryFunction);
     if (!R.RunBefore.Ok) {
       Errors.push_back("profile run failed: " + R.RunBefore.Error);
@@ -162,6 +162,13 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
               CheckDelta ? countStaticMemOps(F) : StaticCounts{};
           PromotionStats S = promoteRegisters(F, PI, AM, Opts.Promo);
           R.Promo += S;
+          // Any instruction-level rewrite stales the decoded bytecode the
+          // profile run cached; untouched functions keep their decode (the
+          // promoter's own SSA/CFG edit notifications cover most edits,
+          // but plain load->copy rewrites go through neither hook).
+          const bool Edited = S.LoadsReplaced || S.LoadsInserted ||
+                              S.StoresInserted || S.StoresDeleted ||
+                              S.DummyLoadsInserted || S.RegisterPhisCreated;
           if (CheckDelta) {
             StaticCounts After = countStaticMemOps(F);
             PromotionDeltaExpectation E;
@@ -180,31 +187,41 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
                 Errors.push_back("promotion ledger mismatch in '" +
                                  F.name() + "': " + D.Message);
           }
-          return PreservedAnalyses::all();
+          return Edited ? PreservedAnalyses::all().abandon(
+                              AnalysisKind::Bytecode)
+                        : PreservedAnalyses::all();
         });
     break;
   case PromotionMode::LoopBaseline:
     PM.addFunctionPass(
         "promotion", [&](Function &F, AnalysisManager &AM,
                          std::vector<std::string> &) {
-          R.Baseline += promoteLoopsBaseline(F, AM);
-          return PreservedAnalyses::all();
+          LoopPromotionStats S = promoteLoopsBaseline(F, AM);
+          R.Baseline += S;
+          return S.VariablesPromoted
+                     ? PreservedAnalyses::all().abandon(AnalysisKind::Bytecode)
+                     : PreservedAnalyses::all();
         });
     break;
   case PromotionMode::Superblock:
     PM.addFunctionPass(
         "promotion", [&](Function &F, AnalysisManager &AM,
                          std::vector<std::string> &) {
-          R.Superblock += promoteSuperblocks(F, AM.executionProfile(), AM);
-          return PreservedAnalyses::all();
+          SuperblockStats S = promoteSuperblocks(F, AM.executionProfile(), AM);
+          R.Superblock += S;
+          return S.TracesFormed || S.VariablesPromoted
+                     ? PreservedAnalyses::all().abandon(AnalysisKind::Bytecode)
+                     : PreservedAnalyses::all();
         });
     break;
   case PromotionMode::MemOptOnly:
     PM.addFunctionPass(
         "promotion", [](Function &F, AnalysisManager &AM,
                         std::vector<std::string> &) {
-          optimizeMemorySSA(F, AM);
-          return PreservedAnalyses::all();
+          MemoryOptStats S = optimizeMemorySSA(F, AM);
+          return S.total() ? PreservedAnalyses::all().abandon(
+                                 AnalysisKind::Bytecode)
+                           : PreservedAnalyses::all();
         });
     break;
   }
@@ -216,16 +233,24 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
     PM.addFunctionPass(
         "cleanup", [](Function &F, AnalysisManager &AM,
                       std::vector<std::string> &) {
-          cleanupAfterPromotion(F, AM);
-          return PreservedAnalyses::all();
+          CleanupStats S = cleanupAfterPromotion(F, AM);
+          const bool Edited = S.DummyLoadsRemoved || S.CopiesPropagated ||
+                              S.DeadInstructionsRemoved ||
+                              S.DeadMemPhisRemoved;
+          return Edited ? PreservedAnalyses::all().abandon(
+                              AnalysisKind::Bytecode)
+                        : PreservedAnalyses::all();
         });
 
   // -- Measurement back half. --------------------------------------------
   PM.addPass("measure", PassManager::ModulePassFn(
-                            [&](Module &Mod, AnalysisManager &,
+                            [&](Module &Mod, AnalysisManager &AM,
                                 std::vector<std::string> &Errors) {
     R.StaticAfter = countStaticMemOps(Mod);
-    Interpreter Interp(Mod);
+    // Shares the manager with the profile pass: functions the promotion
+    // stage left untouched reuse their decoded bytecode (decode-cache-hits
+    // in --stats-json counts them).
+    Interpreter Interp(Mod, 200'000'000, Opts.Interp, &AM);
     R.RunAfter = Interp.run(Opts.EntryFunction);
     if (!R.RunAfter.Ok) {
       Errors.push_back("measurement run failed: " + R.RunAfter.Error);

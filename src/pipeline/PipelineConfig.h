@@ -19,6 +19,7 @@
 #define SRP_PIPELINE_PIPELINECONFIG_H
 
 #include "analysis/StaticAnalysis.h"
+#include "interp/Interpreter.h"
 #include "promotion/PromotionOptions.h"
 #include <array>
 #include <memory>
@@ -72,6 +73,9 @@ struct PipelineOptions {
   /// analysis cache). The SRP_DISABLE_ANALYSIS_CACHE=1 environment
   /// variable has the same effect without a rebuild.
   bool DisableAnalysisCache = false;
+  /// Execution engine for the profile and measurement runs (srpc
+  /// -interp=walk|bytecode; both produce identical ExecutionResults).
+  InterpEngine Interp = defaultInterpEngine();
 };
 
 /// Immutable, cheaply copyable Mini-C source text. Copies share one

@@ -53,6 +53,9 @@ void usage() {
       "  -direct-stores       improved aliased-store placement\n"
       "  -no-analysis-cache   rebuild every analysis on each request\n"
       "                       (also: SRP_DISABLE_ANALYSIS_CACHE=1)\n"
+      "  -interp=<bytecode|walk>  execution engine for the profile and\n"
+      "                       measurement runs (default bytecode; walk is\n"
+      "                       the reference tree-walker; also: SRP_INTERP)\n"
       "  -analyze             static analysis only: run the IR checkers\n"
       "                       and the source lints (uninitialized load,\n"
       "                       dead store, unreachable code), don't run\n"
@@ -109,6 +112,13 @@ int main(int argc, char **argv) {
       Opts.Promo.DirectAliasedStores = true;
     } else if (A == "-no-analysis-cache") {
       Opts.DisableAnalysisCache = true;
+    } else if (A.rfind("-interp=", 0) == 0) {
+      std::string Engine = A.substr(8);
+      if (!parseInterpEngine(Engine, Opts.Interp)) {
+        std::fprintf(stderr, "error: unknown interpreter engine '%s'\n",
+                     Engine.c_str());
+        return 2;
+      }
     } else if (A == "-analyze") {
       Analyze = true;
     } else if (A == "-diag-json") {
@@ -289,6 +299,29 @@ int main(int argc, char **argv) {
        << ",\n"
        << "  \"analysis\": " << analysisCacheStatsToJson(R.Analysis, 1)
        << ",\n"
+       << "  \"interp\": {\n"
+       << "    \"engine\": \"" << interpEngineName(Opts.Interp) << "\",\n"
+       << "    \"functions_decoded\": "
+       << (R.RunBefore.Interp.FunctionsDecoded +
+           R.RunAfter.Interp.FunctionsDecoded)
+       << ",\n"
+       << "    \"decode_cache_hits\": "
+       << (R.RunBefore.Interp.DecodeCacheHits +
+           R.RunAfter.Interp.DecodeCacheHits)
+       << ",\n"
+       << "    \"walk_fallback_calls\": "
+       << (R.RunBefore.Interp.WalkFallbackCalls +
+           R.RunAfter.Interp.WalkFallbackCalls)
+       << ",\n"
+       << "    \"decode_seconds\": "
+       << (R.RunBefore.Interp.DecodeSeconds +
+           R.RunAfter.Interp.DecodeSeconds)
+       << ",\n"
+       << "    \"profile_exec_seconds\": " << R.RunBefore.Interp.ExecSeconds
+       << ",\n"
+       << "    \"measure_exec_seconds\": " << R.RunAfter.Interp.ExecSeconds
+       << "\n"
+       << "  },\n"
        << "  \"verification\": {\n"
        << "    \"strictness\": \""
        << strictnessName(Opts.VerifyEachStep ? Opts.VerifyStrictness

@@ -1,0 +1,391 @@
+//===- tests/InterpParityTest.cpp - walk vs bytecode differential parity --===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential parity between the two interpreter engines: the reference
+/// tree-walker and the bytecode tier must produce byte-identical
+/// ExecutionResults — exit value, printed output, dynamic counts, block
+/// and edge frequencies, final memory, and on failing runs the exact trap
+/// message — on every workload x promotion-mode combination and on every
+/// trap path (bounds, wild pointers, stack overflow, arity, use-before-def,
+/// and fuel exhaustion at exact instruction boundaries).
+///
+/// The InterpParityHeavyTest matrix is scheduled under the `heavy` ctest
+/// label; the whole file also runs as the tier-1 `srp_interp_parity` gate
+/// (see tests/CMakeLists.txt).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "interp/Bytecode.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "pipeline/Pipeline.h"
+#include "TestHelpers.h"
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+constexpr uint64_t DefaultFuel = 200'000'000;
+
+/// Full-result comparison. Both engines ran the same Module instance, so
+/// the pointer-keyed frequency maps are directly comparable. The Interp
+/// accounting field is engine-specific by design and excluded.
+void expectSameResult(const ExecutionResult &Walk, const ExecutionResult &BC,
+                      const std::string &What) {
+  EXPECT_EQ(Walk.Ok, BC.Ok) << What;
+  EXPECT_EQ(Walk.Error, BC.Error) << What;
+  EXPECT_EQ(Walk.ExitValue, BC.ExitValue) << What;
+  EXPECT_EQ(Walk.Output, BC.Output) << What;
+  EXPECT_EQ(Walk.Counts.SingletonLoads, BC.Counts.SingletonLoads) << What;
+  EXPECT_EQ(Walk.Counts.SingletonStores, BC.Counts.SingletonStores) << What;
+  EXPECT_EQ(Walk.Counts.AliasedLoads, BC.Counts.AliasedLoads) << What;
+  EXPECT_EQ(Walk.Counts.AliasedStores, BC.Counts.AliasedStores) << What;
+  EXPECT_EQ(Walk.Counts.Copies, BC.Counts.Copies) << What;
+  EXPECT_EQ(Walk.Counts.Instructions, BC.Counts.Instructions) << What;
+  EXPECT_EQ(Walk.FinalMemory, BC.FinalMemory) << What;
+  EXPECT_EQ(Walk.BlockCounts, BC.BlockCounts) << What;
+  EXPECT_EQ(Walk.EdgeCounts, BC.EdgeCounts) << What;
+}
+
+/// Runs \p M under both engines with identical fuel and compares.
+/// Returns the walk result for further assertions.
+ExecutionResult expectParity(Module &M, const std::string &What,
+                             uint64_t Fuel = DefaultFuel,
+                             const std::string &Entry = "main") {
+  ExecutionResult W =
+      Interpreter(M, Fuel, InterpEngine::Walk).run(Entry);
+  ExecutionResult B =
+      Interpreter(M, Fuel, InterpEngine::Bytecode).run(Entry);
+  expectSameResult(W, B, What);
+  return W;
+}
+
+//===--------------------------------------------------------------------===//
+// Workload x promotion-mode matrix.
+//===--------------------------------------------------------------------===//
+
+const char *WorkloadFiles[] = {"go.mc",       "li.mc",      "ijpeg.mc",
+                               "perl.mc",     "m88ksim.mc", "gcc.mc",
+                               "compress.mc", "vortex.mc",  "eqntott.mc"};
+
+std::string loadWorkload(const std::string &File) {
+  std::string Path = std::string(SRP_WORKLOAD_DIR) + "/" + File;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct Case {
+  const char *File;
+  PromotionMode Mode;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case> &Info) {
+  std::string Name = Info.param.File;
+  Name = Name.substr(0, Name.find('.'));
+  return Name + "_" + promotionModeName(Info.param.Mode);
+}
+
+class InterpParityHeavyTest : public ::testing::TestWithParam<Case> {};
+
+/// For each workload and mode, run the full pipeline and then execute the
+/// *transformed* module under both engines: parity must hold on promoted
+/// IR shapes (copies, register phis, dummy loads, superblock tails), not
+/// just on freshly lowered code.
+TEST_P(InterpParityHeavyTest, TransformedModuleRunsIdentically) {
+  const Case &C = GetParam();
+  PipelineOptions Opts;
+  Opts.Mode = C.Mode;
+  PipelineResult R = runPipeline(loadWorkload(C.File), Opts);
+  ASSERT_TRUE(R.Ok) << C.File;
+  ASSERT_NE(R.M, nullptr);
+
+  ExecutionResult W = expectParity(
+      *R.M, std::string(C.File) + "/" + promotionModeName(C.Mode));
+  ASSERT_TRUE(W.Ok) << W.Error;
+  // And both engines reproduce the pipeline's own measurement run.
+  EXPECT_EQ(W.ExitValue, R.RunAfter.ExitValue);
+  EXPECT_EQ(W.Output, R.RunAfter.Output);
+  EXPECT_EQ(W.Counts.SingletonLoads, R.RunAfter.Counts.SingletonLoads);
+  EXPECT_EQ(W.Counts.SingletonStores, R.RunAfter.Counts.SingletonStores);
+  EXPECT_EQ(W.FinalMemory, R.RunAfter.FinalMemory);
+}
+
+std::vector<Case> allCases() {
+  std::vector<Case> Cases;
+  for (const char *F : WorkloadFiles)
+    for (PromotionMode M : allPromotionModes())
+      Cases.push_back({F, M});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadsByMode, InterpParityHeavyTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+//===--------------------------------------------------------------------===//
+// Trap parity.
+//===--------------------------------------------------------------------===//
+
+TEST(InterpParityTest, OutOfBoundsReadTrapsIdentically) {
+  auto M = compileOrDie(R"(
+    int a[4];
+    int main() {
+      int i = 0;
+      int s = 0;
+      while (i <= 4) { s = s + a[i]; i = i + 1; }
+      return s;
+    }
+  )");
+  ExecutionResult W = expectParity(*M, "oob-read");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error, "out-of-bounds read of a");
+}
+
+TEST(InterpParityTest, OutOfBoundsWriteTrapsIdentically) {
+  auto M = compileOrDie(R"(
+    int a[3];
+    void main() {
+      int i = 0;
+      while (i < 10) { a[i] = i; i = i + 1; }
+    }
+  )");
+  ExecutionResult W = expectParity(*M, "oob-write");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error, "out-of-bounds write of a");
+}
+
+TEST(InterpParityTest, WildPointerTrapsIdentically) {
+  auto M = compileOrDie(R"(
+    int g;
+    int main() {
+      int p = &g;
+      return *(p + 1000000);
+    }
+  )");
+  ExecutionResult W = expectParity(*M, "wild-pointer");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error, "wild pointer read");
+}
+
+TEST(InterpParityTest, DivisionByZeroTrapsIdentically) {
+  auto M = compileOrDie(R"(
+    int zero = 0;
+    int main() { return 7 / zero; }
+  )");
+  ExecutionResult W = expectParity(*M, "div-zero");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error, "division by zero");
+}
+
+TEST(InterpParityTest, StackOverflowTrapsIdentically) {
+  auto M = compileOrDie(R"(
+    int f(int n) { return f(n + 1); }
+    int main() { return f(0); }
+  )");
+  ExecutionResult W = expectParity(*M, "stack-overflow");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error, "call stack overflow in f");
+}
+
+TEST(InterpParityTest, EmptyFunctionCallTrapsIdentically) {
+  auto M = std::make_unique<Module>("empty");
+  Function *Callee = M->createFunction("ghost", Type::Int);
+  (void)Callee;
+  Function *Main = M->createFunction("main", Type::Int);
+  IRBuilder B(Main->createBlock("entry"));
+  B.ret(B.call(M->getFunction("ghost"), {}));
+
+  ExecutionResult W = expectParity(*M, "empty-callee");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error, "call to empty function ghost");
+}
+
+TEST(InterpParityTest, ArityMismatchTrapsIdentically) {
+  auto M = std::make_unique<Module>("arity");
+  Function *Callee = M->createFunction("takes_one", Type::Int);
+  Callee->addArgument("x");
+  IRBuilder CB(Callee->createBlock("entry"));
+  CB.ret(CB.constant(1));
+
+  Function *Main = M->createFunction("main", Type::Int);
+  IRBuilder B(Main->createBlock("entry"));
+  B.ret(B.call(Callee, {})); // zero args to a one-arg function
+
+  ExecutionResult W = expectParity(*M, "arity-mismatch");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error, "arity mismatch calling takes_one");
+}
+
+//===--------------------------------------------------------------------===//
+// Use-before-def (satellite: silent-zero reads are now traps).
+//===--------------------------------------------------------------------===//
+
+/// Builds: entry --cond--> (def | skip) --> join, where join reads the
+/// value defined only on the `def` arm. With Cond=0 the read is a dynamic
+/// use-before-def. The decoder cannot prove dominance, so the function is
+/// NeedsWalk and both engines route it through the (now trapping) walker.
+std::unique_ptr<Module> makeUseBeforeDef(int64_t Cond) {
+  auto M = std::make_unique<Module>("ubd");
+  Function *F = M->createFunction("main", Type::Int);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Def = F->createBlock("def");
+  BasicBlock *Skip = F->createBlock("skip");
+  BasicBlock *Join = F->createBlock("join");
+
+  IRBuilder B(Entry);
+  B.condBr(B.constant(Cond), Def, Skip);
+
+  B.setInsertPoint(Def);
+  Value *V = B.add(B.constant(20), B.constant(22));
+  B.br(Join);
+
+  B.setInsertPoint(Skip);
+  B.br(Join);
+
+  B.setInsertPoint(Join);
+  B.ret(B.add(V, B.constant(0)));
+  return M;
+}
+
+TEST(InterpParityTest, UseBeforeDefTrapsIdentically) {
+  auto M = makeUseBeforeDef(0);
+  ExecutionResult W = expectParity(*M, "use-before-def");
+  EXPECT_FALSE(W.Ok);
+  EXPECT_EQ(W.Error.rfind("use of undefined value ", 0), 0u) << W.Error;
+  // The decoder refused the function: the bytecode run went via the
+  // walker fallback.
+  ExecutionResult B =
+      Interpreter(*M, DefaultFuel, InterpEngine::Bytecode).run();
+  EXPECT_GE(B.Interp.WalkFallbackCalls, 1u);
+}
+
+TEST(InterpParityTest, DefinedPathOfUnprovableFunctionStillRuns) {
+  // Same shape, but the defining arm is taken: no trap, value flows.
+  auto M = makeUseBeforeDef(1);
+  ExecutionResult W = expectParity(*M, "use-before-def-defined-path");
+  ASSERT_TRUE(W.Ok) << W.Error;
+  EXPECT_EQ(W.ExitValue, 42);
+}
+
+TEST(InterpParityTest, UndefValueStaysDeterministicZero) {
+  // The deterministic-undef exemption: reading UndefValue is NOT
+  // use-before-def; it reads 0 in both engines (and the decoder accepts
+  // the function — no walker fallback).
+  auto M = std::make_unique<Module>("undef");
+  Function *F = M->createFunction("main", Type::Int);
+  IRBuilder B(F->createBlock("entry"));
+  B.ret(B.add(B.copy(M->undef()), B.constant(5)));
+
+  ExecutionResult W = expectParity(*M, "undef-reads-zero");
+  ASSERT_TRUE(W.Ok) << W.Error;
+  EXPECT_EQ(W.ExitValue, 5);
+  ExecutionResult BC =
+      Interpreter(*M, DefaultFuel, InterpEngine::Bytecode).run();
+  EXPECT_EQ(BC.Interp.WalkFallbackCalls, 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Fuel exhaustion at exact boundaries.
+//===--------------------------------------------------------------------===//
+
+TEST(InterpParityTest, FuelExhaustionBoundarySweep) {
+  // Calls inside a loop stress the segment accounting: fuel must run out
+  // at exactly the same instruction in both engines, whatever the budget.
+  auto M = compileOrDie(R"(
+    int g = 0;
+    int addone(int x) { return x + 1; }
+    void main() {
+      int i = 0;
+      while (i < 4) { i = addone(i); g = g + i; }
+      print(g);
+    }
+  )");
+  ExecutionResult Full = Interpreter(*M).run();
+  ASSERT_TRUE(Full.Ok) << Full.Error;
+  const uint64_t Total = Full.Counts.Instructions;
+  ASSERT_LT(Total, 500u) << "sweep program grew too large";
+
+  for (uint64_t Fuel = 0; Fuel <= Total + 2; ++Fuel) {
+    ExecutionResult W = expectParity(*M, "fuel=" + std::to_string(Fuel), Fuel);
+    if (Fuel < Total)
+      EXPECT_EQ(W.Error, "out of fuel (infinite loop?)") << Fuel;
+    else
+      EXPECT_TRUE(W.Ok) << Fuel;
+  }
+}
+
+TEST(InterpParityTest, InfiniteLoopFuelParity) {
+  auto M = compileOrDie(R"(
+    void main() { while (1) { } }
+  )");
+  for (uint64_t Fuel : {0ull, 1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    ExecutionResult W = expectParity(*M, "infloop fuel=" +
+                                     std::to_string(Fuel), Fuel);
+    EXPECT_FALSE(W.Ok);
+    EXPECT_EQ(W.Error, "out of fuel (infinite loop?)");
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Decode caching through the AnalysisManager.
+//===--------------------------------------------------------------------===//
+
+TEST(InterpParityTest, ManagerCachesDecodesAcrossRuns) {
+  auto M = compileOrDie(R"(
+    int g = 0;
+    void bump() { g = g + 1; }
+    void main() { bump(); bump(); }
+  )");
+  AnalysisManager AM(M.get());
+
+  ExecutionResult R1 =
+      Interpreter(*M, DefaultFuel, InterpEngine::Bytecode, &AM).run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_EQ(R1.Interp.FunctionsDecoded, 2u); // main + bump
+  EXPECT_EQ(R1.Interp.DecodeCacheHits, 0u);
+
+  // Unchanged IR: the second run decodes nothing.
+  ExecutionResult R2 =
+      Interpreter(*M, DefaultFuel, InterpEngine::Bytecode, &AM).run();
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R2.Interp.FunctionsDecoded, 0u);
+  EXPECT_EQ(R2.Interp.DecodeCacheHits, 2u);
+
+  // An SSA-edit notification retires exactly the edited function's decode.
+  Function *Bump = M->getFunction("bump");
+  ASSERT_NE(Bump, nullptr);
+  AM.ssaEdited(*Bump);
+  ExecutionResult R3 =
+      Interpreter(*M, DefaultFuel, InterpEngine::Bytecode, &AM).run();
+  ASSERT_TRUE(R3.Ok) << R3.Error;
+  EXPECT_EQ(R3.Interp.FunctionsDecoded, 1u);
+  EXPECT_EQ(R3.Interp.DecodeCacheHits, 1u);
+}
+
+TEST(InterpParityTest, PrivateDecodesWithoutManager) {
+  auto M = compileOrDie(R"(
+    int f(int n) { return n * 2; }
+    int main() { return f(f(f(1))); }
+  )");
+  // No manager: each interpreter instance decodes privately, but within
+  // one run a function is decoded only once however often it is called.
+  ExecutionResult R = Interpreter(*M, DefaultFuel,
+                                  InterpEngine::Bytecode).run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 8);
+  EXPECT_EQ(R.Interp.FunctionsDecoded, 2u); // main + f, not 1 + 3
+}
+
+} // namespace

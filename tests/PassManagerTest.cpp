@@ -317,14 +317,25 @@ TEST(StatisticsTest, ResetZeroesEveryCounterBetweenRuns) {
   for (const auto &[Name, Value] : stats::snapshot())
     EXPECT_EQ(Value, 0u) << Name << " not reset";
 
-  // Identical runs from a zeroed registry produce identical snapshots.
+  // Identical runs from a zeroed registry produce identical snapshots —
+  // except wall-clock counters (*-micros), which measure time, not work.
+  auto DropTimings = [](StatsSnapshot S) {
+    for (auto It = S.begin(); It != S.end();) {
+      if (It->first.size() > 7 &&
+          It->first.compare(It->first.size() - 7, 7, "-micros") == 0)
+        It = S.erase(It);
+      else
+        ++It;
+    }
+    return S;
+  };
   PipelineResult R1 = runPipeline(SimpleProgram, {});
   ASSERT_TRUE(R1.Ok);
-  StatsSnapshot First = stats::snapshot();
+  StatsSnapshot First = DropTimings(stats::snapshot());
   stats::reset();
   PipelineResult R2 = runPipeline(SimpleProgram, {});
   ASSERT_TRUE(R2.Ok);
-  EXPECT_EQ(First, stats::snapshot());
+  EXPECT_EQ(First, DropTimings(stats::snapshot()));
 }
 
 TEST(StatisticsTest, UpdateMaxKeepsPeak) {
