@@ -30,6 +30,7 @@
 #include "ir/Module.h"
 #include "interp/Interpreter.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -137,6 +138,14 @@ int main(int argc, char **argv) {
   }
   if (Smoke)
     Reps = 1;
+
+  // SRP_TRACE=1 turns trace collection on for the whole bench. This is the
+  // zero-overhead guard's measurement hook: comparing `--smoke` wall times
+  // with and without the variable bounds the cost of the disabled-path
+  // branches (docs/OBSERVABILITY.md "Tracing").
+  if (trace::startIfEnvRequested())
+    std::fprintf(stderr, "bench_interp: trace collection enabled "
+                         "(SRP_TRACE=1)\n");
 
   std::vector<Workload> Ws;
   if (Smoke) {

@@ -23,7 +23,9 @@
 #include "pipeline/Pipeline.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,6 +68,7 @@ double runMatrix(const std::vector<PipelineJob> &Jobs, unsigned Threads,
 int main(int argc, char **argv) {
   unsigned Threads = 0; // 0 = sweep 1,2,4,..,hw in text mode
   bool StatsJson = false;
+  std::string TraceOutPath;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A.rfind("--", 0) == 0)
@@ -74,16 +77,33 @@ int main(int argc, char **argv) {
       Threads = static_cast<unsigned>(std::atoi(A.c_str() + 9));
     } else if (A == "-stats-json") {
       StatsJson = true;
+    } else if (A.rfind("-trace-out=", 0) == 0) {
+      TraceOutPath = A.substr(11);
     } else {
       std::fprintf(stderr,
                    "usage: bench_workload_matrix [--threads=N] "
-                   "[--stats-json]\n");
+                   "[--stats-json] [--trace-out=FILE]\n");
       return 2;
     }
   }
 
   std::vector<PipelineJob> Jobs = buildMatrix();
   unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+
+  if (!TraceOutPath.empty())
+    trace::start();
+  auto writeTrace = [&] {
+    if (TraceOutPath.empty())
+      return true;
+    trace::stop();
+    std::ofstream Out(TraceOutPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
+      return false;
+    }
+    Out << trace::toChromeJson();
+    return true;
+  };
 
   if (StatsJson) {
     stats::reset();
@@ -95,11 +115,14 @@ int main(int argc, char **argv) {
       const PipelineResult &R = Results[I];
       if (!R.Ok)
         ++Failures;
+      char WallBuf[32];
+      std::snprintf(WallBuf, sizeof(WallBuf), "%.6f", R.WallSeconds);
       JobsJson += std::string(I ? ",\n    " : "\n    ") + "{\"name\": \"" +
                   jsonEscape(Jobs[I].Name) +
                   "\", \"ok\": " + (R.Ok ? "true" : "false") +
                   ", \"dynamic_memops_after\": " +
-                  std::to_string(R.RunAfter.Counts.memOps()) + "}";
+                  std::to_string(R.RunAfter.Counts.memOps()) +
+                  ", \"wall_seconds\": " + WallBuf + "}";
     }
     JobsJson += "\n  ]";
     std::printf("{\n"
@@ -113,6 +136,8 @@ int main(int argc, char **argv) {
                 JobsJson.c_str(), Jobs.size(), Failures,
                 Threads ? Threads : HW, Wall,
                 stats::toJson(stats::snapshot(), 1).c_str());
+    if (!writeTrace())
+      return 2;
     return Failures ? 1 : 0;
   }
 
@@ -139,5 +164,7 @@ int main(int argc, char **argv) {
     std::printf("  threads=%-3u %8.3f s  speedup %.2fx  failures %u\n", T,
                 Wall, Base > 0 ? Base / Wall : 1.0, Failures);
   }
+  if (!writeTrace())
+    return 2;
   return 0;
 }

@@ -136,9 +136,10 @@ void AnalysisManager::retireExecProfile() {
 }
 
 void AnalysisManager::recordHit(AnalysisKind K) {
-  (void)K;
   ++Stats.Hits;
   ++NumCacheHits;
+  if (trace::enabled())
+    trace::instant("analysis", std::string("hit:") + analysisKindName(K));
 }
 
 void AnalysisManager::recordMiss(AnalysisKind K) {
@@ -147,6 +148,8 @@ void AnalysisManager::recordMiss(AnalysisKind K) {
   ++Stats.Builds[static_cast<unsigned>(K)];
   if (Statistic *C = buildCounterFor(K))
     ++*C;
+  if (trace::enabled())
+    trace::instant("analysis", std::string("miss:") + analysisKindName(K));
 }
 
 void AnalysisManager::invalidateOne(Function &F, AnalysisKind K) {

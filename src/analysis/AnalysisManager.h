@@ -46,6 +46,7 @@
 #include "analysis/Dominators.h"
 #include "analysis/Intervals.h"
 #include "ir/CFGEdit.h"
+#include "support/Trace.h"
 #include <array>
 #include <cassert>
 #include <cstdint>
@@ -349,7 +350,14 @@ template <class T> T &AnalysisManager::get(Function &F) {
     }
   }
   recordMiss(Traits::Kind);
-  std::unique_ptr<T> Built = Traits::build(F, *this); // may recurse into get()
+  std::unique_ptr<T> Built;
+  {
+    TraceSpan Span;
+    if (trace::enabled())
+      Span.begin("analysis",
+                 std::string("build:") + analysisKindName(Traits::Kind));
+    Built = Traits::build(F, *this); // may recurse into get()
+  }
   Slot &S = slot(F, Traits::Kind); // re-fetch: build() may have touched the map
   S.Ptr = Built.release();
   S.Destroy = &destroyAs<T>;

@@ -25,6 +25,7 @@
 #include "ir/Printer.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -272,7 +273,11 @@ private:
         return AM->get<DecodedFunction>(F);
       }
       double T0 = monotonicSeconds();
+      TraceSpan Span;
+      if (trace::enabled())
+        Span.begin("interp", "decode:" + F.name());
       const DecodedFunction &DF = AM->get<DecodedFunction>(F);
+      Span.end();
       R.Interp.DecodeSeconds += monotonicSeconds() - T0;
       ++R.Interp.FunctionsDecoded;
       return DF;
@@ -281,10 +286,14 @@ private:
     if (It != LocalDecoded.end())
       return *It->second;
     double T0 = monotonicSeconds();
+    TraceSpan Span;
+    if (trace::enabled())
+      Span.begin("interp", "decode:" + F.name());
     std::unique_ptr<DominatorTree> DT;
     if (!F.empty())
       DT = std::make_unique<DominatorTree>(F);
     auto DF = decodeFunction(F, DT.get());
+    Span.end();
     R.Interp.DecodeSeconds += monotonicSeconds() - T0;
     ++R.Interp.FunctionsDecoded;
     return *(LocalDecoded[&F] = std::move(DF));
@@ -837,12 +846,19 @@ ExecutionResult Interpreter::run(const std::string &EntryName,
     return R;
   }
   double T0 = monotonicSeconds();
+  TraceSpan Span;
+  if (trace::enabled())
+    Span.begin("interp", "exec:" + EntryName);
   ExecEngine E(M, Fuel, R, Engine == InterpEngine::Bytecode, AM);
   int64_t Ret = 0;
   R.Ok = true;
   if (E.call(*Entry, Args.data(), Args.size(), Ret, 0))
     R.ExitValue = Ret;
   E.finish();
+  Span.end();
+  if (trace::enabled())
+    trace::counter("interp", "interp-instructions", "instructions",
+                   static_cast<int64_t>(R.Counts.Instructions));
   R.Interp.ExecSeconds = monotonicSeconds() - T0;
   ++NumExecutions;
   if (Engine == InterpEngine::Bytecode)

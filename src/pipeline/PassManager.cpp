@@ -9,6 +9,7 @@
 #include "ir/Printer.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include <sstream>
 #include <unordered_set>
 
@@ -76,6 +77,9 @@ bool PassManager::run(Module &M, AnalysisManager &AM,
 
     bool PassOk;
     {
+      TraceSpan Span;
+      if (trace::enabled())
+        Span.begin("pass", Rec.Name);
       ScopedTimer T(Rec.WallSeconds);
       PassOk = Passes[I].second(M, AM, Errors);
     }
@@ -93,6 +97,9 @@ bool PassManager::run(Module &M, AnalysisManager &AM,
       DiagnosticEngine DE;
       CheckRunStats CS;
       {
+        TraceSpan Span;
+        if (trace::enabled())
+          Span.begin("verify", "verify:" + Rec.Name);
         ScopedTimer T(VStats.WallSeconds);
         CS = runChecks(M, DE, Level, &AM);
       }

@@ -16,7 +16,10 @@
 #include "ssa/Mem2Reg.h"
 #include "ssa/MemoryOpt.h"
 #include "ssa/MemorySSA.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 #include <algorithm>
 #include <atomic>
 #include <thread>
@@ -67,14 +70,20 @@ StaticCounts srp::countStaticMemOps(const Module &M) {
 }
 
 PipelineResult PipelineBuilder::run(const SourceText &Source) {
+  const double T0 = monotonicSeconds();
   PipelineResult R;
   auto M = compileMiniC(Source.str(), R.Errors);
-  if (!M)
+  if (!M) {
+    R.WallSeconds = monotonicSeconds() - T0;
     return R;
-  return run(std::move(M));
+  }
+  R = run(std::move(M));
+  R.WallSeconds = monotonicSeconds() - T0; // include the compile
+  return R;
 }
 
 PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
+  const double T0 = monotonicSeconds();
   PipelineResult R;
   R.M = std::move(M);
   Module &Mod = *R.M;
@@ -278,6 +287,14 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
           R.Pressure.ColorsNeeded =
               std::max(R.Pressure.ColorsNeeded, PR.ColorsNeeded);
           R.Pressure.MaxLive = std::max(R.Pressure.MaxLive, PR.MaxLive);
+          if (RemarkEngine *RE = remarks::sink())
+            RE->record(
+                Remark(RemarkKind::Analysis, "pressure", "RegisterPressure")
+                    .inFunction(F.name())
+                    .arg("num-values", PR.NumValues)
+                    .arg("interference-edges", PR.Edges)
+                    .arg("colors-needed", PR.ColorsNeeded)
+                    .arg("max-live", PR.MaxLive));
           return PreservedAnalyses::all();
         });
 
@@ -285,6 +302,7 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
   R.Passes = PM.records();
   R.Analysis = AMRef.cacheStats();
   R.Verify = PM.verifyStats();
+  R.WallSeconds = monotonicSeconds() - T0;
   return R;
 }
 
@@ -310,24 +328,41 @@ srp::runPipelineParallel(const std::vector<PipelineJob> &Jobs,
   Threads = std::min<unsigned>(Threads, static_cast<unsigned>(Jobs.size()));
 
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
+  std::atomic<int64_t> Completed{0};
+  // Pooled workers name their trace track and pin it with a start marker
+  // (a worker that loses every queue race would otherwise leave no track).
+  // The single-threaded path stays on the caller's track.
+  auto Worker = [&](unsigned WorkerId, bool Pooled) {
+    if (Pooled && trace::enabled()) {
+      trace::setThreadName("worker-" + std::to_string(WorkerId));
+      trace::instant("job", "worker-start");
+    }
     for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
          I < Jobs.size();
          I = Next.fetch_add(1, std::memory_order_relaxed)) {
-      Results[I] = PipelineBuilder().options(Jobs[I].Opts).run(Jobs[I].Source);
+      {
+        TraceSpan Span;
+        if (trace::enabled())
+          Span.begin("job", Jobs[I].Name);
+        Results[I] =
+            PipelineBuilder().options(Jobs[I].Opts).run(Jobs[I].Source);
+      }
       ++NumParallelJobs;
+      const int64_t Done = Completed.fetch_add(1, std::memory_order_relaxed);
+      if (trace::enabled())
+        trace::counter("job", "jobs-completed", "jobs", Done + 1);
     }
   };
 
   if (Threads <= 1) {
-    Worker();
+    Worker(0, /*Pooled=*/false);
     return Results;
   }
 
   std::vector<std::thread> Pool;
   Pool.reserve(Threads);
   for (unsigned T = 0; T != Threads; ++T)
-    Pool.emplace_back(Worker);
+    Pool.emplace_back(Worker, T, /*Pooled=*/true);
   for (std::thread &T : Pool)
     T.join();
   return Results;

@@ -82,6 +82,9 @@ struct PipelineResult {
   /// Between-pass verification accounting (checks run, diagnostics,
   /// wall time). Feeds the `verification` section of --stats-json.
   VerifyRunStats Verify;
+  /// End-to-end wall time of this run (compile + passes + measure runs).
+  /// Feeds the per-job `wall_seconds` of bench_workload_matrix.
+  double WallSeconds = 0;
 };
 
 /// Fluent pipeline configuration and driver. A builder owns the

@@ -7,6 +7,7 @@
 #include "promotion/Cleanup.h"
 #include "ir/CFGEdit.h"
 #include "ir/Function.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
 #include <unordered_set>
 
@@ -154,6 +155,14 @@ CleanupStats srp::cleanupAfterPromotion(Function &F) {
   NumCopies += S.CopiesPropagated;
   NumDeadInsts += S.DeadInstructionsRemoved;
   NumDeadMemPhis += S.DeadMemPhisRemoved;
+  if (RemarkEngine *RE = remarks::sink())
+    RE->record(Remark(RemarkKind::Analysis, "cleanup", "PostPromotionSweep")
+                   .inFunction(F.name())
+                   .arg("dummy-loads-removed", S.DummyLoadsRemoved)
+                   .arg("copies-propagated", S.CopiesPropagated)
+                   .arg("dead-instructions-removed",
+                        S.DeadInstructionsRemoved)
+                   .arg("dead-mem-phis-removed", S.DeadMemPhisRemoved));
   return S;
 }
 

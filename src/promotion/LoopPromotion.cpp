@@ -11,6 +11,7 @@
 #include "ir/Function.h"
 #include "ssa/Mem2Reg.h"
 #include "ssa/MemorySSA.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
 #include <algorithm>
 #include <unordered_set>
@@ -120,10 +121,23 @@ LoopPromotionStats runOnIntervals(Function &F, const IntervalTree &IT,
     for (MemoryObject *Obj : referencedScalars(*Iv)) {
       if (hasAmbiguousRef(*Iv, Obj, AI)) {
         ++Stats.BlockedByAliases;
+        if (RemarkEngine *RE = remarks::sink())
+          RE->record(
+              Remark(RemarkKind::Missed, "loop-promotion", "AmbiguousRef")
+                  .inFunction(F.name())
+                  .inInterval(Iv->header()->name(), Iv->depth())
+                  .onWeb(Obj->name()));
         continue;
       }
       promoteInLoop(F, *Iv, Obj);
       ++Stats.VariablesPromoted;
+      if (RemarkEngine *RE = remarks::sink())
+        RE->record(
+            Remark(RemarkKind::Passed, "loop-promotion", "PromotedVariable")
+                .inFunction(F.name())
+                .inInterval(Iv->header()->name(), Iv->depth())
+                .onWeb(Obj->name())
+                .arg("loop-blocks", Iv->blocks().size()));
     }
   }
   return Stats;

@@ -11,6 +11,7 @@
 #include "promotion/Cleanup.h"
 #include "promotion/SSAWeb.h"
 #include "promotion/WebPromotion.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
 
 using namespace srp;
@@ -44,6 +45,14 @@ PromotionStats srp::promoteRegisters(Function &F, const DominatorTree &DT,
   // where the next iteration picks them up.
   for (Interval *Iv : IT.postorder()) {
     auto Webs = constructSSAWebs(*Iv, Opts);
+    if (RemarkEngine *RE = remarks::sink())
+      RE->record(
+          Remark(RemarkKind::Analysis, "promotion", "IntervalWebs")
+              .inFunction(F.name())
+              .inInterval(Iv->isRoot() ? "root" : Iv->header()->name(),
+                          Iv->depth())
+              .arg("webs", Webs.size())
+              .arg("blocks", Iv->blocks().size()));
     for (auto &W : Webs)
       Stats += promoteInWeb(*W, F, DT, PI, Opts);
   }

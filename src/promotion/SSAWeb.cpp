@@ -155,5 +155,7 @@ srp::constructSSAWebs(const Interval &Iv, const PromotionOptions &Opts) {
                                      W->Phis.empty();
                             }),
              Webs.end());
+  for (size_t I = 0; I != Webs.size(); ++I)
+    Webs[I]->Id = static_cast<unsigned>(I);
   return Webs;
 }

@@ -38,6 +38,9 @@ class StoreInst;
 struct SSAWeb {
   MemoryObject *Obj = nullptr;
   const Interval *Iv = nullptr;
+  /// Position in construction order within the interval; with the object
+  /// name this labels the web ("<object>#<id>") in remarks.
+  unsigned Id = 0;
 
   /// webResources: the names of the equivalence class.
   std::vector<MemoryName *> Resources;

@@ -13,11 +13,22 @@
 #include "profile/ProfileInfo.h"
 #include "ssa/Mem2Reg.h"
 #include "ssa/MemorySSA.h"
+#include "support/Remarks.h"
+#include "support/Statistics.h"
 #include <algorithm>
 #include <unordered_set>
 #include <vector>
 
 using namespace srp;
+
+SRP_STATISTIC(NumTracesFormed, "superblock", "traces-formed",
+              "Hot traces formed from loop profiles");
+SRP_STATISTIC(NumSBVarsPromoted, "superblock", "vars-promoted",
+              "Variables promoted along a superblock trace");
+SRP_STATISTIC(NumBlockedTraceAlias, "superblock", "blocked-trace-alias",
+              "Candidates rejected: ambiguous ref on the trace");
+SRP_STATISTIC(NumBlockedOffTraceRef, "superblock", "blocked-off-trace-ref",
+              "Candidates rejected: refs outside the trace");
 
 namespace {
 
@@ -196,6 +207,7 @@ SuperblockStats runOnLoops(Function &F, const std::vector<Interval *> &Loops,
     if (Trace.empty())
       continue;
     ++Stats.TracesFormed;
+    ++NumTracesFormed;
     std::unordered_set<const BasicBlock *> OnTrace(Trace.begin(),
                                                    Trace.end());
 
@@ -216,15 +228,44 @@ SuperblockStats runOnLoops(Function &F, const std::vector<Interval *> &Loops,
     for (MemoryObject *Obj : Candidates) {
       if (traceAliases(Trace, Obj, AI)) {
         ++Stats.BlockedOnTraceAlias;
+        ++NumBlockedTraceAlias;
+        if (RemarkEngine *RE = remarks::sink())
+          RE->record(Remark(RemarkKind::Missed, "superblock", "TraceAlias")
+                         .inFunction(F.name())
+                         .inInterval(Iv->header()->name(), Iv->depth())
+                         .onWeb(Obj->name())
+                         .arg("trace-length", Trace.size())
+                         .arg("header-freq", PI.frequency(Iv->header())));
         continue;
       }
       RefSplit Refs = splitRefs(*Iv, OnTrace, Obj);
       if (Refs.OffTrace > 0) {
         ++Stats.BlockedOffTraceRef;
+        ++NumBlockedOffTraceRef;
+        if (RemarkEngine *RE = remarks::sink())
+          RE->record(Remark(RemarkKind::Missed, "superblock", "OffTraceRefs")
+                         .inFunction(F.name())
+                         .inInterval(Iv->header()->name(), Iv->depth())
+                         .onWeb(Obj->name())
+                         .arg("trace-length", Trace.size())
+                         .arg("on-trace-refs", Refs.OnTrace.size())
+                         .arg("off-trace-refs", Refs.OffTrace)
+                         .arg("header-freq", PI.frequency(Iv->header())));
         continue;
       }
       promoteInTrace(F, *Iv, Trace, OnTrace, Obj, Refs);
       ++Stats.VariablesPromoted;
+      ++NumSBVarsPromoted;
+      if (RemarkEngine *RE = remarks::sink())
+        RE->record(Remark(RemarkKind::Passed, "superblock",
+                          "PromotedTraceVariable")
+                       .inFunction(F.name())
+                       .inInterval(Iv->header()->name(), Iv->depth())
+                       .onWeb(Obj->name())
+                       .arg("trace-length", Trace.size())
+                       .arg("on-trace-refs", Refs.OnTrace.size())
+                       .arg("has-store", Refs.AnyStore)
+                       .arg("header-freq", PI.frequency(Iv->header())));
     }
   }
   return Stats;

@@ -10,6 +10,7 @@
 #include "ir/Function.h"
 #include "profile/ProfileInfo.h"
 #include "ssa/SSAUpdater.h"
+#include "support/Remarks.h"
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -454,6 +455,46 @@ PromotionStats srp::promoteInWeb(SSAWeb &W, Function &F,
   // them in memory.
   if (W.NumLiveIns > 1)
     Promote = false;
+
+  // One remark per considered web carrying the full §4.3 breakdown, so the
+  // decision is reproducible from the report alone. Emitted before the
+  // transformation (eliminateStores clears the reference lists).
+  if (RemarkEngine *RE = remarks::sink()) {
+    const char *Why = "NotPromoted";
+    if (!HasWork)
+      Why = "NoMemoryWork";
+    else if (Profit.total() < Opts.ProfitThreshold)
+      Why = "UnprofitableWeb";
+    else if (W.LoadRefs.empty() && !Profit.RemoveStores)
+      Why = "StoresOnlyNotEliminated";
+    else if (W.NumLiveIns > 1)
+      Why = "MultipleLiveIns";
+    RE->record(
+        Remark(Promote ? RemarkKind::Passed : RemarkKind::Missed, "promotion",
+               Promote ? "PromotedWeb" : Why)
+            .inFunction(F.name())
+            .inInterval(W.Iv->isRoot() ? "root" : W.Iv->header()->name(),
+                        W.Iv->depth())
+            .onWeb(W.Obj->name() + "#" + std::to_string(W.Id))
+            .arg("loads", W.LoadRefs.size())
+            .arg("stores", W.StoreRefs.size())
+            .arg("aliased-loads", W.AliasedLoadRefs.size())
+            .arg("aliased-stores", W.AliasedStoreRefs.size())
+            .arg("phis", W.Phis.size())
+            .arg("loads-added", planLeafLoads(W).size())
+            .arg("stores-added",
+                 planCompensatingStores(W, DT, PI, Opts).size())
+            .arg("load-benefit", Profit.LoadBenefit)
+            .arg("load-cost", Profit.LoadCost)
+            .arg("store-benefit", Profit.StoreBenefit)
+            .arg("store-cost", Profit.StoreCost)
+            .arg("load-profit", Profit.loadProfit())
+            .arg("store-profit", Profit.storeProfit())
+            .arg("remove-stores", Profit.RemoveStores)
+            .arg("total-profit", Profit.total())
+            .arg("threshold", Opts.ProfitThreshold)
+            .arg("num-live-ins", W.NumLiveIns));
+  }
 
   if (!Promote) {
     // Not promoted: the parent must still assume the resource's value is

@@ -9,6 +9,7 @@
 #include "analysis/Dominators.h"
 #include "ir/CFGEdit.h"
 #include "ir/Module.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
 #include <unordered_map>
 
@@ -110,10 +111,21 @@ unsigned srp::promoteLocalsToSSA(Function &F, const DominatorTree &DT) {
   for (const auto &L : F.locals()) {
     if (!isCandidate(*L)) {
       ++NumSkipped;
+      if (RemarkEngine *RE = remarks::sink())
+        RE->record(Remark(RemarkKind::Missed, "mem2reg", "NotPromotable")
+                       .inFunction(F.name())
+                       .onWeb(L->name())
+                       .arg("address-taken", L->isAddressTaken())
+                       .arg("size", L->size()));
       continue;
     }
     promoteObject(F, DT, L.get());
     ++Count;
+    if (RemarkEngine *RE = remarks::sink())
+      RE->record(Remark(RemarkKind::Passed, "mem2reg", "PromotedLocal")
+                     .inFunction(F.name())
+                     .onWeb(L->name())
+                     .arg("size", L->size()));
   }
   NumPromoted += Count;
   return Count;

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Statistics.h"
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -27,13 +29,44 @@ Registry &registry() {
   return R;
 }
 
+/// The `component.metric` naming convention (docs/OBSERVABILITY.md §2):
+/// lower-case alphanumerics, non-leading/non-trailing hyphens, no dots
+/// inside either half.
+bool isValidStatToken(const char *S) {
+  if (!S || !*S)
+    return false;
+  for (const char *P = S; *P; ++P) {
+    const char C = *P;
+    const bool LowerAlnum = (C >= 'a' && C <= 'z') || (C >= '0' && C <= '9');
+    if (!LowerAlnum && C != '-')
+      return false;
+    if (C == '-' && (P == S || !P[1]))
+      return false;
+  }
+  return true;
+}
+
+[[noreturn]] void badStatistic(const char *Component, const char *Name,
+                               const char *Why) {
+  std::fprintf(stderr, "srp: invalid statistic '%s.%s': %s\n",
+               Component ? Component : "", Name ? Name : "", Why);
+  std::abort();
+}
+
 } // namespace
 
 Statistic::Statistic(const char *Component, const char *Name,
                      const char *Desc)
     : Component(Component), Name(Name), Desc(Desc) {
+  if (!isValidStatToken(Component) || !isValidStatToken(Name))
+    badStatistic(Component, Name,
+                 "does not follow the component.metric convention "
+                 "(lower-case [a-z0-9-], no leading/trailing hyphen)");
   Registry &R = registry();
   std::lock_guard<std::mutex> G(R.Lock);
+  for (const Statistic *St : R.Stats)
+    if (St->fullName() == fullName())
+      badStatistic(Component, Name, "registered twice");
   R.Stats.push_back(this);
 }
 

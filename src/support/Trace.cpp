@@ -1,0 +1,222 @@
+//===- support/Trace.cpp - Chrome-trace event timeline --------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+using namespace srp;
+
+std::atomic<bool> srp::trace::detail::Enabled{false};
+
+namespace {
+
+/// One recorded event. Cat and CounterKey are string literals at every
+/// call site, so the buffer stores pointers, not copies.
+struct Event {
+  char Phase;             ///< 'X' duration, 'i' instant, 'C' counter.
+  const char *Cat;
+  std::string Name;
+  double TsSeconds;       ///< Absolute monotonic time.
+  double DurSeconds;      ///< 'X' only.
+  const char *CounterKey; ///< 'C' only.
+  int64_t CounterValue;   ///< 'C' only.
+};
+
+/// Owned by the registry (not the thread), so events survive thread exit
+/// and the merge after join() reads them safely. Only the owning thread
+/// appends; the registry lock covers only registration and merging.
+struct ThreadBuffer {
+  unsigned Tid;
+  std::string ThreadName;
+  std::vector<Event> Events;
+};
+
+struct Registry {
+  std::mutex Lock;
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  double EpochSeconds = 0;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+/// The calling thread's buffer, registered on first use. The pointer stays
+/// valid for the process lifetime: buffers are owned by the registry and
+/// never deallocated (reset() only clears their event vectors).
+ThreadBuffer &buffer() {
+  thread_local ThreadBuffer *TLBuf = nullptr;
+  if (!TLBuf) {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> G(R.Lock);
+    auto Buf = std::make_unique<ThreadBuffer>();
+    Buf->Tid = static_cast<unsigned>(R.Buffers.size());
+    TLBuf = Buf.get();
+    R.Buffers.push_back(std::move(Buf));
+  }
+  return *TLBuf;
+}
+
+void formatMicros(std::ostringstream &OS, double Micros) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Micros);
+  OS << Buf;
+}
+
+} // namespace
+
+void srp::trace::start() {
+  reset();
+  Registry &R = registry();
+  {
+    std::lock_guard<std::mutex> G(R.Lock);
+    R.EpochSeconds = monotonicSeconds();
+  }
+  detail::Enabled.store(true, std::memory_order_relaxed);
+}
+
+void srp::trace::stop() {
+  detail::Enabled.store(false, std::memory_order_relaxed);
+}
+
+void srp::trace::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  for (auto &Buf : R.Buffers) {
+    Buf->Events.clear();
+    Buf->ThreadName.clear();
+  }
+}
+
+bool srp::trace::startIfEnvRequested() {
+  const char *Env = std::getenv("SRP_TRACE");
+  if (!Env || std::string(Env) != "1")
+    return false;
+  start();
+  return true;
+}
+
+void srp::trace::setThreadName(const std::string &Name) {
+  if (!enabled())
+    return;
+  buffer().ThreadName = Name;
+}
+
+void srp::trace::instant(const char *Cat, const std::string &Name) {
+  if (!enabled())
+    return;
+  buffer().Events.push_back(
+      {'i', Cat, Name, monotonicSeconds(), 0, nullptr, 0});
+}
+
+void srp::trace::counter(const char *Cat, const std::string &Name,
+                         const char *Key, int64_t Value) {
+  if (!enabled())
+    return;
+  buffer().Events.push_back(
+      {'C', Cat, Name, monotonicSeconds(), 0, Key, Value});
+}
+
+size_t srp::trace::eventCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  size_t N = 0;
+  for (const auto &Buf : R.Buffers)
+    N += Buf->Events.size();
+  return N;
+}
+
+size_t srp::trace::threadCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+  size_t N = 0;
+  for (const auto &Buf : R.Buffers)
+    if (!Buf->Events.empty())
+      ++N;
+  return N;
+}
+
+void TraceSpan::begin(const char *C, std::string N) {
+  Cat = C;
+  Name = std::move(N);
+  StartSeconds = monotonicSeconds();
+  Active = true;
+}
+
+void TraceSpan::end() {
+  if (!Active)
+    return;
+  Active = false;
+  // The switch may have flipped off mid-scope; record anyway so begin/end
+  // stay paired with what the scope observed at entry.
+  buffer().Events.push_back({'X', Cat, std::move(Name), StartSeconds,
+                             monotonicSeconds() - StartSeconds, nullptr, 0});
+}
+
+std::string srp::trace::toChromeJson() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> G(R.Lock);
+
+  const char *Env = std::getenv("SRP_TRACE_DETERMINISTIC");
+  const bool Deterministic = Env && std::string(Env) == "1";
+
+  std::ostringstream OS;
+  OS << "{\"traceEvents\": [";
+  bool First = true;
+  auto comma = [&] {
+    OS << (First ? "\n" : ",\n") << "  ";
+    First = false;
+  };
+
+  for (const auto &Buf : R.Buffers) {
+    if (Buf->Events.empty())
+      continue;
+    comma();
+    OS << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << Buf->Tid << ", \"args\": {\"name\": \""
+       << jsonEscape(Buf->ThreadName.empty()
+                         ? (Buf->Tid == 0 ? std::string("main")
+                                          : "thread-" + std::to_string(Buf->Tid))
+                         : Buf->ThreadName)
+       << "\"}}";
+    uint64_t Seq = 0;
+    for (const Event &E : Buf->Events) {
+      comma();
+      OS << "{\"name\": \"" << jsonEscape(E.Name) << "\", \"cat\": \""
+         << E.Cat << "\", \"ph\": \"" << E.Phase << "\", \"ts\": ";
+      if (Deterministic)
+        OS << Seq++;
+      else
+        formatMicros(OS, (E.TsSeconds - R.EpochSeconds) * 1e6);
+      if (E.Phase == 'X') {
+        OS << ", \"dur\": ";
+        if (Deterministic)
+          OS << 1;
+        else
+          formatMicros(OS, E.DurSeconds * 1e6);
+      }
+      OS << ", \"pid\": 1, \"tid\": " << Buf->Tid;
+      if (E.Phase == 'i')
+        OS << ", \"s\": \"t\"";
+      if (E.Phase == 'C')
+        OS << ", \"args\": {\"" << E.CounterKey << "\": " << E.CounterValue
+           << "}";
+      OS << "}";
+    }
+  }
+  if (!First)
+    OS << "\n";
+  OS << "]}\n";
+  return OS.str();
+}

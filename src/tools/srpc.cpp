@@ -27,7 +27,9 @@
 #include "ir/Printer.h"
 #include "pipeline/Pipeline.h"
 #include "ssa/MemorySSA.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -68,6 +70,14 @@ void usage() {
       "  -counts              print static/dynamic memop counts\n"
       "  -stats-json          emit run report (passes, statistics, counts)\n"
       "                       as JSON on stdout (implies -quiet)\n"
+      "  -remarks-json=<file> write optimization remarks (per-web promote/\n"
+      "                       reject decisions with the profitability\n"
+      "                       inputs) as JSON; see docs/REMARKS.md\n"
+      "  -remarks-filter=<pass>  keep only remarks of one pass (promotion,\n"
+      "                       mem2reg, loop-promotion, superblock, cleanup,\n"
+      "                       pressure)\n"
+      "  -trace-out=<file>    write a Chrome trace (chrome://tracing /\n"
+      "                       Perfetto) of the run; see docs/OBSERVABILITY.md\n"
       "  -time-passes         print per-pass wall times (text; with\n"
       "                       -stats-json the times are in the JSON)\n"
       "  -ir                  input is textual IR, not Mini-C\n"
@@ -83,7 +93,7 @@ int main(int argc, char **argv) {
   bool Counts = false, Quiet = false, InputIsIR = false;
   bool StatsJson = false, TimePasses = false;
   bool Analyze = false, DiagJson = false;
-  std::string File;
+  std::string File, RemarksJsonPath, RemarksFilter, TraceOutPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -140,6 +150,12 @@ int main(int argc, char **argv) {
     } else if (A == "-stats-json") {
       StatsJson = true;
       Quiet = true;
+    } else if (A.rfind("-remarks-json=", 0) == 0) {
+      RemarksJsonPath = A.substr(14);
+    } else if (A.rfind("-remarks-filter=", 0) == 0) {
+      RemarksFilter = A.substr(16);
+    } else if (A.rfind("-trace-out=", 0) == 0) {
+      TraceOutPath = A.substr(11);
     } else if (A == "-time-passes") {
       TimePasses = true;
     } else if (A == "-quiet") {
@@ -235,7 +251,38 @@ int main(int argc, char **argv) {
                    toString(*R0.M).c_str());
   }
 
+  // Observability sinks cover only the reported pipeline run (the extra
+  // None-mode run behind -print-ir-before stays out of the picture).
+  RemarkEngine Remarks;
+  if (!RemarksJsonPath.empty()) {
+    Remarks.setPassFilter(RemarksFilter);
+    remarks::setSink(&Remarks);
+  }
+  if (!TraceOutPath.empty())
+    trace::start();
+
   PipelineResult R = runOnce(Opts);
+
+  if (!RemarksJsonPath.empty()) {
+    remarks::setSink(nullptr);
+    std::ofstream Out(RemarksJsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   RemarksJsonPath.c_str());
+      return 1;
+    }
+    Out << remarksToJson(Remarks.remarks()) << "\n";
+  }
+  if (!TraceOutPath.empty()) {
+    trace::stop();
+    std::ofstream Out(TraceOutPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
+      return 1;
+    }
+    Out << trace::toChromeJson();
+  }
+
   if (!R.Ok) {
     for (const auto &E : R.Errors)
       std::fprintf(stderr, "error: %s\n", E.c_str());

@@ -1,0 +1,237 @@
+//===- tests/TraceTest.cpp - trace timeline tests -------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the Chrome-trace event timeline: the zero-overhead disabled
+/// path, span/instant/counter round trips, the parallel workload driver
+/// producing one track per worker with no interleaved writes, and the
+/// deterministic mode the CI schema gate diffs for byte-stability.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "support/Trace.h"
+#include "TestHelpers.h"
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <set>
+#include <sstream>
+#include <string>
+
+using namespace srp;
+using namespace srp::test;
+
+namespace {
+
+/// Leaves the process-global collector off and empty whatever a test does.
+struct TraceGuard {
+  TraceGuard() {
+    trace::stop();
+    trace::reset();
+  }
+  ~TraceGuard() {
+    trace::stop();
+    trace::reset();
+  }
+};
+
+/// Structural JSON validity: balanced objects/arrays outside string
+/// literals, escapes honoured. Catches a malformed merge without pulling
+/// in a JSON library.
+bool balancedJson(const std::string &S) {
+  int Depth = 0;
+  bool InStr = false, Escaped = false;
+  for (char C : S) {
+    if (InStr) {
+      if (Escaped)
+        Escaped = false;
+      else if (C == '\\')
+        Escaped = true;
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    if (C == '"')
+      InStr = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']') {
+      if (--Depth < 0)
+        return false;
+    }
+  }
+  return Depth == 0 && !InStr;
+}
+
+size_t countOccurrences(const std::string &S, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t P = S.find(Needle); P != std::string::npos;
+       P = S.find(Needle, P + Needle.size()))
+    ++N;
+  return N;
+}
+
+const char *TinyLoop = R"(
+  int x = 0;
+  void main() {
+    int i;
+    for (i = 0; i < 20; i++) x = x + 1;
+    print(x);
+  }
+)";
+
+TEST(TraceTest, DisabledSitesRecordNothing) {
+  TraceGuard G;
+  ASSERT_FALSE(trace::enabled());
+  trace::instant("test", "ignored");
+  trace::counter("test", "ignored", "n", 1);
+  trace::setThreadName("ignored");
+  {
+    TraceSpan Span("test", "ignored");
+    TraceSpan Inert;
+  }
+  EXPECT_EQ(trace::eventCount(), 0u)
+      << "disabled recording sites must be free";
+  EXPECT_EQ(trace::threadCount(), 0u);
+}
+
+TEST(TraceTest, SpanInstantCounterRoundTrip) {
+  TraceGuard G;
+  trace::start();
+  {
+    TraceSpan Span("pass", "unit-span");
+    trace::instant("analysis", "unit-instant");
+    trace::counter("interp", "unit-counter", "value", 42);
+  }
+  trace::stop();
+  EXPECT_EQ(trace::eventCount(), 3u);
+  EXPECT_EQ(trace::threadCount(), 1u);
+
+  std::string J = trace::toChromeJson();
+  EXPECT_TRUE(balancedJson(J)) << J;
+  EXPECT_NE(J.find("{\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"thread_name\", \"ph\": \"M\""),
+            std::string::npos);
+  // The span closes after the instant, so the merge keeps the buffer's
+  // append order: X last within the thread's track.
+  EXPECT_NE(J.find("\"name\": \"unit-span\", \"cat\": \"pass\", "
+                   "\"ph\": \"X\""),
+            std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(J.find("\"s\": \"t\""), std::string::npos) << "instant scope";
+  EXPECT_NE(J.find("\"args\": {\"value\": 42}"), std::string::npos);
+}
+
+TEST(TraceTest, PipelineRunEmitsPassAnalysisAndInterpTracks) {
+  TraceGuard G;
+  trace::start();
+  PipelineOptions Opts;
+  Opts.Mode = PromotionMode::Paper;
+  PipelineResult R = runPipeline(TinyLoop, Opts);
+  trace::stop();
+  ASSERT_TRUE(R.Ok);
+
+  std::string J = trace::toChromeJson();
+  EXPECT_TRUE(balancedJson(J)) << J;
+  EXPECT_NE(J.find("\"cat\": \"pass\""), std::string::npos);
+  EXPECT_NE(J.find("\"cat\": \"analysis\""), std::string::npos);
+  EXPECT_NE(J.find("\"cat\": \"interp\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"exec:main\""), std::string::npos);
+}
+
+TEST(TraceTest, ParallelDriverOneTrackPerWorker) {
+  TraceGuard G;
+  std::vector<PipelineJob> Jobs;
+  const PromotionMode Modes[] = {
+      PromotionMode::None,         PromotionMode::Paper,
+      PromotionMode::LoopBaseline, PromotionMode::Superblock,
+      PromotionMode::Paper,        PromotionMode::None};
+  for (size_t I = 0; I != std::size(Modes); ++I) {
+    PipelineJob J;
+    // Unique names so the one-span-per-job count below cannot alias.
+    J.Name = "tiny" + std::to_string(I) + "/" +
+             promotionModeName(Modes[I]);
+    J.Source = SourceText(TinyLoop);
+    J.Opts.Mode = Modes[I];
+    Jobs.push_back(std::move(J));
+  }
+
+  trace::start();
+  std::vector<PipelineResult> Results = runPipelineParallel(Jobs, 3);
+  trace::stop();
+  for (const PipelineResult &R : Results)
+    EXPECT_TRUE(R.Ok);
+
+  // Three pooled workers, each pinned by its start marker; the calling
+  // thread records nothing, so exactly the workers own tracks.
+  EXPECT_EQ(trace::threadCount(), 3u);
+
+  std::string J = trace::toChromeJson();
+  EXPECT_TRUE(balancedJson(J)) << J;
+  for (const char *W : {"worker-0", "worker-1", "worker-2"})
+    EXPECT_NE(J.find(std::string("\"args\": {\"name\": \"") + W + "\"}"),
+              std::string::npos)
+        << "missing track " << W;
+  EXPECT_EQ(countOccurrences(J, "\"name\": \"thread_name\""), 3u);
+  EXPECT_EQ(countOccurrences(J, "\"name\": \"worker-start\""), 3u);
+
+  // Every job span landed on exactly one worker's track, none lost or
+  // duplicated by the merge.
+  size_t JobSpans = 0;
+  for (const PipelineJob &Job : Jobs)
+    JobSpans += countOccurrences(J, "\"name\": \"" + Job.Name + "\", "
+                                    "\"cat\": \"job\", \"ph\": \"X\"");
+  EXPECT_EQ(JobSpans, Jobs.size());
+
+  // No interleaving: the merge walks one buffer at a time, so the tid
+  // field must be constant within each track's contiguous run of rows.
+  std::istringstream Lines(J);
+  std::string Line;
+  std::set<std::string> SeenTids;
+  std::string Current;
+  while (std::getline(Lines, Line)) {
+    size_t P = Line.find("\"tid\": ");
+    if (P == std::string::npos)
+      continue;
+    size_t Digits = P + 7; // past the `"tid": ` key
+    std::string Tid =
+        Line.substr(Digits, Line.find_first_of(",}", Digits) - Digits);
+    if (Tid == Current)
+      continue;
+    EXPECT_TRUE(SeenTids.insert(Tid).second)
+        << "track " << Tid << " appears in two separate runs: interleaved";
+    Current = Tid;
+  }
+  EXPECT_EQ(SeenTids.size(), 3u);
+}
+
+TEST(TraceTest, DeterministicModeIsByteStable) {
+  TraceGuard G;
+  ASSERT_EQ(setenv("SRP_TRACE_DETERMINISTIC", "1", 1), 0);
+  auto Run = [] {
+    trace::start();
+    {
+      TraceSpan Span("pass", "stable-span");
+      trace::instant("analysis", "stable-instant");
+    }
+    trace::counter("interp", "stable-counter", "n", 7);
+    trace::stop();
+    return trace::toChromeJson();
+  };
+  std::string A = Run();
+  std::string B = Run();
+  unsetenv("SRP_TRACE_DETERMINISTIC");
+  EXPECT_EQ(A, B) << "identical runs must render byte-identically";
+  // Sequence numbers, not wall clock: the instant precedes the span's
+  // close, the counter follows it.
+  EXPECT_NE(A.find("\"name\": \"stable-instant\", \"cat\": \"analysis\", "
+                   "\"ph\": \"i\", \"ts\": 0"),
+            std::string::npos)
+      << A;
+  EXPECT_NE(A.find("\"ts\": 1, \"dur\": 1"), std::string::npos) << A;
+}
+
+} // namespace

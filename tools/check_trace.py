@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Observability schema gate (ctest: srp_observability_gate).
+
+Drives `srpc --mode=paper --remarks-json=... --trace-out=...` on a real
+workload twice with SRP_TRACE_DETERMINISTIC=1 and validates the two JSON
+contracts documented in docs/REMARKS.md and docs/OBSERVABILITY.md:
+
+  trace    {"traceEvents": [...]} with M/X/i/C rows carrying the required
+           keys per phase, and at least the pass/analysis/interp
+           categories a pipeline run must produce.
+  remarks  {"remark_count": N, "remarks": [...]} whose count matches, with
+           at least one promoted and one rejected promotion web, each
+           carrying the paper's profitability breakdown (loads/stores
+           added vs deleted, profile-weighted benefits, threshold).
+
+Both files must be byte-identical across the two runs: the deterministic
+trace mode replaces timestamps with sequence numbers exactly so this diff
+is meaningful in CI.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+FAILURES = []
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+    return cond
+
+
+def run_srpc(srpc, workload, work_dir, tag):
+    """One srpc run; returns (trace_path, remarks_path)."""
+    trace_path = os.path.join(work_dir, f"trace-{tag}.json")
+    remarks_path = os.path.join(work_dir, f"remarks-{tag}.json")
+    env = dict(os.environ, SRP_TRACE_DETERMINISTIC="1")
+    cmd = [
+        srpc,
+        "--mode=paper",
+        f"--trace-out={trace_path}",
+        f"--remarks-json={remarks_path}",
+        workload,
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    check(proc.returncode == 0,
+          f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return trace_path, remarks_path
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not check(isinstance(events, list) and events,
+                 f"{path}: traceEvents missing or empty"):
+        return
+
+    phases_seen = set()
+    cats_seen = set()
+    for ev in events:
+        check(isinstance(ev, dict), f"{path}: non-object event {ev!r}")
+        ph = ev.get("ph")
+        phases_seen.add(ph)
+        check(ph in ("M", "X", "i", "C"), f"{path}: unknown phase {ev!r}")
+        for key in ("name", "pid", "tid"):
+            check(key in ev, f"{path}: event missing {key}: {ev!r}")
+        if ph == "M":
+            check(ev.get("name") == "thread_name"
+                  and isinstance(ev.get("args", {}).get("name"), str),
+                  f"{path}: malformed metadata row {ev!r}")
+            continue
+        cats_seen.add(ev.get("cat"))
+        check("ts" in ev, f"{path}: event missing ts: {ev!r}")
+        if ph == "X":
+            check("dur" in ev, f"{path}: X event missing dur: {ev!r}")
+        if ph == "i":
+            check(ev.get("s") == "t", f"{path}: instant missing scope {ev!r}")
+        if ph == "C":
+            args = ev.get("args")
+            check(isinstance(args, dict) and args
+                  and all(isinstance(v, int) for v in args.values()),
+                  f"{path}: counter without integer args {ev!r}")
+
+    check("M" in phases_seen and "X" in phases_seen,
+          f"{path}: expected at least metadata and duration events")
+    for cat in ("pass", "analysis", "interp"):
+        check(cat in cats_seen,
+              f"{path}: no '{cat}' events; saw {sorted(c for c in cats_seen if c)}")
+
+
+# The §4.3 breakdown every per-web promotion remark must carry.
+PROFIT_ARGS = (
+    "loads", "stores", "loads-added", "stores-added",
+    "load-benefit", "load-cost", "store-benefit", "store-cost",
+    "load-profit", "store-profit", "total-profit", "threshold",
+)
+
+
+def validate_remarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    remarks = doc.get("remarks")
+    if not check(isinstance(remarks, list) and remarks,
+                 f"{path}: remarks missing or empty"):
+        return
+    check(doc.get("remark_count") == len(remarks),
+          f"{path}: remark_count {doc.get('remark_count')} != {len(remarks)}")
+
+    promoted = rejected = 0
+    for r in remarks:
+        for key in ("kind", "pass", "name", "args"):
+            check(key in r, f"{path}: remark missing {key}: {r!r}")
+        check(r.get("kind") in ("passed", "missed", "analysis"),
+              f"{path}: unknown kind {r!r}")
+        if r.get("pass") != "promotion" or "web" not in r:
+            continue
+        args = r.get("args", {})
+        missing = [k for k in PROFIT_ARGS if k not in args]
+        check(not missing,
+              f"{path}: web remark {r.get('name')} lacks {missing}")
+        if r.get("kind") == "passed":
+            promoted += 1
+        elif r.get("kind") == "missed":
+            rejected += 1
+
+    check(promoted >= 1, f"{path}: no promoted web remark")
+    check(rejected >= 1, f"{path}: no rejected web remark")
+
+
+def same_bytes(a, b):
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        return fa.read() == fb.read()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--srpc", required=True, help="path to the srpc binary")
+    ap.add_argument("--workload", required=True, help="Mini-C source file")
+    ap.add_argument("--work-dir", default=".",
+                    help="directory for the generated JSON files")
+    args = ap.parse_args()
+
+    os.makedirs(args.work_dir, exist_ok=True)
+    trace_a, remarks_a = run_srpc(args.srpc, args.workload, args.work_dir, "a")
+    trace_b, remarks_b = run_srpc(args.srpc, args.workload, args.work_dir, "b")
+    if FAILURES:  # srpc itself failed; later checks would only cascade
+        print("\n".join(FAILURES), file=sys.stderr)
+        return 1
+
+    validate_trace(trace_a)
+    validate_remarks(remarks_a)
+    check(same_bytes(trace_a, trace_b),
+          f"trace not byte-stable across runs: {trace_a} vs {trace_b}")
+    check(same_bytes(remarks_a, remarks_b),
+          f"remarks not byte-stable across runs: {remarks_a} vs {remarks_b}")
+
+    if FAILURES:
+        print("\n".join(FAILURES), file=sys.stderr)
+        return 1
+    print(f"observability gate OK: {args.workload} "
+          f"(trace + remarks schema valid, byte-stable)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
