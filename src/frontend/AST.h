@@ -96,6 +96,8 @@ struct Stmt {
     Continue,
     Print,
     ExprStmt, ///< expression evaluated for effect (calls)
+    Label,    ///< name: — a goto target (function-scoped)
+    Goto,     ///< goto name;
   };
 
   Kind K;
@@ -103,7 +105,7 @@ struct Stmt {
 
   std::vector<StmtPtr> Body; ///< Block statements.
 
-  // LocalDecl
+  // LocalDecl; Label/Goto reuse Name for the label spelling.
   std::string Name;
   ExprPtr Init; ///< optional
 

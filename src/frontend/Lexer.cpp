@@ -27,6 +27,7 @@ const char *srp::tokKindName(TokKind K) {
   case TokKind::KwContinue: return "'continue'";
   case TokKind::KwStruct: return "'struct'";
   case TokKind::KwPrint: return "'print'";
+  case TokKind::KwGoto: return "'goto'";
   case TokKind::LParen: return "'('";
   case TokKind::RParen: return "')'";
   case TokKind::LBrace: return "'{'";
@@ -36,6 +37,7 @@ const char *srp::tokKindName(TokKind K) {
   case TokKind::Semi: return "';'";
   case TokKind::Comma: return "','";
   case TokKind::Dot: return "'.'";
+  case TokKind::Colon: return "':'";
   case TokKind::Assign: return "'='";
   case TokKind::PlusAssign: return "'+='";
   case TokKind::MinusAssign: return "'-='";
@@ -76,6 +78,7 @@ std::vector<Token> srp::lex(const std::string &Source,
       {"do", TokKind::KwDo},           {"return", TokKind::KwReturn},
       {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
       {"struct", TokKind::KwStruct},   {"print", TokKind::KwPrint},
+      {"goto", TokKind::KwGoto},
   };
 
   std::vector<Token> Toks;
@@ -154,6 +157,7 @@ std::vector<Token> srp::lex(const std::string &Source,
     case ';': emit(TokKind::Semi, 1); break;
     case ',': emit(TokKind::Comma, 1); break;
     case '.': emit(TokKind::Dot, 1); break;
+    case ':': emit(TokKind::Colon, 1); break;
     case '+':
       if (peek(1) == '+')
         emit(TokKind::PlusPlus, 2);

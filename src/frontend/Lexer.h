@@ -37,6 +37,7 @@ enum class TokKind : uint8_t {
   KwContinue,
   KwStruct,
   KwPrint,
+  KwGoto,
   // Punctuation and operators.
   LParen,
   RParen,
@@ -47,6 +48,7 @@ enum class TokKind : uint8_t {
   Semi,
   Comma,
   Dot,
+  Colon,
   Assign,
   PlusAssign,
   MinusAssign,

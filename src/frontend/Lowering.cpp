@@ -10,6 +10,7 @@
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include <cassert>
+#include <unordered_map>
 
 using namespace srp;
 using namespace srp::ast;
@@ -28,6 +29,16 @@ class FunctionLowerer {
     BasicBlock *ContinueTarget;
   };
   std::vector<LoopContext> Loops;
+  /// Label blocks, created on first mention (goto or definition). Labels
+  /// are function-scoped, so forward gotos work.
+  std::unordered_map<std::string, BasicBlock *> LabelBlocks;
+
+  BasicBlock *labelBlock(const std::string &Name) {
+    BasicBlock *&BB = LabelBlocks[Name];
+    if (!BB)
+      BB = IRF.createBlock("label." + Name);
+    return BB;
+  }
 
 public:
   FunctionLowerer(Module &M, srp::Function &IRF, ast::Function &FnAST,
@@ -64,6 +75,15 @@ private:
   //===------------------------------------------------------------------===
 
   void lowerStmt(Stmt &S) {
+    if (S.K == Stmt::Kind::Label) {
+      // A label re-opens reachability: code after an unconditional
+      // goto/break/return is live again if it is labelled.
+      BasicBlock *L = labelBlock(S.Name);
+      if (!B.block()->terminator())
+        B.br(L);
+      B.setInsertPoint(L);
+      return;
+    }
     if (B.block()->terminator())
       return; // unreachable code after break/continue/return: drop it
     switch (S.K) {
@@ -111,6 +131,11 @@ private:
     case Stmt::Kind::ExprStmt:
       lowerExpr(*S.Value);
       break;
+    case Stmt::Kind::Goto:
+      B.br(labelBlock(S.Name));
+      break;
+    case Stmt::Kind::Label:
+      break; // handled above
     }
   }
 

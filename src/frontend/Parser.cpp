@@ -231,7 +231,24 @@ private:
       expect(TokKind::Semi, "after print statement");
       return S;
     }
+    case TokKind::KwGoto: {
+      auto S = std::make_unique<Stmt>(Stmt::Kind::Goto, cur().Line);
+      take();
+      if (at(TokKind::Ident))
+        S->Name = take().Text;
+      else
+        error("expected label name after goto");
+      expect(TokKind::Semi, "after goto");
+      return S;
+    }
     default:
+      // "name:" introduces a label; anything else is a simple statement.
+      if (at(TokKind::Ident) && peek().Kind == TokKind::Colon) {
+        auto S = std::make_unique<Stmt>(Stmt::Kind::Label, cur().Line);
+        S->Name = take().Text;
+        take(); // colon
+        return S;
+      }
       return parseSimpleStmt(/*NeedSemi=*/true);
     }
   }

@@ -38,6 +38,9 @@ class Analyzer {
   std::vector<std::unordered_map<std::string, LocalInfo>> Scopes;
   std::unordered_map<std::string, unsigned> ParamIndex;
   unsigned LoopDepth = 0;
+  /// Labels defined anywhere in the current function (labels are
+  /// function-scoped, like C).
+  std::unordered_map<std::string, unsigned> Labels; ///< name -> line
 
   void error(unsigned Line, const std::string &Msg) {
     Errors.push_back("line " + std::to_string(Line) + ": " + Msg);
@@ -120,8 +123,29 @@ private:
         error(F.Line, "duplicate parameter '" + F.Params[I].Name + "'");
       ParamIndex[F.Params[I].Name] = I;
     }
-    if (F.Body)
+    Labels.clear();
+    if (F.Body) {
+      collectLabels(*F.Body);
       analyzeStmt(*F.Body);
+    }
+  }
+
+  /// Pre-pass: labels are visible to gotos anywhere in the function,
+  /// including lexically earlier ones, so gather them before the main walk.
+  void collectLabels(Stmt &S) {
+    if (S.K == Stmt::Kind::Label) {
+      auto [It, Inserted] = Labels.emplace(S.Name, S.Line);
+      if (!Inserted)
+        error(S.Line, "redefinition of label '" + S.Name +
+                          "' (first defined at line " +
+                          std::to_string(It->second) + ")");
+    }
+    for (auto &Sub : S.Body)
+      collectLabels(*Sub);
+    for (Stmt *Child : {S.Then.get(), S.Else.get(), S.ForInit.get(),
+                        S.ForStep.get()})
+      if (Child)
+        collectLabels(*Child);
   }
 
   void analyzeStmt(Stmt &S) {
@@ -197,6 +221,12 @@ private:
     case Stmt::Kind::Print:
     case Stmt::Kind::ExprStmt:
       analyzeExpr(*S.Value);
+      break;
+    case Stmt::Kind::Label:
+      break; // collected in the pre-pass
+    case Stmt::Kind::Goto:
+      if (!Labels.count(S.Name))
+        error(S.Line, "goto to undefined label '" + S.Name + "'");
       break;
     }
   }

@@ -1,0 +1,147 @@
+//===- gen/ProgramGen.h - Promotion-targeted Mini-C generator --*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic random Mini-C program generator biased toward
+/// promotion-relevant shapes. Generated programs always terminate (loops
+/// are bounded counted loops whose induction variable is never otherwise
+/// assigned; gotos only jump forward into counted-loop bodies; the call
+/// graph is acyclic) and never trap (no division, array indices reduced
+/// modulo the array size, pointers stay inside the object they address).
+///
+/// Shape biasing is the point of the subsystem: besides the classic
+/// globals/arrays/fields mix, the generator can emit
+///  - deep counted-loop nests (promotion across interval nesting),
+///  - *irreducible* interval shapes — a forward goto into a counted-loop
+///    body gives the loop a second entry, so interval analysis sees an
+///    improper region and promotion must fall back to the least common
+///    dominator (paper §4.1),
+///  - *multi-live-in* webs — distinct memory versions of one object
+///    reaching the two entries of an improper interval, the one §4.3
+///    rejection (MultipleLiveIns) no structured program can trigger,
+///  - aliased aggregate and pointer access (arrays, struct fields, stores
+///    and loads through pointers into both),
+///  - call-heavy webs (int-returning helpers used inside expressions, so
+///    webs are repeatedly killed by call-clobber chi/mu pairs),
+///  - conditionally-guarded stores (the psi-SSA scenario class: a store
+///    under an if inside a loop, loads after the guard rejoin).
+///
+/// Every shape has a `ShapeProfile` preset; `biasedConfig(Seed)` rotates
+/// through the profiles deterministically, which the fuzz suites and the
+/// corpus harness (gen/Corpus.h) use as their default. The same seed and
+/// config always produce byte-identical programs on every platform (the
+/// RNG is the repo's own xorshift128+, support/RNG.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_GEN_PROGRAMGEN_H
+#define SRP_GEN_PROGRAMGEN_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace srp::gen {
+
+/// Named generation presets, one per promotion-relevant shape class. The
+/// corpus harness sweeps all of them; `forProfile` returns the knobs.
+enum class ShapeProfile : uint8_t {
+  Default,       ///< balanced mix, every shape at a low rate
+  DeepLoops,     ///< nesting depth 4, loop-heavy statement mix
+  Irreducible,   ///< goto-into-loop regions in most functions
+  MultiLiveIn,   ///< irreducible regions with split live-in versions
+  Aliased,       ///< arrays, struct fields, pointer loads/stores
+  CallHeavy,     ///< int-returning helpers called from expressions
+  GuardedStores, ///< stores under loop-body conditionals (psi-SSA class)
+};
+
+inline constexpr unsigned NumShapeProfiles = 7;
+
+/// Stable spelling used by -profile= flags, JSON, and test names
+/// ("default", "deep-loops", "irreducible", "multi-live-in", "aliased",
+/// "call-heavy", "guarded-stores").
+const char *shapeProfileName(ShapeProfile P);
+
+/// Inverse of shapeProfileName; returns false for unknown spellings.
+bool parseShapeProfile(const std::string &Name, ShapeProfile &Out);
+
+/// Every profile, in declaration order (corpus rotation axis).
+const std::array<ShapeProfile, NumShapeProfiles> &allShapeProfiles();
+
+/// Shape knobs for generated programs. The defaults describe the Default
+/// profile: every shape class is reachable (in particular the irreducible
+/// and multi-live-in chances are deliberately nonzero — a default
+/// configuration that can never emit them would silently blind the fuzz
+/// suites to the MultipleLiveIns rejection path).
+struct GenConfig {
+  unsigned MaxFunctions = 3; ///< helper functions besides main (0..N-1)
+  unsigned MaxLoopDepth = 2; ///< nesting bound for counted loops
+  unsigned ExtraStmts = 0;   ///< added to every statement budget
+  bool AllowPointerWrites = true; ///< permit stores through pointers
+
+  /// Relative weight (out of ~100) of emitting a loop at each statement
+  /// slot. 10 matches the historical generator.
+  unsigned LoopWeight = 10;
+  /// Relative weight of emitting a call statement.
+  unsigned CallWeight = 10;
+  /// Relative weight of the dedicated guarded-store production
+  /// (`if (c) { g = e; } use(g);`) on top of the generic if production.
+  unsigned GuardedStoreWeight = 5;
+  /// Percent chance per function of emitting an irreducible region: a
+  /// forward goto into a counted-loop body (second interval entry).
+  unsigned IrreducibleChance = 10;
+  /// Percent chance that an irreducible region also splits the live-in
+  /// memory version of its shared global (stores on both entry paths),
+  /// producing a web promotion must reject as MultipleLiveIns.
+  unsigned MultiLiveInChance = 50;
+  /// Relative weight of the aliased productions (pointer into array /
+  /// global, load and store through it).
+  unsigned AliasedWeight = 5;
+  /// Helpers may return int and be called inside expressions.
+  bool IntCallees = true;
+
+  /// The preset for one shape class.
+  static GenConfig forProfile(ShapeProfile P);
+};
+
+/// The profile `biasedConfig` picks for \p Seed (deterministic rotation).
+ShapeProfile profileForSeed(uint64_t Seed);
+
+/// The fuzz-suite default: the profile rotation for \p Seed plus
+/// deterministic per-seed jitter of the size knobs, so consecutive seeds
+/// differ in shape *and* scale.
+GenConfig biasedConfig(uint64_t Seed);
+
+/// Same per-seed jitter but with the profile pinned — what the corpus
+/// harness uses when coverage feedback steers a seed toward an
+/// under-exercised shape. (Seed, Profile) fully determines the program,
+/// so every corpus failure is reproducible standalone.
+GenConfig biasedConfig(uint64_t Seed, ShapeProfile Profile);
+
+/// Deterministic random Mini-C program generator. One instance generates
+/// one program; the same (seed, config) pair is byte-stable forever —
+/// golden corpus entries under tests/corpus/ depend on it.
+class ProgramGen {
+  struct Impl;
+  std::unique_ptr<Impl> P;
+
+public:
+  explicit ProgramGen(uint64_t Seed, GenConfig Cfg = {});
+  ~ProgramGen();
+  ProgramGen(ProgramGen &&) noexcept;
+  ProgramGen &operator=(ProgramGen &&) noexcept;
+
+  /// Generates one complete program. Call once per instance.
+  std::string generate();
+};
+
+/// One-shot convenience: `ProgramGen(Seed, Cfg).generate()`.
+std::string generateProgram(uint64_t Seed, const GenConfig &Cfg = {});
+
+} // namespace srp::gen
+
+#endif // SRP_GEN_PROGRAMGEN_H

@@ -1,0 +1,164 @@
+//===- gen/Reducer.cpp - Failure-preserving test-case reducer -------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Reducer.h"
+#include <algorithm>
+#include <vector>
+
+using namespace srp::gen;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t NL = S.find('\n', Pos);
+    if (NL == std::string::npos) {
+      Lines.push_back(S.substr(Pos));
+      break;
+    }
+    Lines.push_back(S.substr(Pos, NL - Pos));
+    Pos = NL + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string S;
+  for (const std::string &L : Lines) {
+    S += L;
+    S += '\n';
+  }
+  return S;
+}
+
+/// Net `{` minus `}` of one line. Mini-C has no string or character
+/// literals, so counting raw braces is exact.
+int braceDelta(const std::string &L) {
+  int D = 0;
+  for (char C : L)
+    D += C == '{' ? 1 : C == '}' ? -1 : 0;
+  return D;
+}
+
+/// True when deleting [Begin, End) keeps the program brace-balanced.
+bool balancedToRemove(const std::vector<std::string> &Lines, size_t Begin,
+                      size_t End) {
+  int D = 0;
+  for (size_t I = Begin; I != End; ++I)
+    D += braceDelta(Lines[I]);
+  return D == 0;
+}
+
+std::vector<std::string> without(const std::vector<std::string> &Lines,
+                                 size_t Begin, size_t End) {
+  std::vector<std::string> Out;
+  Out.reserve(Lines.size() - (End - Begin));
+  Out.insert(Out.end(), Lines.begin(), Lines.begin() + Begin);
+  Out.insert(Out.end(), Lines.begin() + End, Lines.end());
+  return Out;
+}
+
+struct Budget {
+  unsigned Remaining;
+  unsigned Spent = 0;
+  bool take() {
+    if (!Remaining)
+      return false;
+    --Remaining;
+    ++Spent;
+    return true;
+  }
+};
+
+/// One ddmin round over line chunks: chunk sizes halve from n/2 down
+/// to 1; every brace-balanced chunk deletion that preserves the failure
+/// is committed immediately. Returns true if anything was removed.
+bool ddminRound(std::vector<std::string> &Lines,
+                const FailurePredicate &StillFails, Budget &B) {
+  bool Removed = false;
+  for (size_t Chunk = std::max<size_t>(1, Lines.size() / 2); Chunk >= 1;
+       Chunk /= 2) {
+    for (size_t Begin = 0; Begin < Lines.size();) {
+      size_t End = std::min(Begin + Chunk, Lines.size());
+      if (!balancedToRemove(Lines, Begin, End) || !B.take()) {
+        Begin += Chunk;
+        continue;
+      }
+      std::vector<std::string> Candidate = without(Lines, Begin, End);
+      if (StillFails(joinLines(Candidate))) {
+        Lines = std::move(Candidate);
+        Removed = true; // retry same position: the next chunk slid in
+      } else {
+        Begin += Chunk;
+      }
+    }
+    if (Chunk == 1)
+      break;
+  }
+  return Removed;
+}
+
+/// One round of whole-region deletion: for every line that opens a brace
+/// region, try deleting through its matching close. Catches `if`/loop
+/// nests whose header and footer ddmin can only remove together.
+bool braceRegionRound(std::vector<std::string> &Lines,
+                      const FailurePredicate &StillFails, Budget &B) {
+  bool Removed = false;
+  for (size_t Begin = 0; Begin < Lines.size(); ++Begin) {
+    if (braceDelta(Lines[Begin]) <= 0)
+      continue;
+    int Depth = 0;
+    size_t End = Begin;
+    while (End < Lines.size()) {
+      Depth += braceDelta(Lines[End]);
+      ++End;
+      if (Depth == 0)
+        break;
+    }
+    if (Depth != 0 || End - Begin >= Lines.size())
+      continue; // unmatched, or the whole program
+    if (!B.take())
+      return Removed;
+    std::vector<std::string> Candidate = without(Lines, Begin, End);
+    if (StillFails(joinLines(Candidate))) {
+      Lines = std::move(Candidate);
+      Removed = true;
+      --Begin; // a new region may have slid into this position
+    }
+  }
+  return Removed;
+}
+
+} // namespace
+
+ReduceResult srp::gen::reduceSource(const std::string &Source,
+                                    const FailurePredicate &StillFails,
+                                    const ReduceOptions &Opts) {
+  ReduceResult R;
+  R.Reduced = Source;
+  R.OriginalBytes = Source.size();
+  R.ReducedBytes = Source.size();
+  R.TestsRun = 1;
+  if (!StillFails(Source))
+    return R; // not a failing input; nothing to preserve
+
+  std::vector<std::string> Lines = splitLines(Source);
+  Budget B{Opts.MaxTests > 0 ? Opts.MaxTests - 1 : 0};
+  for (unsigned Pass = 0; Pass != Opts.MaxPasses; ++Pass) {
+    bool Removed = ddminRound(Lines, StillFails, B);
+    if (Opts.BraceRegions)
+      Removed |= braceRegionRound(Lines, StillFails, B);
+    ++R.PassesRun;
+    if (!Removed || !B.Remaining)
+      break;
+  }
+  R.TestsRun += B.Spent;
+  R.Reduced = joinLines(Lines);
+  R.ReducedBytes = R.Reduced.size();
+  return R;
+}

@@ -1,0 +1,72 @@
+//===- gen/Reducer.h - Failure-preserving test-case reducer ----*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A delta-debugging (ddmin-style) reducer for failing Mini-C programs:
+/// given a source and a predicate that recognises "still fails the same
+/// way" (typically: gen/Corpus.h checkSource reports the same failure
+/// signature), it greedily deletes line chunks and whole balanced-brace
+/// regions until no single deletion preserves the failure. The predicate
+/// fully owns the failure definition, so the reducer never conflates "got
+/// smaller" with "fails differently": a reduction that turns an oracle
+/// mismatch into a parse error is rejected because the signature changes.
+///
+/// Candidate deletions are pre-filtered to keep `{}` nesting balanced —
+/// unbalanced candidates cannot compile and would only burn oracle runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_GEN_REDUCER_H
+#define SRP_GEN_REDUCER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace srp::gen {
+
+/// Returns true when \p Source still exhibits the original failure.
+using FailurePredicate = std::function<bool(const std::string &Source)>;
+
+struct ReduceOptions {
+  /// Upper bound on full sweep passes (each pass is a complete ddmin
+  /// round plus a brace-region round); reduction also stops at the first
+  /// pass that removes nothing.
+  unsigned MaxPasses = 12;
+  /// Also attempt deleting whole balanced-brace regions (an `if`/loop
+  /// header line through its closing brace) as single candidates — these
+  /// remove nests that line-granular ddmin can only remove piecemeal.
+  bool BraceRegions = true;
+  /// Hard cap on predicate evaluations (each one runs the full oracle
+  /// stack); reduction returns the best-so-far when exhausted.
+  unsigned MaxTests = 2000;
+};
+
+struct ReduceResult {
+  std::string Reduced;      ///< smallest failing variant found
+  size_t OriginalBytes = 0;
+  size_t ReducedBytes = 0;
+  unsigned TestsRun = 0;    ///< predicate evaluations spent
+  unsigned PassesRun = 0;   ///< sweep passes completed
+
+  /// Fraction of bytes removed, in [0, 1].
+  double shrink() const {
+    return OriginalBytes
+               ? 1.0 - double(ReducedBytes) / double(OriginalBytes)
+               : 0.0;
+  }
+};
+
+/// Shrinks \p Source while \p StillFails holds. \p Source itself must
+/// satisfy the predicate; if it does not, the result is \p Source
+/// unchanged with TestsRun == 1.
+ReduceResult reduceSource(const std::string &Source,
+                          const FailurePredicate &StillFails,
+                          const ReduceOptions &Opts = {});
+
+} // namespace srp::gen
+
+#endif // SRP_GEN_REDUCER_H

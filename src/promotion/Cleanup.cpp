@@ -169,8 +169,7 @@ CleanupStats srp::cleanupAfterPromotion(Function &F) {
 CleanupStats srp::cleanupAfterPromotion(Function &F, AnalysisManager &AM) {
   (void)AM; // cleanup consumes no analyses; it only reports edits
   CleanupStats S = cleanupAfterPromotion(F);
-  if (S.DummyLoadsRemoved || S.CopiesPropagated ||
-      S.DeadInstructionsRemoved || S.DeadMemPhisRemoved)
+  if (S.edited())
     notifySSAEdited(F);
   return S;
 }

@@ -25,6 +25,14 @@ struct CleanupStats {
   unsigned CopiesPropagated = 0;
   unsigned DeadInstructionsRemoved = 0;
   unsigned DeadMemPhisRemoved = 0;
+
+  /// True when the sweep changed the function at all. Callers must treat
+  /// this as an IR edit (cached liveness/bytecode are stale) even when the
+  /// promotion that triggered the sweep itself did nothing.
+  bool edited() const {
+    return DummyLoadsRemoved || CopiesPropagated ||
+           DeadInstructionsRemoved || DeadMemPhisRemoved;
+  }
 };
 
 /// Removes every DummyLoadInst in \p F.

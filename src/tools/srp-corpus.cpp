@@ -1,0 +1,221 @@
+//===- tools/srp-corpus.cpp - Differential fuzzing corpus driver ----------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sweeps generated programs through the six-mode differential oracle,
+/// Strictness::Full between-pass verification, and walk/bytecode parity
+/// (gen/Corpus.h), with remark-coverage feedback steering generation
+/// toward under-exercised promoters and §4.3 rejection reasons.
+///
+///   srp-corpus -seeds=50                      # the tier-1 smoke sweep
+///   srp-corpus -seeds=1000 -threads=8         # the full nightly sweep
+///   srp-corpus -seeds=50 -require-coverage    # also fail on coverage gaps
+///   srp-corpus -seeds=50 -json                # machine-readable report
+///   srp-corpus -seeds=20 -save-failures=DIR   # one .mc per failure
+///
+/// Exit status: 0 clean, 1 failures found (or coverage gaps with
+/// -require-coverage), 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+using namespace srp;
+using namespace srp::gen;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: srp-corpus [options]\n"
+      "  -seeds=<n>         programs to sweep (default 50)\n"
+      "  -first-seed=<n>    first seed (default 1)\n"
+      "  -threads=<n>       worker threads (default 0 = hardware)\n"
+      "  -batch=<n>         seeds per parallel batch (default 32)\n"
+      "  -verify=<off|fast|full>  between-pass verification depth\n"
+      "                     (default full; the fuzz contract)\n"
+      "  -no-parity         skip the walk-vs-bytecode parity runs\n"
+      "  -no-feedback       disable coverage-guided profile steering\n"
+      "  -max-failures=<n>  stop after n failures (default 16)\n"
+      "  -require-coverage  exit 1 if any required promoter or rejection\n"
+      "                     reason never fired during the sweep\n"
+      "  -save-failures=<dir>  write each failing program to dir/seedN.mc\n"
+      "  -json              print the report as JSON instead of text\n"
+      "  -quiet             no per-batch progress lines\n"
+      "  (options may also be spelled with a leading --)\n");
+}
+
+void printCoverage(const CorpusReport &R) {
+  std::printf("coverage: promoters");
+  for (const std::string &K : requiredPromoters())
+    std::printf(" %s=%llu", K.c_str(),
+                (unsigned long long)R.Coverage.promoter(K));
+  std::printf("\ncoverage: rejections");
+  for (const std::string &K : requiredRejections())
+    std::printf(" %s=%llu", K.c_str(),
+                (unsigned long long)R.Coverage.rejection(K));
+  std::printf("\n");
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void printJson(const CorpusOptions &Opts, const CorpusReport &R) {
+  std::printf("{\n  \"programs\": %u,\n  \"passed\": %u,\n", R.NumPrograms,
+              R.NumPassed);
+  std::printf("  \"first_seed\": %llu,\n",
+              (unsigned long long)Opts.FirstSeed);
+  std::printf("  \"profiles\": {");
+  bool First = true;
+  for (const auto &[K, V] : R.ProfilePrograms) {
+    std::printf("%s\n    \"%s\": %llu", First ? "" : ",", K.c_str(),
+                (unsigned long long)V);
+    First = false;
+  }
+  std::printf("\n  },\n  \"promoters\": {");
+  First = true;
+  for (const auto &[K, V] : R.Coverage.Promoters) {
+    std::printf("%s\n    \"%s\": %llu", First ? "" : ",", K.c_str(),
+                (unsigned long long)V);
+    First = false;
+  }
+  std::printf("\n  },\n  \"rejections\": {");
+  First = true;
+  for (const auto &[K, V] : R.Coverage.Rejections) {
+    std::printf("%s\n    \"%s\": %llu", First ? "" : ",", K.c_str(),
+                (unsigned long long)V);
+    First = false;
+  }
+  std::printf("\n  },\n  \"failures\": [");
+  First = true;
+  for (const CorpusFailure &F : R.Failures) {
+    std::printf("%s\n    {\"seed\": %llu, \"profile\": \"%s\", "
+                "\"signature\": \"%s\", \"detail\": \"%s\"}",
+                First ? "" : ",", (unsigned long long)F.Seed,
+                shapeProfileName(F.Profile), jsonEscape(F.Signature).c_str(),
+                jsonEscape(F.Detail).c_str());
+    First = false;
+  }
+  std::printf("\n  ]\n}\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CorpusOptions Opts;
+  bool RequireCoverage = false, Json = false, Quiet = false;
+  std::string SaveDir;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("--", 0) == 0)
+      A.erase(0, 1);
+    if (A.rfind("-seeds=", 0) == 0) {
+      Opts.Count = unsigned(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A.rfind("-first-seed=", 0) == 0) {
+      Opts.FirstSeed = std::strtoull(A.c_str() + 12, nullptr, 10);
+    } else if (A.rfind("-threads=", 0) == 0) {
+      Opts.Threads = unsigned(std::strtoul(A.c_str() + 9, nullptr, 10));
+    } else if (A.rfind("-batch=", 0) == 0) {
+      Opts.BatchSize = unsigned(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A.rfind("-max-failures=", 0) == 0) {
+      Opts.MaxFailures =
+          unsigned(std::strtoul(A.c_str() + 14, nullptr, 10));
+    } else if (A == "-verify=off") {
+      Opts.Check.VerifyEachStep = false;
+    } else if (A == "-verify=fast") {
+      Opts.Check.Verify = Strictness::Fast;
+    } else if (A == "-verify=full") {
+      Opts.Check.Verify = Strictness::Full;
+    } else if (A == "-no-parity") {
+      Opts.Check.EngineParity = false;
+    } else if (A == "-no-feedback") {
+      Opts.Feedback = false;
+    } else if (A == "-require-coverage") {
+      RequireCoverage = true;
+    } else if (A.rfind("-save-failures=", 0) == 0) {
+      SaveDir = A.substr(15);
+    } else if (A == "-json") {
+      Json = true;
+    } else if (A == "-quiet") {
+      Quiet = true;
+    } else if (A == "-help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
+      usage();
+      return 2;
+    }
+  }
+  if (!Opts.Count || !Opts.BatchSize || !Opts.MaxFailures) {
+    std::fprintf(stderr, "error: -seeds, -batch and -max-failures must be "
+                         "positive\n");
+    return 2;
+  }
+
+  CorpusProgressFn Progress;
+  if (!Quiet && !Json)
+    Progress = [](unsigned Done, unsigned Total, const CorpusReport &R) {
+      std::fprintf(stderr, "srp-corpus: %u/%u programs, %zu failures, %zu "
+                           "coverage keys missing\n",
+                   Done, Total, R.Failures.size(),
+                   R.Coverage.missingRequired().size());
+    };
+
+  CorpusReport R = runCorpus(Opts, Progress);
+
+  if (!SaveDir.empty())
+    for (const CorpusFailure &F : R.Failures) {
+      std::string Path =
+          SaveDir + "/seed" + std::to_string(F.Seed) + ".mc";
+      std::ofstream Out(Path);
+      Out << "// srp-gen -seed=" << F.Seed << " -profile="
+          << shapeProfileName(F.Profile) << "\n// " << F.Signature << ": "
+          << F.Detail << "\n" << F.Source;
+      if (!Out)
+        std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
+    }
+
+  std::vector<std::string> Missing = R.Coverage.missingRequired();
+  if (Json) {
+    printJson(Opts, R);
+  } else {
+    std::printf("srp-corpus: %u programs, %u passed, %zu failed\n",
+                R.NumPrograms, R.NumPassed, R.Failures.size());
+    printCoverage(R);
+    for (const std::string &K : Missing)
+      std::printf("coverage MISSING: %s\n", K.c_str());
+    for (const CorpusFailure &F : R.Failures)
+      std::printf("FAIL seed %llu: %s\n  %s\n  reproduce: srp-gen -seed=%llu "
+                  "-profile=%s\n",
+                  (unsigned long long)F.Seed, F.Signature.c_str(),
+                  F.Detail.c_str(), (unsigned long long)F.Seed,
+                  shapeProfileName(F.Profile));
+  }
+
+  if (!R.Failures.empty())
+    return 1;
+  if (RequireCoverage && !Missing.empty())
+    return 1;
+  return 0;
+}

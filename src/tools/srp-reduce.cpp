@@ -1,0 +1,148 @@
+//===- tools/srp-reduce.cpp - Failing-program reducer ---------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing Mini-C program while preserving its failure
+/// signature (gen/Reducer.h over the gen/Corpus.h oracle stack).
+///
+///   srp-reduce crash.mc                   # signature taken from the input
+///   srp-reduce -signature=oracle-mismatch:paper:output crash.mc
+///   srp-reduce -o=min.mc crash.mc
+///
+/// Exit status: 0 reduced (or already minimal), 1 the input does not fail
+/// at all, 2 usage/IO error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+#include "gen/Reducer.h"
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace srp;
+using namespace srp::gen;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: srp-reduce [options] file.mc\n"
+      "  -signature=<sig>   failure signature to preserve (default: what\n"
+      "                     the oracle stack reports for the input)\n"
+      "  -o=<file>          write the reduced program here (default: print\n"
+      "                     to stdout)\n"
+      "  -max-tests=<n>     oracle-run budget (default 2000)\n"
+      "  -max-passes=<n>    sweep-pass bound (default 12)\n"
+      "  -verify=<off|fast|full>  verification depth of the oracle runs\n"
+      "                     (default full)\n"
+      "  -no-parity         skip walk-vs-bytecode parity in the oracle\n"
+      "  -quiet             suppress the progress summary on stderr\n"
+      "  (options may also be spelled with a leading --)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string File, OutFile, Signature;
+  ReduceOptions RO;
+  CheckOptions CO;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("--", 0) == 0)
+      A.erase(0, 1);
+    if (A.rfind("-signature=", 0) == 0) {
+      Signature = A.substr(11);
+    } else if (A.rfind("-o=", 0) == 0) {
+      OutFile = A.substr(3);
+    } else if (A.rfind("-max-tests=", 0) == 0) {
+      RO.MaxTests = unsigned(std::strtoul(A.c_str() + 11, nullptr, 10));
+    } else if (A.rfind("-max-passes=", 0) == 0) {
+      RO.MaxPasses = unsigned(std::strtoul(A.c_str() + 12, nullptr, 10));
+    } else if (A == "-verify=off") {
+      CO.VerifyEachStep = false;
+    } else if (A == "-verify=fast") {
+      CO.Verify = Strictness::Fast;
+    } else if (A == "-verify=full") {
+      CO.Verify = Strictness::Full;
+    } else if (A == "-no-parity") {
+      CO.EngineParity = false;
+    } else if (A == "-quiet") {
+      Quiet = true;
+    } else if (A == "-help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
+      usage();
+      return 2;
+    } else {
+      File = argv[I];
+    }
+  }
+  if (File.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
+    return 2;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Source = SS.str();
+
+  if (Signature.empty()) {
+    CheckResult Initial = checkSource(Source, CO);
+    if (Initial.Ok) {
+      std::fprintf(stderr,
+                   "srp-reduce: input passes the oracle stack; nothing to "
+                   "reduce\n");
+      return 1;
+    }
+    Signature = Initial.Signature;
+    if (!Quiet)
+      std::fprintf(stderr, "srp-reduce: preserving signature '%s' (%s)\n",
+                   Signature.c_str(), Initial.Detail.c_str());
+  }
+
+  FailurePredicate StillFails = [&](const std::string &Candidate) {
+    return checkSource(Candidate, CO).Signature == Signature;
+  };
+  ReduceResult R = reduceSource(Source, StillFails, RO);
+  if (R.ReducedBytes == R.OriginalBytes && !StillFails(Source)) {
+    std::fprintf(stderr, "srp-reduce: input does not exhibit signature "
+                         "'%s'\n",
+                 Signature.c_str());
+    return 1;
+  }
+
+  if (!Quiet)
+    std::fprintf(stderr,
+                 "srp-reduce: %zu -> %zu bytes (%.0f%% smaller), %u oracle "
+                 "runs, %u passes\n",
+                 R.OriginalBytes, R.ReducedBytes, R.shrink() * 100.0,
+                 R.TestsRun, R.PassesRun);
+
+  if (OutFile.empty()) {
+    std::fputs(R.Reduced.c_str(), stdout);
+  } else {
+    std::ofstream Out(OutFile);
+    Out << R.Reduced;
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+//===- tests/GoldenCorpusTest.cpp - Golden corpus regression suite --------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The golden corpus (tests/corpus/): ~20 small Mini-C programs, each the
+/// reducer-minimised witness of one promotion decision (a promoter firing
+/// or a §4.3 rejection), with the expected remark/stats signature pinned
+/// in tests/corpus/expected.txt. The suite asserts, per entry:
+///  - the signature (promoters fired, rejections hit, exit value, output
+///    length, dynamic memop counts) is byte-identical to the golden one,
+///  - the entry still witnesses its coverage key, and
+///  - the program still passes the full differential-oracle stack.
+///
+/// Regenerate after an intentional promoter/profitability change with:
+///   SRP_UPDATE_GOLDEN=1 ./srp_tests --gtest_filter='GoldenCorpus*'
+/// which hunts seeds for each manifest entry, minimises the witness with
+/// the ddmin reducer (predicate: the coverage key and run-health are
+/// preserved), rewrites the .mc files and expected.txt, and fails the run
+/// so the refreshed files get reviewed before committing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+#include "gen/ProgramGen.h"
+#include "gen/Reducer.h"
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <map>
+#include <sstream>
+
+using namespace srp;
+using namespace srp::gen;
+
+namespace {
+
+#ifndef SRP_CORPUS_DIR
+#error "SRP_CORPUS_DIR must point at tests/corpus"
+#endif
+
+/// One golden entry: the witness hunt starts at (Profile, FirstSeed) and
+/// keeps the first reduced program that still exhibits \p Key.
+struct ManifestEntry {
+  const char *File;    ///< file name under tests/corpus/
+  const char *Profile; ///< shape profile of the hunt
+  uint64_t FirstSeed;  ///< where the hunt starts
+  const char *Key;     ///< coverage key the entry witnesses
+};
+
+// ~20 entries spanning every promoter, every §4.3 rejection reason, and
+// the baseline/superblock decision remarks, across shape profiles.
+const ManifestEntry Manifest[] = {
+    {"promoted-web-1.mc", "default", 1, "promotion:PromotedWeb"},
+    {"promoted-web-2.mc", "deep-loops", 30, "promotion:PromotedWeb"},
+    {"promoted-web-3.mc", "irreducible", 60, "promotion:PromotedWeb"},
+    {"mem2reg-local-1.mc", "default", 90, "mem2reg:PromotedLocal"},
+    {"mem2reg-local-2.mc", "call-heavy", 120, "mem2reg:PromotedLocal"},
+    {"loop-promoted-1.mc", "deep-loops", 150, "loop-promotion:PromotedVariable"},
+    {"loop-promoted-2.mc", "guarded-stores", 180, "loop-promotion:PromotedVariable"},
+    {"loop-ambiguous-1.mc", "aliased", 210, "loop-promotion:AmbiguousRef"},
+    {"superblock-promoted-1.mc", "guarded-stores", 240, "superblock:PromotedTraceVariable"},
+    {"superblock-promoted-2.mc", "deep-loops", 270, "superblock:PromotedTraceVariable"},
+    {"superblock-offtrace-1.mc", "guarded-stores", 300, "superblock:OffTraceRefs"},
+    {"reject-nomemwork-1.mc", "call-heavy", 330, "promotion:NoMemoryWork"},
+    {"reject-nomemwork-2.mc", "default", 360, "promotion:NoMemoryWork"},
+    {"reject-unprofitable-1.mc", "aliased", 390, "promotion:UnprofitableWeb"},
+    {"reject-unprofitable-2.mc", "guarded-stores", 420, "promotion:UnprofitableWeb"},
+    // Stores-only rejections are rare (tens per 1000-seed sweep), so these
+    // two hunts start at known witness seeds instead of the round numbers.
+    {"reject-storesonly-1.mc", "guarded-stores", 3398, "promotion:StoresOnlyNotEliminated"},
+    {"reject-storesonly-2.mc", "default", 248, "promotion:StoresOnlyNotEliminated"},
+    {"reject-multilivein-1.mc", "multi-live-in", 510, "promotion:MultipleLiveIns"},
+    {"reject-multilivein-2.mc", "multi-live-in", 540, "promotion:MultipleLiveIns"},
+    {"reject-multilivein-3.mc", "irreducible", 570, "promotion:MultipleLiveIns"},
+};
+
+bool signatureHasKey(const ProgramSignature &Sig, const std::string &Key) {
+  return Sig.Promoters.count(Key) || Sig.Rejections.count(Key);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::map<std::string, std::string> readExpected() {
+  std::map<std::string, std::string> Expected;
+  std::ifstream In(std::string(SRP_CORPUS_DIR) + "/expected.txt");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Tab = Line.find('\t');
+    if (Tab == std::string::npos)
+      continue;
+    Expected[Line.substr(0, Tab)] = Line.substr(Tab + 1);
+  }
+  return Expected;
+}
+
+bool updateMode() {
+  const char *E = std::getenv("SRP_UPDATE_GOLDEN");
+  return E && *E && std::string(E) != "0";
+}
+
+//===----------------------------------------------------------------------===
+// Regeneration.
+//===----------------------------------------------------------------------===
+
+void regenerate() {
+  std::map<std::string, std::string> Expected;
+  for (const ManifestEntry &E : Manifest) {
+    ShapeProfile P = ShapeProfile::Default;
+    ASSERT_TRUE(parseShapeProfile(E.Profile, P)) << E.Profile;
+    // Hunt: first seed from FirstSeed whose program witnesses the key.
+    std::string Witness;
+    for (uint64_t Seed = E.FirstSeed; Seed < E.FirstSeed + 200; ++Seed) {
+      std::string S = generateProgram(Seed, biasedConfig(Seed, P));
+      ProgramSignature Sig = signatureFor(S);
+      if (Sig.Ok && signatureHasKey(Sig, E.Key)) {
+        Witness = S;
+        break;
+      }
+    }
+    ASSERT_FALSE(Witness.empty())
+        << E.File << ": no seed in [" << E.FirstSeed << ", "
+        << E.FirstSeed + 200 << ") witnesses " << E.Key;
+
+    // Minimise while the key and run-health are preserved.
+    std::string Key = E.Key;
+    FailurePredicate KeepsKey = [&Key](const std::string &Candidate) {
+      ProgramSignature Sig = signatureFor(Candidate);
+      return Sig.Ok && signatureHasKey(Sig, Key);
+    };
+    ReduceOptions RO;
+    RO.MaxTests = 400;
+    ReduceResult R = reduceSource(Witness, KeepsKey, RO);
+
+    std::string Path = std::string(SRP_CORPUS_DIR) + "/" + E.File;
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << Path;
+    Out << "// golden corpus: witnesses " << E.Key << " (profile "
+        << E.Profile << ")\n"
+        << R.Reduced;
+    Out.close();
+    Expected[E.File] = signatureToString(signatureFor(readFile(Path)));
+  }
+  std::ofstream Out(std::string(SRP_CORPUS_DIR) + "/expected.txt");
+  Out << "# <file>\\t<signature> — regenerate with SRP_UPDATE_GOLDEN=1 "
+         "./srp_tests --gtest_filter='GoldenCorpus*'\n";
+  for (const auto &[File, Sig] : Expected)
+    Out << File << "\t" << Sig << "\n";
+  FAIL() << "golden corpus regenerated under " << SRP_CORPUS_DIR
+         << "; review and commit the refreshed files";
+}
+
+//===----------------------------------------------------------------------===
+// The regression suite proper.
+//===----------------------------------------------------------------------===
+
+TEST(GoldenCorpusTest, Regenerate) {
+  if (!updateMode())
+    GTEST_SKIP() << "set SRP_UPDATE_GOLDEN=1 to regenerate";
+  regenerate();
+}
+
+class GoldenCorpusEntryTest
+    : public ::testing::TestWithParam<ManifestEntry> {};
+
+TEST_P(GoldenCorpusEntryTest, SignatureAndOracleStable) {
+  if (updateMode())
+    GTEST_SKIP() << "regeneration run";
+  const ManifestEntry &E = GetParam();
+  std::string Source =
+      readFile(std::string(SRP_CORPUS_DIR) + "/" + E.File);
+  ASSERT_FALSE(Source.empty()) << "missing golden file " << E.File;
+
+  ProgramSignature Sig = signatureFor(Source);
+  EXPECT_TRUE(Sig.Ok) << Sig.Error;
+  EXPECT_TRUE(signatureHasKey(Sig, E.Key))
+      << E.File << " no longer witnesses " << E.Key << "\n"
+      << signatureToString(Sig);
+
+  std::map<std::string, std::string> Expected = readExpected();
+  auto It = Expected.find(E.File);
+  ASSERT_NE(It, Expected.end()) << E.File << " missing from expected.txt";
+  EXPECT_EQ(signatureToString(Sig), It->second)
+      << E.File
+      << ": promotion decisions drifted; if intentional, regenerate with "
+         "SRP_UPDATE_GOLDEN=1";
+
+  // Still clean under the full differential-oracle stack.
+  CheckResult C = checkSource(Source);
+  EXPECT_TRUE(C.Ok) << E.File << ": " << C.Signature << " — " << C.Detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, GoldenCorpusEntryTest,
+                         ::testing::ValuesIn(Manifest),
+                         [](const auto &Info) {
+                           std::string Name = Info.param.File;
+                           for (char &C : Name)
+                             if (C == '-' || C == '.')
+                               C = '_';
+                           return Name;
+                         });
+
+} // namespace

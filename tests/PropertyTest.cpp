@@ -12,11 +12,14 @@
 ///  - with boundary-cost accounting on, profile-guided promotion never
 ///    increases the dynamic singleton memop count,
 ///  - the Lu-Cooper-style baseline preserves behaviour as well,
-///  - the incremental SSA updater's batch and per-def variants agree.
+///  - the incremental SSA updater's batch and per-def variants agree,
+///  - the tree-walk and bytecode interpreters produce field-identical
+///    ExecutionResults on promotion-biased generated programs.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Pipeline.h"
+#include "gen/Corpus.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
 #include "RandomProgramGen.h"
@@ -153,6 +156,40 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSanityTest,
                          ::testing::Range<uint64_t>(1, 21));
 
 //===----------------------------------------------------------------------===
+// Walk-vs-bytecode engine parity on generated programs: checkSource
+// re-runs the control and paper pipelines on the tree-walker and requires
+// the full ExecutionResult — exit value, output, final memory, dynamic
+// counts, block and edge profiles — to match the bytecode runs field by
+// field. Seeds rotate through every shape profile, so parity is exercised
+// on irreducible CFGs, call-heavy webs and aliased access too.
+//===----------------------------------------------------------------------===
+
+class EngineParityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineParityPropertyTest, WalkAndBytecodeAgreeOnFullResult) {
+  const uint64_t Seed = GetParam();
+  srp::gen::ShapeProfile Profile =
+      srp::gen::allShapeProfiles()[Seed % srp::gen::NumShapeProfiles];
+  std::string Src =
+      srp::gen::generateProgram(Seed, srp::gen::biasedConfig(Seed, Profile));
+
+  srp::gen::CheckOptions Opts;
+  Opts.EngineParity = true;
+  Opts.Verify = Strictness::Fast; // parity, not the checker stack, at stake
+  srp::gen::CheckResult R = srp::gen::checkSource(Src, Opts);
+  EXPECT_TRUE(R.Ok) << "seed " << Seed << " ("
+                    << srp::gen::shapeProfileName(Profile)
+                    << "): " << R.Signature << "\n"
+                    << R.Detail << "\nreproduce: srp-gen -seed=" << Seed
+                    << " -profile=" << srp::gen::shapeProfileName(Profile)
+                    << " -check\nprogram:\n"
+                    << Src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineParityPropertyTest,
+                         ::testing::Range<uint64_t>(1, 15));
+
+//===----------------------------------------------------------------------===
 // Seeded fuzz sweep through the parallel workload driver: >= 200 random
 // CFG+memory programs, each run under every promotion mode. The full
 // checker stack (L0 CFG through L4 promotion invariants, Strictness::Full)
@@ -176,19 +213,18 @@ TEST_F(ParallelFuzzHeavyTest, SeededProgramsCleanUnderAllModes) {
   std::vector<PipelineJob> Jobs;
   Jobs.reserve(NumPrograms * std::size(AllModes));
   for (uint64_t Seed = 1; Seed <= NumPrograms; ++Seed) {
-    // Vary program shape deterministically with the seed.
-    GenConfig Cfg;
-    Cfg.MaxFunctions = 1 + static_cast<unsigned>(Seed % 4);
-    Cfg.MaxLoopDepth = 1 + static_cast<unsigned>(Seed % 3);
-    Cfg.ExtraStmts = static_cast<unsigned>(Seed % 3);
-    Cfg.AllowPointerWrites = Seed % 5 != 0;
-    RandomProgramGen Gen(Seed * 6364136223846793005ull + 1442695040888963407ull,
-                         Cfg);
-    std::string Src = Gen.generate();
+    // The promotion-biased shape profiles are the fuzz-suite default:
+    // rotating them guarantees deep nests, irreducible regions, aliased
+    // aggregates and call-heavy webs all appear in every 7-seed window.
+    srp::gen::ShapeProfile Profile =
+        srp::gen::allShapeProfiles()[Seed % srp::gen::NumShapeProfiles];
+    std::string Src =
+        srp::gen::generateProgram(Seed, srp::gen::biasedConfig(Seed, Profile));
 
     for (PromotionMode Mode : AllModes) {
       PipelineJob J;
       J.Name = "seed-" + std::to_string(Seed) + "/" +
+               srp::gen::shapeProfileName(Profile) + "/" +
                promotionModeName(Mode);
       J.Source = Src;
       J.Opts.Mode = Mode;

@@ -5,297 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Deterministic random Mini-C program generator for the property-based
-/// suites. Generated programs always terminate (loops are bounded counted
-/// loops whose induction variable is never otherwise assigned; the call
-/// graph is acyclic) and never trap (no division, shifts bounded, array
-/// indices reduced modulo the array size).
+/// Compatibility shim: the random program generator graduated from the
+/// test tree into the gen library (src/gen/ProgramGen.h) so the srp-gen /
+/// srp-corpus / srp-reduce tools can share it. Existing suites keep the
+/// old spellings; new code should include gen/ProgramGen.h directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SRP_TESTS_RANDOMPROGRAMGEN_H
 #define SRP_TESTS_RANDOMPROGRAMGEN_H
 
-#include "support/RNG.h"
-#include <sstream>
-#include <string>
-#include <vector>
+#include "gen/ProgramGen.h"
 
 namespace srp::test {
 
-/// Shape knobs for generated programs. Defaults match the original
-/// generator; the fuzz suites vary them per seed to widen CFG and memory
-/// shape coverage while staying deterministic.
-struct GenConfig {
-  unsigned MaxFunctions = 3;   ///< helper functions besides main (0..N-1)
-  unsigned MaxLoopDepth = 2;   ///< nesting bound for counted loops
-  unsigned ExtraStmts = 0;     ///< added to every statement budget
-  bool AllowPointerWrites = true; ///< permit *p stores through &global0
-};
-
-class RandomProgramGen {
-  RNG Rand;
-  GenConfig Cfg;
-  std::ostringstream OS;
-  std::vector<std::string> Globals;
-  std::vector<std::pair<std::string, unsigned>> Arrays;
-  std::vector<std::string> Fields; ///< "s.f" spellings
-  /// Functions generated so far (callable from later functions): name and
-  /// number of int parameters.
-  std::vector<std::pair<std::string, unsigned>> Callables;
-  std::vector<std::string> ScalarLocals; ///< in-scope locals of current fn
-  unsigned NameCounter = 0;
-  unsigned LoopDepth = 0;
-  bool PointerToGlobal0 = false;
-
-  std::string fresh(const char *Prefix) {
-    return std::string(Prefix) + std::to_string(NameCounter++);
-  }
-
-  std::string indent(unsigned Depth) { return std::string(Depth * 2, ' '); }
-
-  /// A random readable scalar location (global, field, local, param).
-  std::string scalarRef() {
-    unsigned Pools = 0;
-    if (!Globals.empty())
-      ++Pools;
-    if (!Fields.empty())
-      ++Pools;
-    if (!ScalarLocals.empty())
-      ++Pools;
-    if (Pools == 0)
-      return std::to_string(Rand.range(0, 9));
-    while (true) {
-      switch (Rand.below(3)) {
-      case 0:
-        if (!Globals.empty())
-          return Globals[Rand.below(Globals.size())];
-        break;
-      case 1:
-        if (!Fields.empty())
-          return Fields[Rand.below(Fields.size())];
-        break;
-      default:
-        if (!ScalarLocals.empty())
-          return ScalarLocals[Rand.below(ScalarLocals.size())];
-        break;
-      }
-    }
-  }
-
-  std::string expr(unsigned Depth) {
-    if (Depth == 0 || Rand.chance(2, 5)) {
-      // Leaf.
-      switch (Rand.below(4)) {
-      case 0:
-        return std::to_string(Rand.range(-20, 20));
-      case 1:
-      case 2:
-        return scalarRef();
-      default:
-        if (!Arrays.empty()) {
-          auto &[Name, Size] = Arrays[Rand.below(Arrays.size())];
-          std::string S = std::to_string(Size);
-          return Name + "[((" + scalarRef() + ") % " + S + " + " + S +
-                 ") % " + S + "]";
-        }
-        return scalarRef();
-      }
-    }
-    static const char *Ops[] = {"+", "-", "*", "&", "|", "^",
-                                "<", "<=", "==", "!="};
-    std::string Op = Ops[Rand.below(10)];
-    std::string L = expr(Depth - 1), R = expr(Depth - 1);
-    if (Op == "*") // bound value growth
-      R = std::to_string(Rand.range(-3, 3));
-    return "(" + L + " " + Op + " " + R + ")";
-  }
-
-  /// A non-negative array index expression guaranteed in [0, Size).
-  std::string arrayIndex(unsigned Size) {
-    // ((e % Size) + Size) % Size without division: use a loop var or
-    // bounded expression; simplest: (e & mask) with mask < Size when Size
-    // is a power of two, else a modulo of a non-negative expression.
-    return "((" + expr(1) + ") * (" + expr(1) + ") % " +
-           std::to_string(static_cast<int>(Size)) + " + " +
-           std::to_string(static_cast<int>(Size)) + ") % " +
-           std::to_string(static_cast<int>(Size));
-  }
-
-  void stmt(unsigned Depth, unsigned Budget) {
-    for (unsigned K = 0; K != Budget; ++K) {
-      switch (Rand.below(10)) {
-      case 0: { // local decl
-        std::string N = fresh("l");
-        OS << indent(Depth) << "int " << N << " = " << expr(2) << ";\n";
-        ScalarLocals.push_back(N);
-        break;
-      }
-      case 1:
-      case 2: { // scalar assignment
-        OS << indent(Depth) << scalarRefWritable() << " = " << expr(2)
-           << ";\n";
-        break;
-      }
-      case 3: { // array store
-        if (Arrays.empty())
-          break;
-        auto &[Name, Size] = Arrays[Rand.below(Arrays.size())];
-        OS << indent(Depth) << Name << "[" << arrayIndex(Size)
-           << "] = " << expr(2) << ";\n";
-        break;
-      }
-      case 4: { // if / if-else (locals declared inside stay inside)
-        size_t LocalsBefore = ScalarLocals.size();
-        OS << indent(Depth) << "if (" << expr(2) << ") {\n";
-        stmt(Depth + 1, 1 + Rand.below(2));
-        ScalarLocals.resize(LocalsBefore);
-        if (Rand.chance(1, 2)) {
-          OS << indent(Depth) << "} else {\n";
-          stmt(Depth + 1, 1 + Rand.below(2));
-          ScalarLocals.resize(LocalsBefore);
-        }
-        OS << indent(Depth) << "}\n";
-        break;
-      }
-      case 5: { // bounded for loop
-        if (LoopDepth >= Cfg.MaxLoopDepth)
-          break;
-        std::string IV = fresh("i");
-        unsigned Trip = 1 + static_cast<unsigned>(Rand.below(12));
-        OS << indent(Depth) << "int " << IV << ";\n";
-        OS << indent(Depth) << "for (" << IV << " = 0; " << IV << " < "
-           << Trip << "; " << IV << "++) {\n";
-        ++LoopDepth;
-        size_t LocalsBefore = ScalarLocals.size();
-        ScalarLocals.push_back(IV); // readable inside, never assigned:
-        // remove from writable pool via marker below
-        ReadOnly.push_back(IV);
-        stmt(Depth + 1, 1 + Rand.below(3));
-        ScalarLocals.resize(LocalsBefore);
-        ReadOnly.pop_back();
-        --LoopDepth;
-        OS << indent(Depth) << "}\n";
-        break;
-      }
-      case 6: { // call
-        if (Callables.empty())
-          break;
-        auto &[Name, Arity] = Callables[Rand.below(Callables.size())];
-        OS << indent(Depth) << Name << "(";
-        for (unsigned A = 0; A != Arity; ++A)
-          OS << (A ? ", " : "") << expr(1);
-        OS << ");\n";
-        break;
-      }
-      case 7: { // print
-        OS << indent(Depth) << "print(" << expr(2) << ");\n";
-        break;
-      }
-      case 8: { // pointer write through &global0 (if enabled)
-        if (!PointerToGlobal0 || Globals.empty())
-          break;
-        std::string P = fresh("p");
-        OS << indent(Depth) << "int " << P << " = &" << Globals[0] << ";\n";
-        OS << indent(Depth) << "*" << P << " = " << expr(2) << ";\n";
-        break;
-      }
-      default: { // compound assignment / increment
-        std::string T = scalarRefWritable();
-        if (Rand.chance(1, 2))
-          OS << indent(Depth) << T << " += " << expr(1) << ";\n";
-        else
-          OS << indent(Depth) << T << "++;\n";
-        break;
-      }
-      }
-    }
-  }
-
-  std::vector<std::string> ReadOnly; ///< loop induction variables
-
-  std::string scalarRefWritable() {
-    for (int Tries = 0; Tries != 8; ++Tries) {
-      std::string R = scalarRef();
-      bool RO = false;
-      for (const std::string &N : ReadOnly)
-        if (N == R)
-          RO = true;
-      // Literals from the empty-pool fallback are not writable either.
-      if (!RO && !R.empty() && !isdigit(static_cast<unsigned char>(R[0])) &&
-          R[0] != '-')
-        return R;
-    }
-    // Guaranteed writable fallback.
-    if (!Globals.empty())
-      return Globals[0];
-    std::string N = fresh("l");
-    OS << "  int " << N << " = 0;\n";
-    ScalarLocals.push_back(N);
-    return N;
-  }
-
-public:
-  explicit RandomProgramGen(uint64_t Seed, GenConfig Cfg = {})
-      : Rand(Seed), Cfg(Cfg) {}
-
-  /// Generates one complete program.
-  std::string generate() {
-    unsigned NumGlobals = 1 + static_cast<unsigned>(Rand.below(4));
-    for (unsigned I = 0; I != NumGlobals; ++I) {
-      std::string N = fresh("g");
-      OS << "int " << N << " = " << Rand.range(-5, 5) << ";\n";
-      Globals.push_back(N);
-    }
-    if (Rand.chance(1, 2)) {
-      std::string N = fresh("arr");
-      unsigned Size = 2 + static_cast<unsigned>(Rand.below(7));
-      OS << "int " << N << "[" << Size << "];\n";
-      Arrays.emplace_back(N, Size);
-    }
-    if (Rand.chance(1, 3)) {
-      OS << "struct St { int f0 = 1; int f1 = 2; } s0;\n";
-      Fields.push_back("s0.f0");
-      Fields.push_back("s0.f1");
-    }
-    PointerToGlobal0 = Cfg.AllowPointerWrites && Rand.chance(1, 3);
-
-    unsigned NumFns =
-        Cfg.MaxFunctions ? static_cast<unsigned>(Rand.below(Cfg.MaxFunctions))
-                         : 0;
-    for (unsigned I = 0; I != NumFns; ++I) {
-      std::string N = fresh("f");
-      unsigned Arity = static_cast<unsigned>(Rand.below(3));
-      OS << "void " << N << "(";
-      std::vector<std::string> Params;
-      for (unsigned A = 0; A != Arity; ++A) {
-        std::string P = fresh("a");
-        OS << (A ? ", " : "") << "int " << P;
-        Params.push_back(P);
-      }
-      OS << ") {\n";
-      ScalarLocals = Params; // params readable (read-only)
-      ReadOnly = Params;
-      stmt(1, 2 + Cfg.ExtraStmts + Rand.below(4));
-      ScalarLocals.clear();
-      ReadOnly.clear();
-      OS << "}\n";
-      Callables.emplace_back(N, Arity);
-    }
-
-    OS << "void main() {\n";
-    ScalarLocals.clear();
-    ReadOnly.clear();
-    stmt(1, 4 + Cfg.ExtraStmts + Rand.below(6));
-    // Make every global observable so equivalence checks bite.
-    for (const std::string &G : Globals)
-      OS << "  print(" << G << ");\n";
-    for (const std::string &Fd : Fields)
-      OS << "  print(" << Fd << ");\n";
-    OS << "}\n";
-    return OS.str();
-  }
-};
+using GenConfig = srp::gen::GenConfig;
+using RandomProgramGen = srp::gen::ProgramGen;
 
 } // namespace srp::test
 

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Pipeline.h"
+#include "gen/Corpus.h"
 #include "TestHelpers.h"
 #include <fstream>
 #include <gtest/gtest.h>
@@ -114,6 +115,48 @@ TEST(WorkloadShapeTest, VortexImprovesLeastGoImprovesMost) {
   EXPECT_LT(Gcc, 0.25);
   EXPECT_GT(Go, Vortex);
 }
+
+//===----------------------------------------------------------------------===
+// The hand-written large workloads (workloads/{spice,mpeg,db}.mc, each
+// roughly 10x the SPEC-inspired originals) run the complete fuzzing
+// oracle stack: six-mode differential against the unpromoted control,
+// Strictness::Full between-pass verification, and walk-vs-bytecode
+// interpreter parity on the full ExecutionResult. The *Heavy* suite
+// name schedules them under ctest's `heavy` label.
+//===----------------------------------------------------------------------===
+
+class LargeWorkloadHeavyTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(LargeWorkloadHeavyTest, FullOracleCleanAndPromotionWins) {
+  std::string Src = loadWorkload(GetParam());
+  ASSERT_FALSE(Src.empty());
+
+  srp::gen::CheckOptions Opts;
+  Opts.Verify = Strictness::Full;
+  Opts.EngineParity = true;
+  Opts.Threads = 0; // fan the per-mode runs across the hardware
+  srp::gen::CheckResult R = srp::gen::checkSource(Src, Opts);
+  EXPECT_TRUE(R.Ok) << GetParam() << ": " << R.Signature << "\n" << R.Detail;
+
+  // Each large workload is built around promotable global scalar traffic
+  // in hot loops; the paper promoter must find real wins, not just break
+  // even.
+  PipelineOptions PO;
+  PO.Mode = PromotionMode::Paper;
+  PipelineResult PR = runPipeline(Src, PO);
+  ASSERT_TRUE(PR.Ok) << GetParam();
+  EXPECT_LT(PR.RunAfter.Counts.memOps(), PR.RunBefore.Counts.memOps())
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, LargeWorkloadHeavyTest,
+    ::testing::Values("spice.mc", "mpeg.mc", "db.mc"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      std::string Name = Info.param;
+      return Name.substr(0, Name.find('.'));
+    });
 
 TEST(WorkloadShapeTest, BaselineNeverBeatsPaperPromoter) {
   for (const char *File : Files) {
