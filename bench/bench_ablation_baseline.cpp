@@ -38,23 +38,23 @@ int main() {
 
       PipelineOptions Base;
       Base.Mode = PromotionMode::LoopBaseline;
-      PipelineResult RB = runPipeline(Src, Base);
+      PipelineResult RB = PipelineBuilder().options(Base).run(Src);
 
       PipelineOptions NoProf;
       NoProf.Mode = PromotionMode::PaperNoProfile;
-      PipelineResult RN = runPipeline(Src, NoProf);
+      PipelineResult RN = PipelineBuilder().options(NoProf).run(Src);
 
       PipelineOptions SB;
       SB.Mode = PromotionMode::Superblock;
-      PipelineResult RS = runPipeline(Src, SB);
+      PipelineResult RS = PipelineBuilder().options(SB).run(Src);
 
       PipelineOptions Paper;
       Paper.Mode = PromotionMode::Paper;
-      PipelineResult RP = runPipeline(Src, Paper);
+      PipelineResult RP = PipelineBuilder().options(Paper).run(Src);
 
       PipelineOptions Direct;
       Direct.Promo.DirectAliasedStores = true;
-      PipelineResult RD = runPipeline(Src, Direct);
+      PipelineResult RD = PipelineBuilder().options(Direct).run(Src);
 
       if (!RB.Ok || !RP.Ok || !RN.Ok || !RS.Ok || !RD.Ok) {
         std::printf("%-9s FAILED\n", W.Name);

@@ -37,11 +37,11 @@ int main() {
 
       PipelineOptions Opt;
       Opt.Mode = PromotionMode::MemOptOnly;
-      PipelineResult RO = runPipeline(Src, Opt);
+      PipelineResult RO = PipelineBuilder().options(Opt).run(Src);
 
       PipelineOptions Paper;
       Paper.Mode = PromotionMode::Paper;
-      PipelineResult RP = runPipeline(Src, Paper);
+      PipelineResult RP = PipelineBuilder().options(Paper).run(Src);
 
       if (!RO.Ok || !RP.Ok) {
         std::printf("%-9s FAILED: %s\n", W.Name,

@@ -32,11 +32,11 @@ int main() {
       std::string Src = loadWorkload(W.File);
 
       PipelineOptions WebOpts;
-      PipelineResult RW = runPipeline(Src, WebOpts);
+      PipelineResult RW = PipelineBuilder().options(WebOpts).run(Src);
 
       PipelineOptions WholeOpts;
       WholeOpts.Promo.WebGranularity = false;
-      PipelineResult RV = runPipeline(Src, WholeOpts);
+      PipelineResult RV = PipelineBuilder().options(WholeOpts).run(Src);
 
       if (!RW.Ok || !RV.Ok) {
         std::printf("%-9s FAILED: %s\n", W.Name,

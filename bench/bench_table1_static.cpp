@@ -57,7 +57,7 @@ int main() {
   for (const Workload &W : paperWorkloads()) {
     PipelineOptions Opts;
     Opts.Mode = PromotionMode::Paper;
-    PipelineResult R = runPipeline(loadWorkload(W.File), Opts);
+    PipelineResult R = PipelineBuilder().options(Opts).run(loadWorkload(W.File));
     if (!R.Ok) {
       std::printf("%-9s FAILED: %s\n", W.Name,
                   R.Errors.empty() ? "?" : R.Errors[0].c_str());

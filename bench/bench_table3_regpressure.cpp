@@ -49,11 +49,11 @@ int main() {
 
     PipelineOptions NoOpts;
     NoOpts.Mode = PromotionMode::None;
-    PipelineResult R0 = runPipeline(Src, NoOpts);
+    PipelineResult R0 = PipelineBuilder().options(NoOpts).run(Src);
 
     PipelineOptions Paper;
     Paper.Mode = PromotionMode::Paper;
-    PipelineResult R1 = runPipeline(Src, Paper);
+    PipelineResult R1 = PipelineBuilder().options(Paper).run(Src);
 
     if (!R0.Ok || !R1.Ok) {
       std::printf("%-9s FAILED\n", W.Name);

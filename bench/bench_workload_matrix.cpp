@@ -13,6 +13,16 @@
 ///   bench_workload_matrix --threads=8     # one parallel run at 8 workers
 ///   bench_workload_matrix --stats-json    # JSON report of the matrix run
 ///
+/// With --server the bench becomes a load generator: it starts an
+/// in-process CompileServer on a unix socket, fans the matrix out over
+/// N concurrent client connections, and reports request-latency
+/// percentiles (p50/p95/p99), jobs/sec, and the server's job/analysis/
+/// bytecode cache hit rates (docs/SERVER.md):
+///
+///   bench_workload_matrix --server --clients=4 --requests=200
+///   bench_workload_matrix --server --stats-json
+///   bench_workload_matrix --server --trace-out=server.trace.json
+///
 /// The JSON schema matches `srpc --stats-json` (docs/OBSERVABILITY.md):
 /// a "statistics" object aggregated over every job plus per-job summary
 /// rows, so dashboards can consume both tools identically.
@@ -20,12 +30,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "WorkloadUtil.h"
+#include "pipeline/Job.h"
 #include "pipeline/Pipeline.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "support/JSON.h"
+#include "support/Options.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,15 +52,15 @@ using namespace srp::bench;
 
 namespace {
 
-std::vector<PipelineJob> buildMatrix() {
-  std::vector<PipelineJob> Jobs;
+std::vector<CompileJob> buildMatrix() {
+  std::vector<CompileJob> Jobs;
   auto addAll = [&](const std::vector<Workload> &Ws) {
     for (const Workload &W : Ws) {
       // One shared SourceText per workload: the six mode jobs alias the
       // same immutable program text instead of copying it.
       SourceText Src(loadWorkload(W.File));
       for (PromotionMode Mode : allPromotionModes()) {
-        PipelineJob J;
+        CompileJob J;
         J.Name = std::string(W.Name) + "/" + promotionModeName(Mode);
         J.Source = Src;
         J.Opts.Mode = Mode;
@@ -56,38 +73,215 @@ std::vector<PipelineJob> buildMatrix() {
   return Jobs;
 }
 
-double runMatrix(const std::vector<PipelineJob> &Jobs, unsigned Threads,
+double runMatrix(const std::vector<CompileJob> &Jobs, unsigned Threads,
                  std::vector<PipelineResult> &Results) {
   double T0 = monotonicSeconds();
   Results = runPipelineParallel(Jobs, Threads);
   return monotonicSeconds() - T0;
 }
 
+/// Latency at quantile \p Q of an ascending-sorted sample, in seconds.
+double percentile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  size_t Rank = static_cast<size_t>(Q * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Rank, Sorted.size() - 1)];
+}
+
+struct LoadReport {
+  unsigned Requests = 0;
+  unsigned Failures = 0;
+  double WallSeconds = 0;
+  std::vector<double> Latencies; ///< sorted ascending after the run
+  server::ServerStats Server;
+
+  double jobsPerSec() const {
+    return WallSeconds > 0 ? double(Requests) / WallSeconds : 0;
+  }
+};
+
+/// The load generator: starts an in-process server, hammers it over
+/// \p Clients real socket connections, and collects per-request
+/// latencies plus the server's own counters.
+bool runLoadGenerator(const std::vector<CompileJob> &Jobs,
+                      server::ServerOptions SrvOpts, unsigned Clients,
+                      unsigned Requests, LoadReport &Out,
+                      std::string &Err) {
+  server::CompileServer Server(SrvOpts);
+  if (!Server.start(Err))
+    return false;
+
+  std::mutex Mu;
+  std::vector<double> Latencies;
+  unsigned Failures = 0;
+  std::vector<std::string> ClientErrors;
+
+  // Requests are striped over clients round-robin, so overlapping
+  // (workload, mode) submissions from different connections are
+  // in flight at once — the sharded-service case the parity test pins.
+  double T0 = monotonicSeconds();
+  std::vector<std::thread> Pool;
+  for (unsigned C = 0; C != Clients; ++C) {
+    Pool.emplace_back([&, C] {
+      server::Client Cl;
+      std::string E;
+      if (!Cl.connect(SrvOpts.SocketPath, E)) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ClientErrors.push_back(E);
+        return;
+      }
+      std::vector<double> Local;
+      unsigned LocalFail = 0;
+      for (unsigned R = C; R < Requests; R += Clients) {
+        const CompileJob &Job = Jobs[R % Jobs.size()];
+        server::CompileResponse Resp;
+        double S0 = monotonicSeconds();
+        if (!Cl.compile(Job, Resp, E)) {
+          std::lock_guard<std::mutex> Lock(Mu);
+          ClientErrors.push_back(E);
+          return;
+        }
+        Local.push_back(monotonicSeconds() - S0);
+        if (!Resp.Ok)
+          ++LocalFail;
+      }
+      std::lock_guard<std::mutex> Lock(Mu);
+      Latencies.insert(Latencies.end(), Local.begin(), Local.end());
+      Failures += LocalFail;
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  Out.WallSeconds = monotonicSeconds() - T0;
+
+  Out.Server = Server.stats();
+  Server.requestShutdown();
+  Server.wait();
+
+  if (!ClientErrors.empty()) {
+    Err = ClientErrors.front();
+    return false;
+  }
+  std::sort(Latencies.begin(), Latencies.end());
+  Out.Latencies = std::move(Latencies);
+  Out.Requests = Requests;
+  Out.Failures = Failures;
+  return true;
+}
+
+void printLoadText(const LoadReport &R, unsigned Clients) {
+  std::printf("server load: %u requests over %u clients in %.3f s\n",
+              R.Requests, Clients, R.WallSeconds);
+  std::printf("  throughput  %8.1f jobs/s   failures %u\n", R.jobsPerSec(),
+              R.Failures);
+  std::printf("  latency     p50 %.3f ms   p95 %.3f ms   p99 %.3f ms\n",
+              percentile(R.Latencies, 0.50) * 1e3,
+              percentile(R.Latencies, 0.95) * 1e3,
+              percentile(R.Latencies, 0.99) * 1e3);
+  std::printf("  job cache   %5.1f%% hit (%llu/%llu)   batches %llu   "
+              "backpressure %llu\n",
+              R.Server.Cache.hitRate() * 100,
+              (unsigned long long)R.Server.Cache.Hits,
+              (unsigned long long)(R.Server.Cache.Hits +
+                                   R.Server.Cache.Misses),
+              (unsigned long long)R.Server.Batches,
+              (unsigned long long)R.Server.BackpressureWaits);
+  std::printf("  analysis    %5.1f%% hit   bytecode decode %5.1f%% hit\n",
+              R.Server.analysisHitRate() * 100,
+              R.Server.decodeHitRate() * 100);
+}
+
+void printLoadJson(const LoadReport &R, unsigned Clients) {
+  json::Value Doc = json::Value::object();
+  Doc.set("requests", json::Value::integer(R.Requests));
+  Doc.set("clients", json::Value::integer(Clients));
+  Doc.set("failures", json::Value::integer(R.Failures));
+  Doc.set("wall_seconds", json::Value::number(R.WallSeconds));
+  Doc.set("jobs_per_sec", json::Value::number(R.jobsPerSec()));
+  json::Value Lat = json::Value::object();
+  Lat.set("p50_ms",
+          json::Value::number(percentile(R.Latencies, 0.50) * 1e3));
+  Lat.set("p95_ms",
+          json::Value::number(percentile(R.Latencies, 0.95) * 1e3));
+  Lat.set("p99_ms",
+          json::Value::number(percentile(R.Latencies, 0.99) * 1e3));
+  Doc.set("latency", std::move(Lat));
+  json::Value Srv;
+  std::string E;
+  json::parse(server::serverStatsToJson(R.Server), Srv, E);
+  Doc.set("server", std::move(Srv));
+  std::printf("%s\n", Doc.dump().c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   unsigned Threads = 0; // 0 = sweep 1,2,4,..,hw in text mode
-  bool StatsJson = false;
+  bool StatsJson = false, ServerMode = false;
+  unsigned Clients = 4, Requests = 0;
+  server::ServerOptions SrvOpts;
+  SrvOpts.SocketPath = "/tmp/srpc-bench.sock";
   std::string TraceOutPath;
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A.rfind("--", 0) == 0)
-      A.erase(0, 1);
-    if (A.rfind("-threads=", 0) == 0) {
-      Threads = static_cast<unsigned>(std::atoi(A.c_str() + 9));
-    } else if (A == "-stats-json") {
-      StatsJson = true;
-    } else if (A.rfind("-trace-out=", 0) == 0) {
-      TraceOutPath = A.substr(11);
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_workload_matrix [--threads=N] "
-                   "[--stats-json] [--trace-out=FILE]\n");
-      return 2;
-    }
+
+  opt::OptionParser OP("bench_workload_matrix", "[options]");
+  OP.value("threads", "<n>",
+           "worker threads (default: sweep 1,2,4,..,cores in text mode)",
+           [&](const std::string &V) {
+             Threads = static_cast<unsigned>(std::atoi(V.c_str()));
+             return !V.empty();
+           });
+  OP.flag("stats-json", "emit the run report as JSON",
+          [&] { StatsJson = true; });
+  OP.value("trace-out", "<file>", "write a Chrome trace of the run",
+           [&](const std::string &V) {
+             TraceOutPath = V;
+             return !V.empty();
+           });
+  OP.flag("server",
+          "load-generator mode: start an in-process compile server and "
+          "drive the matrix through concurrent socket clients",
+          [&] { ServerMode = true; });
+  OP.value("clients", "<n>", "with --server: concurrent connections "
+                             "(default 4)",
+           [&](const std::string &V) {
+             Clients = static_cast<unsigned>(std::atoi(V.c_str()));
+             return Clients > 0;
+           });
+  OP.value("requests", "<n>",
+           "with --server: total jobs to submit (default: 3x the matrix, "
+           "so resubmissions exercise the job cache)",
+           [&](const std::string &V) {
+             Requests = static_cast<unsigned>(std::atoi(V.c_str()));
+             return Requests > 0;
+           });
+  OP.value("socket", "<path>",
+           "with --server: unix socket path (default /tmp/srpc-bench.sock)",
+           [&](const std::string &V) {
+             SrvOpts.SocketPath = V;
+             return !V.empty();
+           });
+  OP.value("queue", "<n>", "with --server: bounded queue capacity",
+           [&](const std::string &V) {
+             SrvOpts.QueueCapacity =
+                 static_cast<unsigned>(std::atoi(V.c_str()));
+             return SrvOpts.QueueCapacity > 0;
+           });
+  OP.value("batch", "<n>", "with --server: max jobs per dispatch batch",
+           [&](const std::string &V) {
+             SrvOpts.MaxBatch = static_cast<unsigned>(std::atoi(V.c_str()));
+             return SrvOpts.MaxBatch > 0;
+           });
+
+  switch (OP.parse(argc, argv)) {
+  case opt::ParseResult::Ok:
+    break;
+  case opt::ParseResult::Help:
+    return 0;
+  case opt::ParseResult::Error:
+    return 2;
   }
 
-  std::vector<PipelineJob> Jobs = buildMatrix();
+  std::vector<CompileJob> Jobs = buildMatrix();
   unsigned HW = std::max(1u, std::thread::hardware_concurrency());
 
   if (!TraceOutPath.empty())
@@ -104,6 +298,25 @@ int main(int argc, char **argv) {
     Out << trace::toChromeJson();
     return true;
   };
+
+  if (ServerMode) {
+    SrvOpts.Threads = Threads ? Threads : HW;
+    if (!Requests)
+      Requests = static_cast<unsigned>(Jobs.size()) * 3;
+    LoadReport R;
+    std::string Err;
+    if (!runLoadGenerator(Jobs, SrvOpts, Clients, Requests, R, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    if (StatsJson)
+      printLoadJson(R, Clients);
+    else
+      printLoadText(R, Clients);
+    if (!writeTrace())
+      return 2;
+    return R.Failures ? 1 : 0;
+  }
 
   if (StatsJson) {
     stats::reset();

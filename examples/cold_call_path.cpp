@@ -51,7 +51,7 @@ std::string program(int Cutoff) {
 void runCase(const char *Label, int Cutoff) {
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Paper;
-  PipelineResult R = runPipeline(program(Cutoff), Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(program(Cutoff));
   if (!R.Ok) {
     for (const auto &E : R.Errors)
       std::fprintf(stderr, "error: %s\n", E.c_str());

@@ -35,7 +35,7 @@ int main() {
 
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Paper;
-  PipelineResult R = runPipeline(Source, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Source);
   if (!R.Ok) {
     for (const auto &E : R.Errors)
       std::fprintf(stderr, "error: %s\n", E.c_str());

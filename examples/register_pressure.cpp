@@ -58,11 +58,11 @@ int main() {
 
     PipelineOptions None;
     None.Mode = PromotionMode::None;
-    PipelineResult R0 = runPipeline(Src, None);
+    PipelineResult R0 = PipelineBuilder().options(None).run(Src);
 
     PipelineOptions Promo;
     Promo.Mode = PromotionMode::Paper;
-    PipelineResult R1 = runPipeline(Src, Promo);
+    PipelineResult R1 = PipelineBuilder().options(Promo).run(Src);
 
     if (!R0.Ok || !R1.Ok) {
       std::fprintf(stderr, "pipeline failed for Hot=%u\n", Hot);

@@ -63,7 +63,7 @@ out2:
               toString(*M).c_str());
 
   PipelineOptions Opts;
-  PipelineResult R = runPipeline(std::move(M), Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(std::move(M));
   if (!R.Ok) {
     for (const auto &E : R.Errors)
       std::fprintf(stderr, "pipeline error: %s\n", E.c_str());

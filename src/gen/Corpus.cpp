@@ -7,6 +7,7 @@
 #include "gen/Corpus.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
+#include "pipeline/Job.h"
 #include "pipeline/Pipeline.h"
 #include "support/Remarks.h"
 #include <algorithm>
@@ -201,7 +202,7 @@ unsigned jobsPerProgram(const CheckOptions &O) {
   return 6 + (O.EngineParity ? 2 : 0);
 }
 
-void appendJobs(std::vector<PipelineJob> &Jobs, const SourceText &Source,
+void appendJobs(std::vector<CompileJob> &Jobs, const SourceText &Source,
                 const CheckOptions &O, const std::string &Label) {
   PipelineOptions Base;
   Base.VerifyEachStep = O.VerifyEachStep;
@@ -329,7 +330,7 @@ void accumulateCoverage(CoverageCounts &Cov,
 
 CheckResult srp::gen::checkSource(const std::string &Source,
                                   const CheckOptions &Opts) {
-  std::vector<PipelineJob> Jobs;
+  std::vector<CompileJob> Jobs;
   appendJobs(Jobs, SourceText(Source), Opts, "check");
   std::vector<PipelineResult> Results =
       runPipelineParallel(Jobs, Opts.Threads);
@@ -362,7 +363,7 @@ CorpusReport srp::gen::runCorpus(const CorpusOptions &Opts,
     }
 
     std::vector<std::string> Sources(N);
-    std::vector<PipelineJob> Jobs;
+    std::vector<CompileJob> Jobs;
     Jobs.reserve(size_t(N) * JPP);
     for (unsigned I = 0; I != N; ++I) {
       auto [Seed, P] = Picks[I];

@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The instrumented pass-manager layer underneath `srp::runPipeline`: each
+/// The instrumented pass-manager layer underneath `srp::PipelineBuilder`:
+/// each
 /// pipeline stage (mem2reg, canonicalise, memory-ssa, profile, promotion,
 /// cleanup, measure, pressure) runs as a named pass with
 ///

@@ -19,18 +19,13 @@
 #include "support/Remarks.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
-#include "support/Trace.h"
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 using namespace srp;
 
 namespace {
 SRP_STATISTIC(NumPipelineRuns, "pipeline", "runs",
               "Pipeline executions (all modes)");
-SRP_STATISTIC(NumParallelJobs, "pipeline", "parallel-jobs",
-              "Jobs executed through runPipelineParallel");
 } // namespace
 
 StaticCounts srp::countStaticMemOps(const Function &F) {
@@ -306,64 +301,3 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
   return R;
 }
 
-PipelineResult srp::runPipeline(const std::string &Source,
-                                const PipelineOptions &Opts) {
-  return PipelineBuilder().options(Opts).run(SourceText(Source));
-}
-
-PipelineResult srp::runPipeline(std::unique_ptr<Module> M,
-                                const PipelineOptions &Opts) {
-  return PipelineBuilder().options(Opts).run(std::move(M));
-}
-
-std::vector<PipelineResult>
-srp::runPipelineParallel(const std::vector<PipelineJob> &Jobs,
-                         unsigned Threads) {
-  std::vector<PipelineResult> Results(Jobs.size());
-  if (Jobs.empty())
-    return Results;
-
-  if (Threads == 0)
-    Threads = std::max(1u, std::thread::hardware_concurrency());
-  Threads = std::min<unsigned>(Threads, static_cast<unsigned>(Jobs.size()));
-
-  std::atomic<size_t> Next{0};
-  std::atomic<int64_t> Completed{0};
-  // Pooled workers name their trace track and pin it with a start marker
-  // (a worker that loses every queue race would otherwise leave no track).
-  // The single-threaded path stays on the caller's track.
-  auto Worker = [&](unsigned WorkerId, bool Pooled) {
-    if (Pooled && trace::enabled()) {
-      trace::setThreadName("worker-" + std::to_string(WorkerId));
-      trace::instant("job", "worker-start");
-    }
-    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-         I < Jobs.size();
-         I = Next.fetch_add(1, std::memory_order_relaxed)) {
-      {
-        TraceSpan Span;
-        if (trace::enabled())
-          Span.begin("job", Jobs[I].Name);
-        Results[I] =
-            PipelineBuilder().options(Jobs[I].Opts).run(Jobs[I].Source);
-      }
-      ++NumParallelJobs;
-      const int64_t Done = Completed.fetch_add(1, std::memory_order_relaxed);
-      if (trace::enabled())
-        trace::counter("job", "jobs-completed", "jobs", Done + 1);
-    }
-  };
-
-  if (Threads <= 1) {
-    Worker(0, /*Pooled=*/false);
-    return Results;
-  }
-
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (unsigned T = 0; T != Threads; ++T)
-    Pool.emplace_back(Worker, T, /*Pooled=*/true);
-  for (std::thread &T : Pool)
-    T.join();
-  return Results;
-}

@@ -21,8 +21,9 @@
 ///                          .entry("main")
 ///                          .run(Source);
 ///
-/// The free runPipeline functions are thin deprecated wrappers kept for
-/// existing callers.
+/// Job-granular entry points (CompileJob / runCompileJob /
+/// runPipelineParallel) live in pipeline/Job.h; the historical free
+/// runPipeline wrappers are gone.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -149,33 +150,6 @@ public:
   /// point into the module owned by that run's PipelineResult.
   AnalysisManager *analysisManager() { return AM.get(); }
 };
-
-/// Deprecated: use PipelineBuilder().options(Opts).run(Source).
-PipelineResult runPipeline(const std::string &Source,
-                           const PipelineOptions &Opts = {});
-
-/// Deprecated: use PipelineBuilder().options(Opts).run(std::move(M)).
-PipelineResult runPipeline(std::unique_ptr<Module> M,
-                           const PipelineOptions &Opts = {});
-
-/// One unit of work for the parallel workload driver. Source is shared
-/// immutable storage: building a workload x mode matrix copies pointers,
-/// not program text.
-struct PipelineJob {
-  std::string Name;   ///< label for reports ("compress.mc/paper")
-  SourceText Source;  ///< Mini-C source (shared, immutable)
-  PipelineOptions Opts;
-};
-
-/// Runs every job through the pipeline on a pool of \p Threads worker
-/// threads (0 = hardware concurrency, clamped to the job count;
-/// 1 = sequential in the calling thread). Results are returned in job
-/// order and are identical to running the jobs sequentially: jobs share
-/// no mutable state except the statistics registry, whose counters are
-/// atomic and accumulate order-independently.
-std::vector<PipelineResult>
-runPipelineParallel(const std::vector<PipelineJob> &Jobs,
-                    unsigned Threads = 0);
 
 } // namespace srp
 

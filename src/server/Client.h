@@ -1,0 +1,70 @@
+//===- server/Client.h - Compile-server client ------------------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the compile-server protocol: one blocking connection
+/// over the unix-domain socket, used by `srpc --connect`, the bench load
+/// generator, and the server tests. A Client is not thread-safe; the
+/// load generator opens one per worker thread (which also exercises the
+/// server's multi-connection path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SERVER_CLIENT_H
+#define SRP_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+#include <string>
+
+namespace srp {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { disconnect(); }
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the server socket. Returns false with \p Err set on
+  /// failure (no server, permission, path too long).
+  bool connect(const std::string &SocketPath, std::string &Err);
+  void disconnect();
+  bool connected() const { return FD >= 0; }
+
+  /// Sends one request line and reads one response line. Lines are
+  /// paired 1:1 per connection, so no id matching is needed here.
+  bool roundTrip(const std::string &RequestLine, std::string &ResponseLine,
+                 std::string &Err);
+
+  /// Submits \p Job and decodes the response. Returns false with \p Err
+  /// set on transport or protocol errors; pipeline failures come back as
+  /// true with Out.Ok == false.
+  bool compile(const CompileJob &Job, CompileResponse &Out,
+               std::string &Err);
+
+  /// {"op":"ping"} — true if the server answered with ok:true.
+  bool ping(std::string &Err);
+
+  /// {"op":"stats"} — raw JSON stats object text in \p StatsJson.
+  bool requestStats(std::string &StatsJson, std::string &Err);
+
+  /// {"op":"shutdown"} — asks the server to drain and exit.
+  bool requestShutdown(std::string &Err);
+
+private:
+  bool sendLine(const std::string &Line, std::string &Err);
+  bool recvLine(std::string &Line, std::string &Err);
+
+  int FD = -1;
+  uint64_t NextId = 1;
+  std::string Buf; ///< bytes read past the last newline
+};
+
+} // namespace server
+} // namespace srp
+
+#endif // SRP_SERVER_CLIENT_H

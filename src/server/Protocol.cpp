@@ -1,0 +1,188 @@
+//===- server/Protocol.cpp - Compile-server wire protocol -----------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "analysis/StaticAnalysis.h"
+#include <cstdio>
+
+using namespace srp;
+using namespace srp::server;
+
+std::string srp::server::encodeCompileRequest(const CompileJob &Job,
+                                              uint64_t Id) {
+  const PipelineOptions Defaults;
+  json::Value R = json::Value::object();
+  R.set("op", json::Value::string("compile"));
+  R.set("id", json::Value::integer(static_cast<int64_t>(Id)));
+  if (!Job.Name.empty())
+    R.set("name", json::Value::string(Job.Name));
+  R.set("source", json::Value::string(Job.Source.str()));
+  if (Job.InputIsIR)
+    R.set("ir", json::Value::boolean(true));
+
+  const PipelineOptions &O = Job.Opts;
+  if (O.Mode != Defaults.Mode)
+    R.set("mode", json::Value::string(promotionModeName(O.Mode)));
+  if (O.EntryFunction != Defaults.EntryFunction)
+    R.set("entry", json::Value::string(O.EntryFunction));
+  {
+    Strictness S = O.VerifyEachStep ? O.VerifyStrictness : Strictness::Off;
+    Strictness DS = Defaults.VerifyEachStep ? Defaults.VerifyStrictness
+                                            : Strictness::Off;
+    if (S != DS)
+      R.set("verify", json::Value::string(strictnessName(S)));
+  }
+  if (O.Interp != Defaults.Interp)
+    R.set("interp", json::Value::string(interpEngineName(O.Interp)));
+  if (O.MeasurePressure != Defaults.MeasurePressure)
+    R.set("measure_pressure", json::Value::boolean(O.MeasurePressure));
+  if (O.DisableAnalysisCache != Defaults.DisableAnalysisCache)
+    R.set("no_analysis_cache",
+          json::Value::boolean(O.DisableAnalysisCache));
+  if (O.Promo.AllowStoreElimination !=
+      Defaults.Promo.AllowStoreElimination)
+    R.set("store_elim",
+          json::Value::boolean(O.Promo.AllowStoreElimination));
+  if (O.Promo.WebGranularity != Defaults.Promo.WebGranularity)
+    R.set("web_granularity",
+          json::Value::boolean(O.Promo.WebGranularity));
+  if (O.Promo.CountBoundaryOps != Defaults.Promo.CountBoundaryOps)
+    R.set("boundary_cost",
+          json::Value::boolean(O.Promo.CountBoundaryOps));
+  if (O.Promo.DirectAliasedStores != Defaults.Promo.DirectAliasedStores)
+    R.set("direct_stores",
+          json::Value::boolean(O.Promo.DirectAliasedStores));
+  if (O.Promo.ProfitThreshold != Defaults.Promo.ProfitThreshold)
+    R.set("profit_threshold",
+          json::Value::integer(O.Promo.ProfitThreshold));
+  return R.dump();
+}
+
+bool srp::server::decodeCompileRequest(const json::Value &Req,
+                                       CompileJob &Job, uint64_t &Id,
+                                       std::string &Err) {
+  if (!Req.isObject()) {
+    Err = "request is not an object";
+    return false;
+  }
+  Id = static_cast<uint64_t>(Req.get("id").asInt(0));
+  const json::Value *Source = Req.find("source");
+  if (!Source || !Source->isString()) {
+    Err = "missing required string field 'source'";
+    return false;
+  }
+  Job.Source = SourceText(Source->asString());
+  Job.Name = Req.get("name").asString("<remote>");
+  Job.InputIsIR = Req.get("ir").asBool(false);
+
+  PipelineOptions &O = Job.Opts;
+  if (const json::Value *V = Req.find("mode")) {
+    if (!parsePromotionMode(V->asString(), O.Mode)) {
+      Err = "unknown mode '" + V->asString() + "'";
+      return false;
+    }
+  }
+  if (const json::Value *V = Req.find("entry"))
+    O.EntryFunction = V->asString();
+  if (const json::Value *V = Req.find("verify")) {
+    Strictness S;
+    if (!parseStrictness(V->asString(), S)) {
+      Err = "unknown strictness '" + V->asString() + "'";
+      return false;
+    }
+    O.VerifyStrictness = S;
+    O.VerifyEachStep = S != Strictness::Off;
+  }
+  if (const json::Value *V = Req.find("interp")) {
+    if (!parseInterpEngine(V->asString(), O.Interp)) {
+      Err = "unknown interpreter engine '" + V->asString() + "'";
+      return false;
+    }
+  }
+  if (const json::Value *V = Req.find("measure_pressure"))
+    O.MeasurePressure = V->asBool(O.MeasurePressure);
+  if (const json::Value *V = Req.find("no_analysis_cache"))
+    O.DisableAnalysisCache = V->asBool(O.DisableAnalysisCache);
+  if (const json::Value *V = Req.find("store_elim"))
+    O.Promo.AllowStoreElimination = V->asBool(true);
+  if (const json::Value *V = Req.find("web_granularity"))
+    O.Promo.WebGranularity = V->asBool(true);
+  if (const json::Value *V = Req.find("boundary_cost"))
+    O.Promo.CountBoundaryOps = V->asBool(true);
+  if (const json::Value *V = Req.find("direct_stores"))
+    O.Promo.DirectAliasedStores = V->asBool(false);
+  if (const json::Value *V = Req.find("profit_threshold"))
+    O.Promo.ProfitThreshold = V->asInt(0);
+  return true;
+}
+
+std::string srp::server::encodeCompileResponse(uint64_t Id,
+                                               const JobCache::Entry &E,
+                                               bool CacheHit) {
+  json::Value R = json::Value::object();
+  R.set("id", json::Value::integer(static_cast<int64_t>(Id)));
+  R.set("ok", json::Value::boolean(E.Ok));
+  R.set("cache_hit", json::Value::boolean(CacheHit));
+  R.set("exit_value", json::Value::integer(E.ExitValue));
+  json::Value Out = json::Value::array();
+  for (int64_t V : E.Output)
+    Out.push(json::Value::integer(V));
+  R.set("output", std::move(Out));
+  char HashBuf[32];
+  std::snprintf(HashBuf, sizeof(HashBuf), "%016llx",
+                static_cast<unsigned long long>(E.FinalMemoryHash));
+  R.set("final_memory_hash", json::Value::string(HashBuf));
+  json::Value Errs = json::Value::array();
+  for (const std::string &M : E.Errors)
+    Errs.push(json::Value::string(M));
+  R.set("errors", std::move(Errs));
+  R.set("report", json::Value::string(E.ReportJson));
+  return R.dump();
+}
+
+std::string srp::server::encodeErrorResponse(uint64_t Id,
+                                             const std::string &Msg) {
+  json::Value R = json::Value::object();
+  R.set("id", json::Value::integer(static_cast<int64_t>(Id)));
+  R.set("ok", json::Value::boolean(false));
+  R.set("error", json::Value::string(Msg));
+  return R.dump();
+}
+
+bool srp::server::decodeCompileResponse(const json::Value &Resp,
+                                        CompileResponse &Out,
+                                        std::string &Err) {
+  if (!Resp.isObject()) {
+    Err = "response is not an object";
+    return false;
+  }
+  Out.Id = static_cast<uint64_t>(Resp.get("id").asInt(0));
+  Out.Ok = Resp.get("ok").asBool(false);
+  Out.CacheHit = Resp.get("cache_hit").asBool(false);
+  Out.ExitValue = Resp.get("exit_value").asInt(0);
+  Out.Output.clear();
+  for (const json::Value &V : Resp.get("output").items())
+    Out.Output.push_back(V.asInt(0));
+  Out.FinalMemoryHash = 0;
+  {
+    const std::string &Hex = Resp.get("final_memory_hash").asString();
+    for (char C : Hex) {
+      Out.FinalMemoryHash <<= 4;
+      if (C >= '0' && C <= '9')
+        Out.FinalMemoryHash |= uint64_t(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out.FinalMemoryHash |= uint64_t(C - 'a' + 10);
+    }
+  }
+  Out.Errors.clear();
+  for (const json::Value &V : Resp.get("errors").items())
+    Out.Errors.push_back(V.asString());
+  if (const json::Value *E = Resp.find("error"))
+    if (E->isString() && !E->asString().empty())
+      Out.Errors.push_back(E->asString());
+  Out.ReportJson = Resp.get("report").asString();
+  return true;
+}

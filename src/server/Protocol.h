@@ -1,0 +1,81 @@
+//===- server/Protocol.h - Compile-server wire protocol --------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The newline-delimited JSON protocol the compile server speaks over
+/// its unix-domain socket (docs/SERVER.md). Every message is one JSON
+/// object on one line; requests carry an "op" discriminator:
+///
+///   {"op":"compile","id":1,"name":"loop.mc","source":"...","mode":"paper"}
+///   {"op":"ping"} / {"op":"stats"} / {"op":"shutdown"}
+///
+/// A compile response echoes the id and carries the behavioural fields
+/// (exit value, printed output, final-memory digest) plus the complete
+/// `srpc --stats-json` report as an embedded string — the exact bytes
+/// resultToJson produced, so a client can print a report byte-identical
+/// to a local run.
+///
+/// Encode/decode here is shared by the server loop, the client
+/// (`srpc --connect`), and the bench load generator, so the two sides
+/// cannot drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SERVER_PROTOCOL_H
+#define SRP_SERVER_PROTOCOL_H
+
+#include "pipeline/Job.h"
+#include "support/JSON.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srp {
+namespace server {
+
+/// Bumped on incompatible wire changes; ping reports it.
+constexpr int ProtocolVersion = 1;
+
+/// Decoded compile response (the client-side view of a JobResult).
+struct CompileResponse {
+  uint64_t Id = 0;
+  bool Ok = false;
+  bool CacheHit = false;
+  int64_t ExitValue = 0;
+  std::vector<int64_t> Output;
+  uint64_t FinalMemoryHash = 0;
+  std::vector<std::string> Errors; ///< pipeline or protocol errors
+  std::string ReportJson;          ///< the full --stats-json document
+};
+
+/// Serialises \p Job as a one-line compile request. Every option that
+/// differs from the PipelineOptions defaults is spelled explicitly;
+/// defaults are omitted, so requests stay small and forward-compatible.
+std::string encodeCompileRequest(const CompileJob &Job, uint64_t Id);
+
+/// Rebuilds a CompileJob from a parsed compile request. Unknown fields
+/// are ignored (forward compatibility); bad values (unknown mode,
+/// engine, strictness) fail with \p Err set. "source" is required.
+bool decodeCompileRequest(const json::Value &Req, CompileJob &Job,
+                          uint64_t &Id, std::string &Err);
+
+/// Serialises a finished job (via its cache entry, which carries
+/// exactly the response fields) as a one-line compile response.
+std::string encodeCompileResponse(uint64_t Id, const JobCache::Entry &E,
+                                  bool CacheHit);
+
+/// Serialises a protocol-level failure for \p Id ("ok":false plus a
+/// top-level "error" string, no report).
+std::string encodeErrorResponse(uint64_t Id, const std::string &Msg);
+
+/// Decodes any compile response (success or error) into \p Out.
+bool decodeCompileResponse(const json::Value &Resp, CompileResponse &Out,
+                           std::string &Err);
+
+} // namespace server
+} // namespace srp
+
+#endif // SRP_SERVER_PROTOCOL_H

@@ -1,0 +1,161 @@
+//===- support/JSON.h - Minimal JSON value, parser, writer -----*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON layer for the compile-server protocol
+/// (docs/SERVER.md) and the tools that consume srpc reports. The repo
+/// already *emits* JSON in several places (statistics, pass records,
+/// remarks, traces); this adds the missing half — parsing — plus a
+/// writer used for newline-delimited protocol messages.
+///
+/// Scope is deliberately narrow: UTF-8 text, no comments, numbers kept
+/// as int64 when they round-trip exactly (the protocol's ids and
+/// counters) and double otherwise. Object member order is preserved so
+/// serialisation is byte-stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_JSON_H
+#define SRP_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace srp {
+namespace json {
+
+/// One JSON value. Objects keep insertion order (vector of pairs) so a
+/// decode -> encode round trip is byte-stable.
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+
+public:
+  Value() = default;
+  static Value null() { return Value(); }
+  static Value boolean(bool V) {
+    Value R;
+    R.K = Kind::Bool;
+    R.B = V;
+    return R;
+  }
+  static Value integer(int64_t V) {
+    Value R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value number(double V) {
+    Value R;
+    R.K = Kind::Double;
+    R.D = V;
+    return R;
+  }
+  static Value string(std::string V) {
+    Value R;
+    R.K = Kind::String;
+    R.S = std::move(V);
+    return R;
+  }
+  static Value array() {
+    Value R;
+    R.K = Kind::Array;
+    return R;
+  }
+  static Value object() {
+    Value R;
+    R.K = Kind::Object;
+    return R;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+  int64_t asInt(int64_t Default = 0) const {
+    if (K == Kind::Int)
+      return I;
+    if (K == Kind::Double)
+      return static_cast<int64_t>(D);
+    return Default;
+  }
+  double asDouble(double Default = 0) const {
+    if (K == Kind::Double)
+      return D;
+    if (K == Kind::Int)
+      return static_cast<double>(I);
+    return Default;
+  }
+  const std::string &asString() const { return S; }
+  std::string asString(const std::string &Default) const {
+    return K == Kind::String ? S : Default;
+  }
+
+  // Array access.
+  const std::vector<Value> &items() const { return Arr; }
+  void push(Value V) { Arr.push_back(std::move(V)); }
+  size_t size() const {
+    return K == Kind::Array ? Arr.size() : Obj.size();
+  }
+
+  // Object access. get() returns null for missing keys; has() tests.
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Obj;
+  }
+  const Value *find(const std::string &Key) const {
+    for (const auto &[Name, V] : Obj)
+      if (Name == Key)
+        return &V;
+    return nullptr;
+  }
+  bool has(const std::string &Key) const { return find(Key) != nullptr; }
+  const Value &get(const std::string &Key) const {
+    static const Value Null;
+    const Value *V = find(Key);
+    return V ? *V : Null;
+  }
+  /// Appends (or replaces) a member, preserving first-set order.
+  void set(const std::string &Key, Value V);
+
+  /// Serialises compactly (no insignificant whitespace) — one line as
+  /// long as no string contains a raw newline, which escaping prevents.
+  std::string dump() const;
+};
+
+/// Parses \p Text into \p Out. On failure returns false and sets \p Err
+/// to "offset N: message". Trailing whitespace is allowed; trailing
+/// garbage is an error.
+bool parse(const std::string &Text, Value &Out, std::string &Err);
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+std::string escape(const std::string &S);
+
+} // namespace json
+} // namespace srp
+
+#endif // SRP_SUPPORT_JSON_H

@@ -1,0 +1,126 @@
+//===- support/Options.cpp - Shared CLI argument parser ------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+#include <cstdio>
+
+using namespace srp;
+using namespace srp::opt;
+
+OptionParser::OptionParser(std::string Tool, std::string ArgsSummary)
+    : Tool(std::move(Tool)), ArgsSummary(std::move(ArgsSummary)) {}
+
+void OptionParser::flag(const std::string &Name, const std::string &Help,
+                        FlagFn Fn) {
+  Options.push_back({Name, "", Help, std::move(Fn), nullptr});
+}
+
+void OptionParser::value(const std::string &Name, const std::string &ArgSpec,
+                         const std::string &Help, ValueFn Fn) {
+  Options.push_back({Name, ArgSpec, Help, nullptr, std::move(Fn)});
+}
+
+void OptionParser::positional(const std::string &Placeholder,
+                              PositionalFn Fn) {
+  PositionalPlaceholder = Placeholder;
+  Positional = std::move(Fn);
+}
+
+const OptionParser::Option *OptionParser::lookup(const std::string &Name,
+                                                 bool Valued) const {
+  for (const Option &O : Options)
+    if (O.Name == Name && (O.Value != nullptr) == Valued)
+      return &O;
+  return nullptr;
+}
+
+std::string OptionParser::helpText() const {
+  std::string Out = "usage: " + Tool;
+  if (!ArgsSummary.empty())
+    Out += " " + ArgsSummary;
+  Out += "\n";
+  // Column width: longest "-name=<spec>" spelling, capped so one
+  // pathological option does not push every description off-screen.
+  size_t Width = 0;
+  for (const Option &O : Options) {
+    size_t W = 1 + O.Name.size() +
+               (O.ArgSpec.empty() ? 0 : 1 + O.ArgSpec.size());
+    if (W > Width && W <= 26)
+      Width = W;
+  }
+  for (const Option &O : Options) {
+    std::string Spelling = "-" + O.Name;
+    if (!O.ArgSpec.empty())
+      Spelling += "=" + O.ArgSpec;
+    Out += "  " + Spelling;
+    // Multi-line help: continuation lines are indented to the column.
+    size_t Pad = Spelling.size() < Width ? Width - Spelling.size() : 0;
+    std::string Indent(Width + 4, ' ');
+    Out += std::string(Pad + 2, ' ');
+    for (size_t P = 0; P < O.Help.size();) {
+      size_t NL = O.Help.find('\n', P);
+      if (P)
+        Out += Indent;
+      Out += O.Help.substr(P, NL == std::string::npos ? NL : NL - P);
+      Out += "\n";
+      if (NL == std::string::npos)
+        break;
+      P = NL + 1;
+    }
+    if (O.Help.empty())
+      Out += "\n";
+  }
+  Out += "  (options may be spelled with either - or --)\n";
+  if (!Epilog.empty())
+    Out += Epilog + "\n";
+  return Out;
+}
+
+ParseResult OptionParser::parse(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "-h" || A == "-help" || A == "--help") {
+      std::fputs(helpText().c_str(), stderr);
+      return ParseResult::Help;
+    }
+    if (!A.empty() && A[0] == '-' && A.size() > 1) {
+      // Normalise --opt to -opt, then strip the remaining dash.
+      std::string Name = A.substr(A.rfind("--", 0) == 0 ? 2 : 1);
+      size_t Eq = Name.find('=');
+      if (Eq != std::string::npos) {
+        std::string Val = Name.substr(Eq + 1);
+        Name.resize(Eq);
+        if (const Option *O = lookup(Name, /*Valued=*/true)) {
+          if (!O->Value(Val)) {
+            std::fprintf(stderr, "error: invalid value '%s' for -%s\n",
+                         Val.c_str(), Name.c_str());
+            return ParseResult::Error;
+          }
+          continue;
+        }
+        // `-flag=...` where flag takes no value is an error below.
+      } else if (const Option *O = lookup(Name, /*Valued=*/false)) {
+        O->Flag();
+        continue;
+      } else if (lookup(Name, /*Valued=*/true)) {
+        std::fprintf(stderr, "error: option -%s requires a value (-%s=...)\n",
+                     Name.c_str(), Name.c_str());
+        return ParseResult::Error;
+      }
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      std::fputs(helpText().c_str(), stderr);
+      return ParseResult::Error;
+    }
+    if (Positional) {
+      Positional(A);
+      continue;
+    }
+    std::fprintf(stderr, "error: unexpected argument '%s'\n", A.c_str());
+    std::fputs(helpText().c_str(), stderr);
+    return ParseResult::Error;
+  }
+  return ParseResult::Ok;
+}

@@ -1,0 +1,98 @@
+//===- support/Options.h - Shared CLI argument parser ----------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One table-driven argument parser for every CLI in the repo (srpc,
+/// srp-gen, srp-corpus, srp-reduce, the benches). Before this existed
+/// each tool hand-rolled its own `rfind("-opt=", 0)` loop and its own
+/// usage() text, and they disagreed on single- versus double-dash
+/// spelling; the parser accepts both prefixes for every option and
+/// generates --help from the table, so the help text can never drift
+/// from what is actually parsed.
+///
+///   OptionParser OP("srpc", "[options] file.mc");
+///   OP.flag("quiet", "do not echo program output", [&] { Quiet = true; });
+///   OP.value("mode", "<none|paper|...>", "promotion mode",
+///            [&](const std::string &V) { return parseMode(V); });
+///   OP.positional("file.mc", [&](const std::string &V) { File = V; });
+///   switch (OP.parse(argc, argv)) { ... }
+///
+/// Value handlers return false to reject the argument (the parser
+/// prints "error: invalid value ..." and fails); flags cannot fail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_OPTIONS_H
+#define SRP_SUPPORT_OPTIONS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace srp {
+namespace opt {
+
+/// Outcome of OptionParser::parse.
+enum class ParseResult {
+  Ok,    ///< all arguments consumed; proceed
+  Help,  ///< --help was requested and printed; exit 0
+  Error, ///< bad option/value; message printed; exit 2
+};
+
+class OptionParser {
+public:
+  using FlagFn = std::function<void()>;
+  using ValueFn = std::function<bool(const std::string &)>;
+  using PositionalFn = std::function<void(const std::string &)>;
+
+  /// \p Tool is the program name for usage lines; \p ArgsSummary the
+  /// trailing part of the usage line (e.g. "[options] file.mc").
+  OptionParser(std::string Tool, std::string ArgsSummary);
+
+  /// A boolean option: `-name` / `--name`.
+  void flag(const std::string &Name, const std::string &Help, FlagFn Fn);
+
+  /// A valued option: `-name=<arg>` / `--name=<arg>`. \p ArgSpec is the
+  /// help-text placeholder ("<n>", "<none|paper|...>").
+  void value(const std::string &Name, const std::string &ArgSpec,
+             const std::string &Help, ValueFn Fn);
+
+  /// Accept bare (non-dash) arguments. Without this, positionals are
+  /// errors. Called once per positional, in order.
+  void positional(const std::string &Placeholder, PositionalFn Fn);
+
+  /// Extra lines appended verbatim to --help (cross-references etc.).
+  void epilog(std::string Text) { Epilog = std::move(Text); }
+
+  /// Parses argv[1..argc). -h/-help/--help print help to stderr and
+  /// return Help. Unknown options and rejected values print an error
+  /// plus the help text and return Error.
+  ParseResult parse(int argc, char **argv);
+
+  /// The generated help text (also printed by parse on Help/Error).
+  std::string helpText() const;
+
+private:
+  struct Option {
+    std::string Name;    // without dashes
+    std::string ArgSpec; // empty for flags
+    std::string Help;
+    FlagFn Flag;
+    ValueFn Value;
+  };
+
+  std::string Tool, ArgsSummary, Epilog;
+  std::vector<Option> Options;
+  std::string PositionalPlaceholder;
+  PositionalFn Positional;
+
+  const Option *lookup(const std::string &Name, bool Valued) const;
+};
+
+} // namespace opt
+} // namespace srp
+
+#endif // SRP_SUPPORT_OPTIONS_H

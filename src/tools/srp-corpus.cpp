@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gen/Corpus.h"
+#include "support/Options.h"
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,27 +32,6 @@ using namespace srp;
 using namespace srp::gen;
 
 namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: srp-corpus [options]\n"
-      "  -seeds=<n>         programs to sweep (default 50)\n"
-      "  -first-seed=<n>    first seed (default 1)\n"
-      "  -threads=<n>       worker threads (default 0 = hardware)\n"
-      "  -batch=<n>         seeds per parallel batch (default 32)\n"
-      "  -verify=<off|fast|full>  between-pass verification depth\n"
-      "                     (default full; the fuzz contract)\n"
-      "  -no-parity         skip the walk-vs-bytecode parity runs\n"
-      "  -no-feedback       disable coverage-guided profile steering\n"
-      "  -max-failures=<n>  stop after n failures (default 16)\n"
-      "  -require-coverage  exit 1 if any required promoter or rejection\n"
-      "                     reason never fired during the sweep\n"
-      "  -save-failures=<dir>  write each failing program to dir/seedN.mc\n"
-      "  -json              print the report as JSON instead of text\n"
-      "  -quiet             no per-batch progress lines\n"
-      "  (options may also be spelled with a leading --)\n");
-}
 
 void printCoverage(const CorpusReport &R) {
   std::printf("coverage: promoters");
@@ -125,51 +105,77 @@ int main(int argc, char **argv) {
   bool RequireCoverage = false, Json = false, Quiet = false;
   std::string SaveDir;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A.rfind("--", 0) == 0)
-      A.erase(0, 1);
-    if (A.rfind("-seeds=", 0) == 0) {
-      Opts.Count = unsigned(std::strtoul(A.c_str() + 7, nullptr, 10));
-    } else if (A.rfind("-first-seed=", 0) == 0) {
-      Opts.FirstSeed = std::strtoull(A.c_str() + 12, nullptr, 10);
-    } else if (A.rfind("-threads=", 0) == 0) {
-      Opts.Threads = unsigned(std::strtoul(A.c_str() + 9, nullptr, 10));
-    } else if (A.rfind("-batch=", 0) == 0) {
-      Opts.BatchSize = unsigned(std::strtoul(A.c_str() + 7, nullptr, 10));
-    } else if (A.rfind("-max-failures=", 0) == 0) {
-      Opts.MaxFailures =
-          unsigned(std::strtoul(A.c_str() + 14, nullptr, 10));
-    } else if (A == "-verify=off") {
-      Opts.Check.VerifyEachStep = false;
-    } else if (A == "-verify=fast") {
-      Opts.Check.Verify = Strictness::Fast;
-    } else if (A == "-verify=full") {
-      Opts.Check.Verify = Strictness::Full;
-    } else if (A == "-no-parity") {
-      Opts.Check.EngineParity = false;
-    } else if (A == "-no-feedback") {
-      Opts.Feedback = false;
-    } else if (A == "-require-coverage") {
-      RequireCoverage = true;
-    } else if (A.rfind("-save-failures=", 0) == 0) {
-      SaveDir = A.substr(15);
-    } else if (A == "-json") {
-      Json = true;
-    } else if (A == "-quiet") {
-      Quiet = true;
-    } else if (A == "-help" || A == "-h") {
-      usage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
-      usage();
-      return 2;
-    }
-  }
-  if (!Opts.Count || !Opts.BatchSize || !Opts.MaxFailures) {
-    std::fprintf(stderr, "error: -seeds, -batch and -max-failures must be "
-                         "positive\n");
+  auto parseU = [](const std::string &V, unsigned &Out) {
+    if (V.empty())
+      return false;
+    for (char C : V)
+      if (C < '0' || C > '9')
+        return false;
+    Out = unsigned(std::strtoul(V.c_str(), nullptr, 10));
+    return Out > 0;
+  };
+
+  opt::OptionParser OP("srp-corpus", "[options]");
+  OP.value("seeds", "<n>", "programs to sweep (default 50)",
+           [&](const std::string &V) { return parseU(V, Opts.Count); });
+  OP.value("first-seed", "<n>", "first seed (default 1)",
+           [&](const std::string &V) {
+             Opts.FirstSeed = std::strtoull(V.c_str(), nullptr, 10);
+             return !V.empty();
+           });
+  OP.value("threads", "<n>", "worker threads (default 0 = hardware)",
+           [&](const std::string &V) {
+             Opts.Threads = unsigned(std::strtoul(V.c_str(), nullptr, 10));
+             return !V.empty();
+           });
+  OP.value("batch", "<n>", "seeds per parallel batch (default 32)",
+           [&](const std::string &V) { return parseU(V, Opts.BatchSize); });
+  OP.value("max-failures", "<n>", "stop after n failures (default 16)",
+           [&](const std::string &V) {
+             return parseU(V, Opts.MaxFailures);
+           });
+  OP.value("verify", "<off|fast|full>",
+           "between-pass verification depth (default full; the fuzz "
+           "contract)",
+           [&](const std::string &V) {
+             if (V == "off") {
+               Opts.Check.VerifyEachStep = false;
+               return true;
+             }
+             if (V == "fast") {
+               Opts.Check.Verify = Strictness::Fast;
+               return true;
+             }
+             if (V == "full") {
+               Opts.Check.Verify = Strictness::Full;
+               return true;
+             }
+             return false;
+           });
+  OP.flag("no-parity", "skip the walk-vs-bytecode parity runs",
+          [&] { Opts.Check.EngineParity = false; });
+  OP.flag("no-feedback", "disable coverage-guided profile steering",
+          [&] { Opts.Feedback = false; });
+  OP.flag("require-coverage",
+          "exit 1 if any required promoter or rejection reason never "
+          "fired during the sweep",
+          [&] { RequireCoverage = true; });
+  OP.value("save-failures", "<dir>",
+           "write each failing program to dir/seedN.mc",
+           [&](const std::string &V) {
+             SaveDir = V;
+             return !V.empty();
+           });
+  OP.flag("json", "print the report as JSON instead of text",
+          [&] { Json = true; });
+  OP.flag("quiet", "no per-batch progress lines", [&] { Quiet = true; });
+
+  switch (OP.parse(argc, argv)) {
+  case opt::ParseResult::Ok:
+    break;
+  case opt::ParseResult::Help:
+    return 0;
+  case opt::ParseResult::Error:
     return 2;
   }
 

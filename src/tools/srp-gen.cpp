@@ -20,31 +20,13 @@
 
 #include "gen/Corpus.h"
 #include "gen/ProgramGen.h"
+#include "support/Options.h"
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+using namespace srp;
 using namespace srp::gen;
-
-namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: srp-gen [options]\n"
-      "  -seed=<n>          first seed (default 1)\n"
-      "  -count=<n>         number of consecutive seeds to emit (default 1;\n"
-      "                     programs are separated by a '// seed N' banner)\n"
-      "  -profile=<name>    pin the shape profile (default: the per-seed\n"
-      "                     rotation biasedConfig uses); see -list-profiles\n"
-      "  -check             run each program through the differential\n"
-      "                     oracle / verification / parity stack and report\n"
-      "                     instead of printing it; exit 1 on any failure\n"
-      "  -list-profiles     print the shape profile names and exit\n"
-      "  (options may also be spelled with a leading --)\n");
-}
-
-} // namespace
 
 int main(int argc, char **argv) {
   uint64_t Seed = 1;
@@ -52,38 +34,43 @@ int main(int argc, char **argv) {
   bool HaveProfile = false, Check = false;
   ShapeProfile Profile = ShapeProfile::Default;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A.rfind("--", 0) == 0)
-      A.erase(0, 1);
-    if (A.rfind("-seed=", 0) == 0) {
-      Seed = std::strtoull(A.c_str() + 6, nullptr, 10);
-    } else if (A.rfind("-count=", 0) == 0) {
-      Count = unsigned(std::strtoul(A.c_str() + 7, nullptr, 10));
-    } else if (A.rfind("-profile=", 0) == 0) {
-      if (!parseShapeProfile(A.substr(9), Profile)) {
-        std::fprintf(stderr, "error: unknown profile '%s'\n",
-                     A.substr(9).c_str());
-        return 2;
-      }
-      HaveProfile = true;
-    } else if (A == "-check") {
-      Check = true;
-    } else if (A == "-list-profiles") {
-      for (ShapeProfile P : allShapeProfiles())
-        std::printf("%s\n", shapeProfileName(P));
-      return 0;
-    } else if (A == "-help" || A == "-h") {
-      usage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
-      usage();
-      return 2;
-    }
-  }
-  if (!Count) {
-    std::fprintf(stderr, "error: -count must be positive\n");
+  opt::OptionParser OP("srp-gen", "[options]");
+  OP.value("seed", "<n>", "first seed (default 1)",
+           [&](const std::string &V) {
+             Seed = std::strtoull(V.c_str(), nullptr, 10);
+             return !V.empty();
+           });
+  OP.value("count", "<n>",
+           "number of consecutive seeds to emit (default 1; programs are "
+           "separated by a '// seed N' banner)",
+           [&](const std::string &V) {
+             Count = unsigned(std::strtoul(V.c_str(), nullptr, 10));
+             return Count > 0;
+           });
+  OP.value("profile", "<name>",
+           "pin the shape profile (default: the per-seed rotation "
+           "biasedConfig uses); see -list-profiles",
+           [&](const std::string &V) {
+             HaveProfile = parseShapeProfile(V, Profile);
+             return HaveProfile;
+           });
+  OP.flag("check",
+          "run each program through the differential oracle / "
+          "verification / parity stack and report instead of printing "
+          "it; exit 1 on any failure",
+          [&] { Check = true; });
+  OP.flag("list-profiles", "print the shape profile names and exit", [&] {
+    for (ShapeProfile P : allShapeProfiles())
+      std::printf("%s\n", shapeProfileName(P));
+    std::exit(0);
+  });
+
+  switch (OP.parse(argc, argv)) {
+  case opt::ParseResult::Ok:
+    break;
+  case opt::ParseResult::Help:
+    return 0;
+  case opt::ParseResult::Error:
     return 2;
   }
 

@@ -19,6 +19,7 @@
 
 #include "gen/Corpus.h"
 #include "gen/Reducer.h"
+#include "support/Options.h"
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -28,68 +29,69 @@
 using namespace srp;
 using namespace srp::gen;
 
-namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: srp-reduce [options] file.mc\n"
-      "  -signature=<sig>   failure signature to preserve (default: what\n"
-      "                     the oracle stack reports for the input)\n"
-      "  -o=<file>          write the reduced program here (default: print\n"
-      "                     to stdout)\n"
-      "  -max-tests=<n>     oracle-run budget (default 2000)\n"
-      "  -max-passes=<n>    sweep-pass bound (default 12)\n"
-      "  -verify=<off|fast|full>  verification depth of the oracle runs\n"
-      "                     (default full)\n"
-      "  -no-parity         skip walk-vs-bytecode parity in the oracle\n"
-      "  -quiet             suppress the progress summary on stderr\n"
-      "  (options may also be spelled with a leading --)\n");
-}
-
-} // namespace
-
 int main(int argc, char **argv) {
   std::string File, OutFile, Signature;
   ReduceOptions RO;
   CheckOptions CO;
   bool Quiet = false;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A.rfind("--", 0) == 0)
-      A.erase(0, 1);
-    if (A.rfind("-signature=", 0) == 0) {
-      Signature = A.substr(11);
-    } else if (A.rfind("-o=", 0) == 0) {
-      OutFile = A.substr(3);
-    } else if (A.rfind("-max-tests=", 0) == 0) {
-      RO.MaxTests = unsigned(std::strtoul(A.c_str() + 11, nullptr, 10));
-    } else if (A.rfind("-max-passes=", 0) == 0) {
-      RO.MaxPasses = unsigned(std::strtoul(A.c_str() + 12, nullptr, 10));
-    } else if (A == "-verify=off") {
-      CO.VerifyEachStep = false;
-    } else if (A == "-verify=fast") {
-      CO.Verify = Strictness::Fast;
-    } else if (A == "-verify=full") {
-      CO.Verify = Strictness::Full;
-    } else if (A == "-no-parity") {
-      CO.EngineParity = false;
-    } else if (A == "-quiet") {
-      Quiet = true;
-    } else if (A == "-help" || A == "-h") {
-      usage();
-      return 0;
-    } else if (!A.empty() && A[0] == '-') {
-      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
-      usage();
-      return 2;
-    } else {
-      File = argv[I];
-    }
+  opt::OptionParser OP("srp-reduce", "[options] file.mc");
+  OP.value("signature", "<sig>",
+           "failure signature to preserve (default: what the oracle "
+           "stack reports for the input)",
+           [&](const std::string &V) {
+             Signature = V;
+             return !V.empty();
+           });
+  OP.value("o", "<file>",
+           "write the reduced program here (default: print to stdout)",
+           [&](const std::string &V) {
+             OutFile = V;
+             return !V.empty();
+           });
+  OP.value("max-tests", "<n>", "oracle-run budget (default 2000)",
+           [&](const std::string &V) {
+             RO.MaxTests = unsigned(std::strtoul(V.c_str(), nullptr, 10));
+             return RO.MaxTests > 0;
+           });
+  OP.value("max-passes", "<n>", "sweep-pass bound (default 12)",
+           [&](const std::string &V) {
+             RO.MaxPasses = unsigned(std::strtoul(V.c_str(), nullptr, 10));
+             return RO.MaxPasses > 0;
+           });
+  OP.value("verify", "<off|fast|full>",
+           "verification depth of the oracle runs (default full)",
+           [&](const std::string &V) {
+             if (V == "off") {
+               CO.VerifyEachStep = false;
+               return true;
+             }
+             if (V == "fast") {
+               CO.Verify = Strictness::Fast;
+               return true;
+             }
+             if (V == "full") {
+               CO.Verify = Strictness::Full;
+               return true;
+             }
+             return false;
+           });
+  OP.flag("no-parity", "skip walk-vs-bytecode parity in the oracle",
+          [&] { CO.EngineParity = false; });
+  OP.flag("quiet", "suppress the progress summary on stderr",
+          [&] { Quiet = true; });
+  OP.positional("file.mc", [&](const std::string &V) { File = V; });
+
+  switch (OP.parse(argc, argv)) {
+  case opt::ParseResult::Ok:
+    break;
+  case opt::ParseResult::Help:
+    return 0;
+  case opt::ParseResult::Error:
+    return 2;
   }
   if (File.empty()) {
-    usage();
+    std::fputs(OP.helpText().c_str(), stderr);
     return 2;
   }
 

@@ -6,18 +6,20 @@
 ///
 /// \file
 /// Command-line driver: compile a Mini-C file, optionally promote, run,
-/// and report. The "opt + lli" of this repository.
+/// and report. The "opt + lli" of this repository. Also the front door
+/// of the compile server (docs/SERVER.md):
 ///
 ///   srpc file.mc                      # promote (paper mode) and run
 ///   srpc -mode=none|paper|noprofile|baseline file.mc
-///   srpc -print-ir-before -print-ir-after file.mc
-///   srpc -no-store-elim -whole-variable -no-boundary-cost file.mc
-///   srpc -entry=driver file.mc        # run a different entry function
-///   srpc -stats file.mc               # promotion statistics
-///   srpc -quiet file.mc               # suppress program output
-///   srpc -analyze file.mc             # static analysis only (lints)
-///   srpc -analyze -diag-json file.mc  # ... as JSON diagnostics
-///   srpc -verify-each=full file.mc    # deep between-pass verification
+///   srpc -stats-json file.mc          # run report as JSON
+///   srpc -serve -socket=/tmp/s.sock   # long-running compile server
+///   srpc -connect -socket=/tmp/s.sock file.mc   # submit to a server
+///   srpc -connect -server-stats       # query server counters
+///   srpc -connect -shutdown           # drain and stop the server
+///
+/// One-shot, server, and client paths all speak the same job API
+/// (pipeline/Job.h), so `-stats-json` output is byte-identical whether
+/// the job ran in-process or on the other side of the socket.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,13 +27,15 @@
 #include "frontend/Lowering.h"
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
-#include "pipeline/Pipeline.h"
+#include "pipeline/Job.h"
+#include "server/Client.h"
+#include "server/Server.h"
 #include "ssa/MemorySSA.h"
+#include "support/Options.h"
 #include "support/Remarks.h"
 #include "support/Statistics.h"
 #include "support/Trace.h"
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -40,49 +44,88 @@ using namespace srp;
 
 namespace {
 
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: srpc [options] file.mc\n"
-      "  -mode=<none|paper|noprofile|baseline|superblock|memopt>  mode "
-      "(default paper)\n"
-      "  -entry=<name>        entry function (default main)\n"
-      "  -print-ir-before     dump IR before promotion\n"
-      "  -print-ir-after      dump IR after promotion\n"
-      "  -no-store-elim       keep stores (loads only)\n"
-      "  -whole-variable      disable SSA-web granularity\n"
-      "  -no-boundary-cost    use the paper's exact profit formula\n"
-      "  -direct-stores       improved aliased-store placement\n"
-      "  -no-analysis-cache   rebuild every analysis on each request\n"
-      "                       (also: SRP_DISABLE_ANALYSIS_CACHE=1)\n"
-      "  -interp=<bytecode|walk>  execution engine for the profile and\n"
-      "                       measurement runs (default bytecode; walk is\n"
-      "                       the reference tree-walker; also: SRP_INTERP)\n"
-      "  -analyze             static analysis only: run the IR checkers\n"
-      "                       and the source lints (uninitialized load,\n"
-      "                       dead store, unreachable code), don't run\n"
-      "                       the program; exit 1 on errors\n"
-      "  -diag-json           with -analyze, emit diagnostics as JSON\n"
-      "  -verify-each=<off|fast|full>  between-pass verification depth\n"
-      "                       (default fast; full adds the memory-SSA\n"
-      "                       walks, canonical-shape and promotion checks)\n"
-      "  -stats               print promotion statistics\n"
-      "  -counts              print static/dynamic memop counts\n"
-      "  -stats-json          emit run report (passes, statistics, counts)\n"
-      "                       as JSON on stdout (implies -quiet)\n"
-      "  -remarks-json=<file> write optimization remarks (per-web promote/\n"
-      "                       reject decisions with the profitability\n"
-      "                       inputs) as JSON; see docs/REMARKS.md\n"
-      "  -remarks-filter=<pass>  keep only remarks of one pass (promotion,\n"
-      "                       mem2reg, loop-promotion, superblock, cleanup,\n"
-      "                       pressure)\n"
-      "  -trace-out=<file>    write a Chrome trace (chrome://tracing /\n"
-      "                       Perfetto) of the run; see docs/OBSERVABILITY.md\n"
-      "  -time-passes         print per-pass wall times (text; with\n"
-      "                       -stats-json the times are in the JSON)\n"
-      "  -ir                  input is textual IR, not Mini-C\n"
-      "  -quiet               do not echo program output\n"
-      "  (options may also be spelled with a leading --)\n");
+/// Parses a non-negative integer option value.
+bool parseUnsigned(const std::string &V, unsigned &Out) {
+  if (V.empty())
+    return false;
+  unsigned long N = 0;
+  for (char C : V) {
+    if (C < '0' || C > '9')
+      return false;
+    N = N * 10 + static_cast<unsigned long>(C - '0');
+    if (N > 1000000)
+      return false;
+  }
+  Out = static_cast<unsigned>(N);
+  return true;
+}
+
+int runAnalyzeMode(const std::string &File, const std::string &Source,
+                   bool InputIsIR, bool DiagJson) {
+  // Static analysis mode: compile (without the implicit zero-init of
+  // locals, so a load-before-store is visible as a read of the entry
+  // memory version), run the layered IR checkers, then the source
+  // lints on the un-mem2reg'd IR. No execution, no transformation.
+  std::vector<std::string> Errors;
+  std::unique_ptr<Module> M;
+  if (InputIsIR) {
+    M = parseIR(Source, Errors);
+  } else {
+    LoweringOptions LO;
+    LO.ImplicitZeroInitLocals = false;
+    M = compileMiniC(Source, Errors, "mc", LO);
+  }
+  if (!M) {
+    for (const auto &E : Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+  AnalysisManager AM(M.get());
+  DiagnosticEngine DE;
+  runChecks(*M, DE, Strictness::Fast, &AM);
+  if (!DE.hasErrors()) {
+    // The memory lints read mu/chi tags: build memory SSA first.
+    for (const auto &F : M->functions())
+      if (!F->empty())
+        AM.get<MemorySSAInfo>(*F);
+    runSourceLints(*M, AM, DE);
+  }
+  if (DiagJson) {
+    std::printf("%s\n", diagnosticsToJson(DE.diagnostics()).c_str());
+  } else {
+    std::fputs(diagnosticsToText(DE.diagnostics()).c_str(), stdout);
+    std::fprintf(stderr, "%s: %u error(s), %u warning(s)\n", File.c_str(),
+                 DE.errors(), DE.warnings());
+  }
+  return DE.hasErrors() ? 1 : 0;
+}
+
+/// `srpc -connect`: submit the job to a running server and print what a
+/// local run would have printed.
+int runConnectMode(const CompileJob &Job, const std::string &SocketPath,
+                   bool Quiet, bool StatsJson) {
+  server::Client C;
+  std::string Err;
+  if (!C.connect(SocketPath, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  server::CompileResponse Resp;
+  if (!C.compile(Job, Resp, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Resp.Ok) {
+    for (const auto &E : Resp.Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+  if (!Quiet)
+    for (int64_t V : Resp.Output)
+      std::printf("%lld\n", static_cast<long long>(V));
+  if (StatsJson)
+    std::fputs(Resp.ReportJson.c_str(), stdout);
+  return 0;
 }
 
 } // namespace
@@ -93,88 +136,214 @@ int main(int argc, char **argv) {
   bool Counts = false, Quiet = false, InputIsIR = false;
   bool StatsJson = false, TimePasses = false;
   bool Analyze = false, DiagJson = false;
+  bool Serve = false, Connect = false;
+  bool Ping = false, ServerStats = false, Shutdown = false;
+  server::ServerOptions SrvOpts;
   std::string File, RemarksJsonPath, RemarksFilter, TraceOutPath;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    // Accept GNU-style double dashes for every option.
-    if (A.rfind("--", 0) == 0)
-      A.erase(0, 1);
-    if (A.rfind("-mode=", 0) == 0) {
-      std::string Mode = A.substr(6);
-      if (!parsePromotionMode(Mode, Opts.Mode)) {
-        std::fprintf(stderr, "error: unknown mode '%s'\n", Mode.c_str());
-        return 2;
-      }
-    } else if (A.rfind("-entry=", 0) == 0) {
-      Opts.EntryFunction = A.substr(7);
-    } else if (A == "-print-ir-before") {
-      PrintBefore = true;
-    } else if (A == "-print-ir-after") {
-      PrintAfter = true;
-    } else if (A == "-no-store-elim") {
-      Opts.Promo.AllowStoreElimination = false;
-    } else if (A == "-whole-variable") {
-      Opts.Promo.WebGranularity = false;
-    } else if (A == "-no-boundary-cost") {
-      Opts.Promo.CountBoundaryOps = false;
-    } else if (A == "-direct-stores") {
-      Opts.Promo.DirectAliasedStores = true;
-    } else if (A == "-no-analysis-cache") {
-      Opts.DisableAnalysisCache = true;
-    } else if (A.rfind("-interp=", 0) == 0) {
-      std::string Engine = A.substr(8);
-      if (!parseInterpEngine(Engine, Opts.Interp)) {
-        std::fprintf(stderr, "error: unknown interpreter engine '%s'\n",
-                     Engine.c_str());
-        return 2;
-      }
-    } else if (A == "-analyze") {
-      Analyze = true;
-    } else if (A == "-diag-json") {
-      DiagJson = true;
-    } else if (A.rfind("-verify-each=", 0) == 0) {
-      std::string Level = A.substr(13);
-      Strictness S;
-      if (!parseStrictness(Level, S)) {
-        std::fprintf(stderr, "error: unknown strictness '%s'\n",
-                     Level.c_str());
-        return 2;
-      }
-      Opts.VerifyStrictness = S;
-      Opts.VerifyEachStep = S != Strictness::Off;
-    } else if (A == "-stats") {
-      Stats = true;
-    } else if (A == "-counts") {
-      Counts = true;
-    } else if (A == "-stats-json") {
-      StatsJson = true;
-      Quiet = true;
-    } else if (A.rfind("-remarks-json=", 0) == 0) {
-      RemarksJsonPath = A.substr(14);
-    } else if (A.rfind("-remarks-filter=", 0) == 0) {
-      RemarksFilter = A.substr(16);
-    } else if (A.rfind("-trace-out=", 0) == 0) {
-      TraceOutPath = A.substr(11);
-    } else if (A == "-time-passes") {
-      TimePasses = true;
-    } else if (A == "-quiet") {
-      Quiet = true;
-    } else if (A == "-ir") {
-      InputIsIR = true;
-    } else if (A == "-h" || A == "--help") {
-      usage();
-      return 0;
-    } else if (!A.empty() && A[0] == '-') {
-      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
-      usage();
-      return 2;
-    } else {
-      File = A;
-    }
+  opt::OptionParser OP("srpc", "[options] file.mc");
+  OP.value("mode", "<none|paper|noprofile|baseline|superblock|memopt>",
+           "promotion mode (default paper)",
+           [&](const std::string &V) {
+             return parsePromotionMode(V, Opts.Mode);
+           });
+  OP.value("entry", "<name>", "entry function (default main)",
+           [&](const std::string &V) {
+             Opts.EntryFunction = V;
+             return true;
+           });
+  OP.flag("print-ir-before", "dump IR before promotion",
+          [&] { PrintBefore = true; });
+  OP.flag("print-ir-after", "dump IR after promotion",
+          [&] { PrintAfter = true; });
+  OP.flag("no-store-elim", "keep stores (loads only)",
+          [&] { Opts.Promo.AllowStoreElimination = false; });
+  OP.flag("whole-variable", "disable SSA-web granularity",
+          [&] { Opts.Promo.WebGranularity = false; });
+  OP.flag("no-boundary-cost", "use the paper's exact profit formula",
+          [&] { Opts.Promo.CountBoundaryOps = false; });
+  OP.flag("direct-stores", "improved aliased-store placement",
+          [&] { Opts.Promo.DirectAliasedStores = true; });
+  OP.flag("no-analysis-cache",
+          "rebuild every analysis on each request (also: "
+          "SRP_DISABLE_ANALYSIS_CACHE=1)",
+          [&] { Opts.DisableAnalysisCache = true; });
+  OP.value("interp", "<bytecode|walk>",
+           "execution engine for the profile and measurement runs "
+           "(default bytecode; walk is the reference tree-walker; also: "
+           "SRP_INTERP)",
+           [&](const std::string &V) {
+             return parseInterpEngine(V, Opts.Interp);
+           });
+  OP.flag("analyze",
+          "static analysis only: run the IR checkers and the source "
+          "lints, don't run the program; exit 1 on errors",
+          [&] { Analyze = true; });
+  OP.flag("diag-json", "with -analyze, emit diagnostics as JSON",
+          [&] { DiagJson = true; });
+  OP.value("verify-each", "<off|fast|full>",
+           "between-pass verification depth (default fast; full adds "
+           "the memory-SSA walks, canonical-shape and promotion checks)",
+           [&](const std::string &V) {
+             Strictness S;
+             if (!parseStrictness(V, S))
+               return false;
+             Opts.VerifyStrictness = S;
+             Opts.VerifyEachStep = S != Strictness::Off;
+             return true;
+           });
+  OP.flag("stats", "print promotion statistics", [&] { Stats = true; });
+  OP.flag("counts", "print static/dynamic memop counts",
+          [&] { Counts = true; });
+  OP.flag("stats-json",
+          "emit run report (passes, statistics, counts, exec) as JSON "
+          "on stdout (implies -quiet)",
+          [&] {
+            StatsJson = true;
+            Quiet = true;
+          });
+  OP.value("remarks-json", "<file>",
+           "write optimization remarks (per-web promote/reject decisions "
+           "with the profitability inputs) as JSON; see docs/REMARKS.md",
+           [&](const std::string &V) {
+             RemarksJsonPath = V;
+             return !V.empty();
+           });
+  OP.value("remarks-filter", "<pass>",
+           "keep only remarks of one pass (promotion, mem2reg, "
+           "loop-promotion, superblock, cleanup, pressure)",
+           [&](const std::string &V) {
+             RemarksFilter = V;
+             return true;
+           });
+  OP.value("trace-out", "<file>",
+           "write a Chrome trace (chrome://tracing / Perfetto) of the "
+           "run or server; see docs/OBSERVABILITY.md",
+           [&](const std::string &V) {
+             TraceOutPath = V;
+             return !V.empty();
+           });
+  OP.flag("time-passes",
+          "print per-pass wall times (text; with -stats-json the times "
+          "are in the JSON)",
+          [&] { TimePasses = true; });
+  OP.flag("ir", "input is textual IR, not Mini-C",
+          [&] { InputIsIR = true; });
+  OP.flag("quiet", "do not echo program output", [&] { Quiet = true; });
+
+  // Compile-server options (docs/SERVER.md).
+  OP.flag("serve",
+          "run as a long-running compile server on the unix socket",
+          [&] { Serve = true; });
+  OP.flag("connect", "submit the job to a running server instead of "
+                     "compiling in-process",
+          [&] { Connect = true; });
+  OP.value("socket", "<path>",
+           "unix socket path for -serve/-connect (default /tmp/srpc.sock)",
+           [&](const std::string &V) {
+             SrvOpts.SocketPath = V;
+             return !V.empty();
+           });
+  OP.value("threads", "<n>",
+           "with -serve: worker threads per batch (0 = all cores)",
+           [&](const std::string &V) {
+             return parseUnsigned(V, SrvOpts.Threads);
+           });
+  OP.value("queue", "<n>",
+           "with -serve: bounded job-queue capacity (backpressure)",
+           [&](const std::string &V) {
+             return parseUnsigned(V, SrvOpts.QueueCapacity) &&
+                    SrvOpts.QueueCapacity > 0;
+           });
+  OP.value("batch", "<n>",
+           "with -serve: max jobs dispatched per worker-pool batch",
+           [&](const std::string &V) {
+             return parseUnsigned(V, SrvOpts.MaxBatch) &&
+                    SrvOpts.MaxBatch > 0;
+           });
+  OP.value("job-cache", "<n>",
+           "with -serve: shared result-cache capacity in jobs",
+           [&](const std::string &V) {
+             unsigned N;
+             if (!parseUnsigned(V, N) || N == 0)
+               return false;
+             SrvOpts.CacheEntries = N;
+             return true;
+           });
+  OP.flag("server-verbose", "with -serve: log connections and jobs",
+          [&] { SrvOpts.Verbose = true; });
+  OP.flag("ping", "with -connect: check the server is alive",
+          [&] { Ping = true; });
+  OP.flag("server-stats", "with -connect: print server counters as JSON",
+          [&] { ServerStats = true; });
+  OP.flag("shutdown", "with -connect: ask the server to drain and exit",
+          [&] { Shutdown = true; });
+  OP.positional("file.mc", [&](const std::string &V) { File = V; });
+  OP.epilog("Server mode and wire protocol: docs/SERVER.md.\n"
+            "Report schema (-stats-json): docs/OBSERVABILITY.md.");
+
+  switch (OP.parse(argc, argv)) {
+  case opt::ParseResult::Ok:
+    break;
+  case opt::ParseResult::Help:
+    return 0;
+  case opt::ParseResult::Error:
+    return 2;
   }
+
+  if (Serve) {
+    // Trace the server's lifetime: worker tracks (worker-N), the
+    // dispatcher track, and per-job spans land in one timeline.
+    if (!TraceOutPath.empty())
+      trace::start();
+    int Rc = server::serveForever(SrvOpts);
+    if (!TraceOutPath.empty()) {
+      trace::stop();
+      std::ofstream Out(TraceOutPath);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     TraceOutPath.c_str());
+        return 1;
+      }
+      Out << trace::toChromeJson();
+    }
+    return Rc;
+  }
+
+  // Admin ops need a connection but no input file.
+  if (Ping || ServerStats || Shutdown) {
+    server::Client C;
+    std::string Err;
+    if (!C.connect(SrvOpts.SocketPath, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    if (Ping) {
+      if (!C.ping(Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("server on %s is alive\n", SrvOpts.SocketPath.c_str());
+    }
+    if (ServerStats) {
+      std::string StatsJsonText;
+      if (!C.requestStats(StatsJsonText, Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("%s\n", StatsJsonText.c_str());
+    }
+    if (Shutdown) {
+      if (!C.requestShutdown(Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
   if (File.empty()) {
-    usage();
+    std::fputs(OP.helpText().c_str(), stderr);
     return 2;
   }
 
@@ -186,54 +355,33 @@ int main(int argc, char **argv) {
   std::ostringstream SS;
   SS << In.rdbuf();
 
-  if (Analyze) {
-    // Static analysis mode: compile (without the implicit zero-init of
-    // locals, so a load-before-store is visible as a read of the entry
-    // memory version), run the layered IR checkers, then the source
-    // lints on the un-mem2reg'd IR. No execution, no transformation.
-    std::vector<std::string> Errors;
-    std::unique_ptr<Module> M;
-    if (InputIsIR) {
-      M = parseIR(SS.str(), Errors);
-    } else {
-      LoweringOptions LO;
-      LO.ImplicitZeroInitLocals = false;
-      M = compileMiniC(SS.str(), Errors, "mc", LO);
-    }
-    if (!M) {
-      for (const auto &E : Errors)
-        std::fprintf(stderr, "error: %s\n", E.c_str());
-      return 1;
-    }
-    AnalysisManager AM(M.get());
-    DiagnosticEngine DE;
-    runChecks(*M, DE, Strictness::Fast, &AM);
-    if (!DE.hasErrors()) {
-      // The memory lints read mu/chi tags: build memory SSA first.
-      for (const auto &F : M->functions())
-        if (!F->empty())
-          AM.get<MemorySSAInfo>(*F);
-      runSourceLints(*M, AM, DE);
-    }
-    if (DiagJson) {
-      std::printf("%s\n", diagnosticsToJson(DE.diagnostics()).c_str());
-    } else {
-      std::fputs(diagnosticsToText(DE.diagnostics()).c_str(), stdout);
-      std::fprintf(stderr, "%s: %u error(s), %u warning(s)\n", File.c_str(),
-                   DE.errors(), DE.warnings());
-    }
-    return DE.hasErrors() ? 1 : 0;
-  }
+  if (Analyze)
+    return runAnalyzeMode(File, SS.str(), InputIsIR, DiagJson);
 
-  auto runOnce = [&](const PipelineOptions &O) {
-    if (!InputIsIR)
-      return runPipeline(SS.str(), O);
-    PipelineResult R;
-    auto M = parseIR(SS.str(), R.Errors);
-    if (!M)
-      return R;
-    return runPipeline(std::move(M), O);
-  };
+  CompileJob Job;
+  Job.Name = File;
+  Job.Source = SourceText(SS.str());
+  Job.Opts = Opts;
+  Job.InputIsIR = InputIsIR;
+
+  if (Connect) {
+    // The server runs the pipeline; options that need the in-process
+    // result (IR dumps, remark/trace sinks) stay local-only.
+    const char *LocalOnly = PrintBefore || PrintAfter ? "-print-ir-*"
+                            : !RemarksJsonPath.empty() ? "-remarks-json"
+                            : !TraceOutPath.empty()    ? "-trace-out"
+                            : TimePasses               ? "-time-passes"
+                            : Stats                    ? "-stats"
+                            : Counts                   ? "-counts"
+                                                       : nullptr;
+    if (LocalOnly) {
+      std::fprintf(stderr,
+                   "error: %s requires a local run (drop -connect)\n",
+                   LocalOnly);
+      return 2;
+    }
+    return runConnectMode(Job, SrvOpts.SocketPath, Quiet, StatsJson);
+  }
 
   // With -stats-json, stdout must stay pure JSON: IR dumps and the
   // -counts/-stats text go to stderr (the numbers are in the JSON anyway).
@@ -243,12 +391,12 @@ int main(int argc, char **argv) {
   // already been transformed; for -print-ir-before run a None-mode
   // pipeline first.
   if (PrintBefore) {
-    PipelineOptions NoneOpts = Opts;
-    NoneOpts.Mode = PromotionMode::None;
-    PipelineResult R0 = runOnce(NoneOpts);
-    if (R0.M)
+    CompileJob NoneJob = Job;
+    NoneJob.Opts.Mode = PromotionMode::None;
+    JobResult R0 = runCompileJob(NoneJob);
+    if (R0.Pipeline.M)
       std::fprintf(Txt, ";; IR before promotion\n%s\n",
-                   toString(*R0.M).c_str());
+                   toString(*R0.Pipeline.M).c_str());
   }
 
   // Observability sinks cover only the reported pipeline run (the extra
@@ -261,7 +409,8 @@ int main(int argc, char **argv) {
   if (!TraceOutPath.empty())
     trace::start();
 
-  PipelineResult R = runOnce(Opts);
+  JobResult Res = runCompileJob(Job);
+  const PipelineResult &R = Res.Pipeline;
 
   if (!RemarksJsonPath.empty()) {
     remarks::setSink(nullptr);
@@ -332,75 +481,10 @@ int main(int argc, char **argv) {
     std::printf("  %-14s %9.3f ms\n", "total", Total * 1e3);
   }
 
-  if (StatsJson) {
-    // Schema documented in docs/OBSERVABILITY.md. Keep stdout pure JSON.
-    std::ostringstream OS;
-    OS << "{\n"
-       << "  \"file\": \"" << jsonEscape(File) << "\",\n"
-       << "  \"mode\": \"" << promotionModeName(Opts.Mode) << "\",\n"
-       << "  \"entry\": \"" << jsonEscape(Opts.EntryFunction) << "\",\n"
-       << "  \"ok\": " << (R.Ok ? "true" : "false") << ",\n"
-       << "  \"exit_value\": " << R.RunAfter.ExitValue << ",\n"
-       << "  \"passes\": " << passRecordsToJson(R.Passes, 1) << ",\n"
-       << "  \"statistics\": " << stats::toJson(stats::snapshot(), 1)
-       << ",\n"
-       << "  \"analysis\": " << analysisCacheStatsToJson(R.Analysis, 1)
-       << ",\n"
-       << "  \"interp\": {\n"
-       << "    \"engine\": \"" << interpEngineName(Opts.Interp) << "\",\n"
-       << "    \"functions_decoded\": "
-       << (R.RunBefore.Interp.FunctionsDecoded +
-           R.RunAfter.Interp.FunctionsDecoded)
-       << ",\n"
-       << "    \"decode_cache_hits\": "
-       << (R.RunBefore.Interp.DecodeCacheHits +
-           R.RunAfter.Interp.DecodeCacheHits)
-       << ",\n"
-       << "    \"walk_fallback_calls\": "
-       << (R.RunBefore.Interp.WalkFallbackCalls +
-           R.RunAfter.Interp.WalkFallbackCalls)
-       << ",\n"
-       << "    \"decode_seconds\": "
-       << (R.RunBefore.Interp.DecodeSeconds +
-           R.RunAfter.Interp.DecodeSeconds)
-       << ",\n"
-       << "    \"profile_exec_seconds\": " << R.RunBefore.Interp.ExecSeconds
-       << ",\n"
-       << "    \"measure_exec_seconds\": " << R.RunAfter.Interp.ExecSeconds
-       << "\n"
-       << "  },\n"
-       << "  \"verification\": {\n"
-       << "    \"strictness\": \""
-       << strictnessName(Opts.VerifyEachStep ? Opts.VerifyStrictness
-                                             : Strictness::Off)
-       << "\",\n"
-       << "    \"passes_verified\": " << R.Verify.PassesVerified << ",\n"
-       << "    \"checks_run\": " << R.Verify.ChecksRun << ",\n"
-       << "    \"diagnostics\": " << R.Verify.Diagnostics << ",\n"
-       << "    \"wall_seconds\": " << R.Verify.WallSeconds << "\n"
-       << "  },\n"
-       << "  \"counts\": {\n"
-       << "    \"static_loads_before\": " << R.StaticBefore.Loads << ",\n"
-       << "    \"static_loads_after\": " << R.StaticAfter.Loads << ",\n"
-       << "    \"static_stores_before\": " << R.StaticBefore.Stores << ",\n"
-       << "    \"static_stores_after\": " << R.StaticAfter.Stores << ",\n"
-       << "    \"dynamic_loads_before\": "
-       << R.RunBefore.Counts.SingletonLoads << ",\n"
-       << "    \"dynamic_loads_after\": "
-       << R.RunAfter.Counts.SingletonLoads << ",\n"
-       << "    \"dynamic_stores_before\": "
-       << R.RunBefore.Counts.SingletonStores << ",\n"
-       << "    \"dynamic_stores_after\": "
-       << R.RunAfter.Counts.SingletonStores << "\n"
-       << "  },\n"
-       << "  \"pressure\": {\n"
-       << "    \"values\": " << R.Pressure.NumValues << ",\n"
-       << "    \"edges\": " << R.Pressure.Edges << ",\n"
-       << "    \"colors_needed\": " << R.Pressure.ColorsNeeded << ",\n"
-       << "    \"max_live\": " << R.Pressure.MaxLive << "\n"
-       << "  }\n"
-       << "}\n";
-    std::fputs(OS.str().c_str(), stdout);
-  }
+  // Schema documented in docs/OBSERVABILITY.md and pinned by
+  // tests/JobTest.cpp; assembled by resultToJson so the server wire
+  // format carries the same bytes. Keep stdout pure JSON.
+  if (StatsJson)
+    std::fputs(Res.ReportJson.c_str(), stdout);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "ir/CFGEdit.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
+#include "pipeline/Job.h"
 #include "pipeline/Pipeline.h"
 #include "profile/ProfileInfo.h"
 #include "regalloc/Liveness.h"
@@ -362,7 +363,7 @@ TEST(SourceTextTest, WorkloadMatrixDoesNotDuplicateProgramText) {
                          "perl.mc",     "m88ksim.mc", "gcc.mc",
                          "compress.mc", "vortex.mc",  "eqntott.mc"};
 
-  std::vector<PipelineJob> Jobs;
+  std::vector<CompileJob> Jobs;
   for (const char *File : Files) {
     std::ifstream In(std::string(SRP_WORKLOAD_DIR) + "/" + File);
     ASSERT_TRUE(In.good()) << "cannot open workload " << File;
@@ -370,7 +371,7 @@ TEST(SourceTextTest, WorkloadMatrixDoesNotDuplicateProgramText) {
     SS << In.rdbuf();
     SourceText Src(SS.str());
     for (PromotionMode Mode : allPromotionModes()) {
-      PipelineJob J;
+      CompileJob J;
       J.Name = std::string(File) + "/" + promotionModeName(Mode);
       J.Source = Src;
       J.Opts.Mode = Mode;
@@ -382,7 +383,7 @@ TEST(SourceTextTest, WorkloadMatrixDoesNotDuplicateProgramText) {
   // The full matrix holds exactly one string per workload file: the six
   // mode jobs of a workload alias the same immutable storage.
   std::set<const std::string *> Storages;
-  for (const PipelineJob &J : Jobs)
+  for (const CompileJob &J : Jobs)
     Storages.insert(J.Source.storage());
   EXPECT_EQ(Storages.size(), 9u);
   for (size_t I = 0; I + 5 < Jobs.size(); I += 6)

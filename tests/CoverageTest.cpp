@@ -212,7 +212,7 @@ TEST_P(OptionsMatrixTest, AllCombosPreserveBehaviour) {
   Opts.Promo.AllowStoreElimination = Bits & 4;
   Opts.Promo.DirectAliasedStores = Bits & 8;
 
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().options(Opts).run(R"(
     int g = 0;
     int h = 5;
     void tick() { g = g + h; }
@@ -226,8 +226,7 @@ TEST_P(OptionsMatrixTest, AllCombosPreserveBehaviour) {
       print(g);
       print(h);
     }
-  )",
-                                 Opts);
+  )");
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "combo " << Bits << ": " << E;
   ASSERT_TRUE(R.Ok);

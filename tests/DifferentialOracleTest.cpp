@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "pipeline/Job.h"
 #include "pipeline/Pipeline.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
@@ -57,7 +58,7 @@ const PipelineResult &controlFor(const std::string &File) {
     return It->second;
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::None;
-  PipelineResult R = runPipeline(loadWorkload(File), Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(loadWorkload(File));
   return Cache.emplace(File, std::move(R)).first->second;
 }
 
@@ -81,7 +82,7 @@ TEST_P(DifferentialOracleHeavyTest, MatchesInterpreterOracle) {
 
   PipelineOptions Opts;
   Opts.Mode = C.Mode;
-  PipelineResult R = runPipeline(loadWorkload(C.File), Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(loadWorkload(C.File));
   for (const auto &E : R.Errors)
     ADD_FAILURE() << C.File << "/" << promotionModeName(C.Mode) << ": " << E;
   ASSERT_TRUE(R.Ok);
@@ -126,12 +127,12 @@ INSTANTIATE_TEST_SUITE_P(WorkloadsByMode, DifferentialOracleHeavyTest,
 // results and statistics of the sequential driver.
 //===----------------------------------------------------------------------===
 
-std::vector<PipelineJob> workloadMatrix() {
-  std::vector<PipelineJob> Jobs;
+std::vector<CompileJob> workloadMatrix() {
+  std::vector<CompileJob> Jobs;
   for (const char *File : WorkloadFiles) {
     SourceText Src(loadWorkload(File));
     for (PromotionMode Mode : allPromotionModes()) {
-      PipelineJob J;
+      CompileJob J;
       J.Name = std::string(File) + "/" + promotionModeName(Mode);
       J.Source = Src;
       J.Opts.Mode = Mode;
@@ -161,7 +162,7 @@ std::string digest(const PipelineResult &R) {
 class ParallelDriverHeavyTest : public ::testing::Test {};
 
 TEST_F(ParallelDriverHeavyTest, ParallelMatchesSequentialExactly) {
-  std::vector<PipelineJob> Jobs = workloadMatrix();
+  std::vector<CompileJob> Jobs = workloadMatrix();
 
   // Wall-clock counters (*-micros) measure time, not work; drop them
   // before comparing the aggregates.
@@ -201,7 +202,7 @@ TEST_F(ParallelDriverHeavyTest, ScalesOnMulticoreHardware) {
   if (HW < 4)
     GTEST_SKIP() << "speedup assertion needs >= 4 cores, have " << HW;
 
-  std::vector<PipelineJob> Jobs = workloadMatrix();
+  std::vector<CompileJob> Jobs = workloadMatrix();
 
   double T0 = monotonicSeconds();
   std::vector<PipelineResult> Seq = runPipelineParallel(Jobs, 1);
@@ -221,7 +222,7 @@ TEST_F(ParallelDriverHeavyTest, ScalesOnMulticoreHardware) {
 TEST_F(ParallelDriverHeavyTest, HandlesEmptyAndSingletonJobLists) {
   EXPECT_TRUE(runPipelineParallel({}, 4).empty());
 
-  PipelineJob J;
+  CompileJob J;
   J.Name = "single";
   J.Source = "void main() { print(7); }";
   std::vector<PipelineResult> R = runPipelineParallel({J}, 8);
@@ -232,10 +233,10 @@ TEST_F(ParallelDriverHeavyTest, HandlesEmptyAndSingletonJobLists) {
 }
 
 TEST_F(ParallelDriverHeavyTest, CompileErrorsAreReportedPerJob) {
-  PipelineJob Good;
+  CompileJob Good;
   Good.Name = "good";
   Good.Source = "void main() { print(1); }";
-  PipelineJob Bad;
+  CompileJob Bad;
   Bad.Name = "bad";
   Bad.Source = "void main() { this is not mini-c }";
   std::vector<PipelineResult> R = runPipelineParallel({Good, Bad}, 2);

@@ -108,7 +108,7 @@ TEST_P(InterpParityHeavyTest, TransformedModuleRunsIdentically) {
   const Case &C = GetParam();
   PipelineOptions Opts;
   Opts.Mode = C.Mode;
-  PipelineResult R = runPipeline(loadWorkload(C.File), Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(loadWorkload(C.File));
   ASSERT_TRUE(R.Ok) << C.File;
   ASSERT_NE(R.M, nullptr);
 

@@ -295,7 +295,7 @@ TEST(TimerTest, AccumulatesAcrossStartStop) {
 
 TEST(StatisticsTest, PipelineRunPopulatesNamedCounters) {
   stats::reset();
-  PipelineResult R = runPipeline(SimpleProgram, {});
+  PipelineResult R = PipelineBuilder().run(SimpleProgram);
   ASSERT_TRUE(R.Ok);
 
   StatsSnapshot S = stats::snapshot();
@@ -309,7 +309,7 @@ TEST(StatisticsTest, PipelineRunPopulatesNamedCounters) {
 }
 
 TEST(StatisticsTest, ResetZeroesEveryCounterBetweenRuns) {
-  PipelineResult R = runPipeline(SimpleProgram, {});
+  PipelineResult R = PipelineBuilder().run(SimpleProgram);
   ASSERT_TRUE(R.Ok);
   ASSERT_GT(stats::snapshot().at("pipeline.runs"), 0u);
 
@@ -329,11 +329,11 @@ TEST(StatisticsTest, ResetZeroesEveryCounterBetweenRuns) {
     }
     return S;
   };
-  PipelineResult R1 = runPipeline(SimpleProgram, {});
+  PipelineResult R1 = PipelineBuilder().run(SimpleProgram);
   ASSERT_TRUE(R1.Ok);
   StatsSnapshot First = DropTimings(stats::snapshot());
   stats::reset();
-  PipelineResult R2 = runPipeline(SimpleProgram, {});
+  PipelineResult R2 = PipelineBuilder().run(SimpleProgram);
   ASSERT_TRUE(R2.Ok);
   EXPECT_EQ(First, DropTimings(stats::snapshot()));
 }
@@ -354,7 +354,7 @@ TEST(StatisticsTest, UpdateMaxKeepsPeak) {
 
 TEST(StatisticsTest, SnapshotJsonRoundTrips) {
   stats::reset();
-  PipelineResult R = runPipeline(SimpleProgram, {});
+  PipelineResult R = PipelineBuilder().run(SimpleProgram);
   ASSERT_TRUE(R.Ok);
 
   StatsSnapshot S = stats::snapshot();
@@ -374,7 +374,7 @@ TEST(StatisticsTest, SnapshotJsonRoundTrips) {
 }
 
 TEST(PassManagerTest, PassRecordsJsonRoundTrips) {
-  PipelineResult R = runPipeline(SimpleProgram, {});
+  PipelineResult R = PipelineBuilder().run(SimpleProgram);
   ASSERT_TRUE(R.Ok);
   ASSERT_FALSE(R.Passes.empty());
 
@@ -460,7 +460,7 @@ TEST(PassManagerTest, VerificationCanBeDisabled) {
 TEST(PassManagerTest, PipelineReportsItsStages) {
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Paper;
-  PipelineResult R = runPipeline(SimpleProgram, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(SimpleProgram);
   ASSERT_TRUE(R.Ok);
 
   std::vector<std::string> Names;
@@ -479,7 +479,7 @@ TEST(PassManagerTest, PipelineReportsItsStages) {
 TEST(PassManagerTest, NoneModeSkipsTransformStages) {
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::None;
-  PipelineResult R = runPipeline(SimpleProgram, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(SimpleProgram);
   ASSERT_TRUE(R.Ok);
   for (const PassRecord &P : R.Passes) {
     EXPECT_NE(P.Name, "promotion");

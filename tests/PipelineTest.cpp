@@ -14,7 +14,7 @@ using namespace srp::test;
 namespace {
 
 TEST(PipelineTest, ReportsFrontendErrors) {
-  PipelineResult R = runPipeline("void main() { undeclared = 1; }");
+  PipelineResult R = PipelineBuilder().run("void main() { undeclared = 1; }");
   EXPECT_FALSE(R.Ok);
   ASSERT_FALSE(R.Errors.empty());
   EXPECT_NE(R.Errors[0].find("unknown"), std::string::npos);
@@ -22,7 +22,7 @@ TEST(PipelineTest, ReportsFrontendErrors) {
 }
 
 TEST(PipelineTest, ReportsRuntimeTraps) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int z = 0;
     void main() { print(1 / z); }
   )");
@@ -34,11 +34,10 @@ TEST(PipelineTest, ReportsRuntimeTraps) {
 TEST(PipelineTest, NoneModeLeavesMemOpsAlone) {
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::None;
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().options(Opts).run(R"(
     int g = 0;
     void main() { int i; for (i = 0; i < 10; i++) g = g + 1; }
-  )",
-                                 Opts);
+  )");
   ASSERT_TRUE(R.Ok);
   EXPECT_EQ(R.RunBefore.Counts.memOps(), R.RunAfter.Counts.memOps());
   EXPECT_EQ(R.StaticBefore.total(), R.StaticAfter.total());
@@ -48,7 +47,7 @@ TEST(PipelineTest, NoneModeLeavesMemOpsAlone) {
 TEST(PipelineTest, StaticCountsMatchIRContents) {
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::None;
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().options(Opts).run(R"(
     int g = 1;
     int a[4];
     void main() {
@@ -56,8 +55,7 @@ TEST(PipelineTest, StaticCountsMatchIRContents) {
       a[0] = g;    // 1 load, 1 aliased op
       print(*(&g)); // 1 aliased op (after &g, ptr load)
     }
-  )",
-                                 Opts);
+  )");
   ASSERT_TRUE(R.Ok);
   EXPECT_EQ(R.StaticAfter.Loads, 2u);
   EXPECT_EQ(R.StaticAfter.Stores, 1u);
@@ -67,12 +65,11 @@ TEST(PipelineTest, StaticCountsMatchIRContents) {
 TEST(PipelineTest, CustomEntryFunction) {
   PipelineOptions Opts;
   Opts.EntryFunction = "driver";
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().options(Opts).run(R"(
     int g = 0;
     void driver() { g = 42; print(g); }
     void main() { print(0); }
-  )",
-                                 Opts);
+  )");
   ASSERT_TRUE(R.Ok);
   ASSERT_EQ(R.RunAfter.Output.size(), 1u);
   EXPECT_EQ(R.RunAfter.Output[0], 42);
@@ -81,7 +78,7 @@ TEST(PipelineTest, CustomEntryFunction) {
 TEST(PipelineTest, MissingEntryFunctionFails) {
   PipelineOptions Opts;
   Opts.EntryFunction = "nonexistent";
-  PipelineResult R = runPipeline("void main() { }", Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run("void main() { }");
   EXPECT_FALSE(R.Ok);
 }
 
@@ -91,12 +88,12 @@ TEST(PipelineTest, ProfitThresholdSuppressesMarginalPromotions) {
     void main() { int i; for (i = 0; i < 10; i++) g = g + 1; print(g); }
   )";
   PipelineOptions Greedy;
-  PipelineResult RG = runPipeline(Src, Greedy);
+  PipelineResult RG = PipelineBuilder().options(Greedy).run(Src);
   ASSERT_TRUE(RG.Ok);
 
   PipelineOptions Strict;
   Strict.Promo.ProfitThreshold = 1'000'000; // nothing is this profitable
-  PipelineResult RS = runPipeline(Src, Strict);
+  PipelineResult RS = PipelineBuilder().options(Strict).run(Src);
   ASSERT_TRUE(RS.Ok);
 
   EXPECT_GT(RG.Promo.WebsPromoted, 0u);
@@ -105,7 +102,7 @@ TEST(PipelineTest, ProfitThresholdSuppressesMarginalPromotions) {
 }
 
 TEST(PipelineTest, RecursivePrograms) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int depth_max = 0;
     int fib(int n) {
       depth_max = depth_max + 1;
@@ -119,7 +116,7 @@ TEST(PipelineTest, RecursivePrograms) {
 }
 
 TEST(PipelineTest, DoWhileLoopsPromote) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int g = 0;
     void main() {
       int i = 0;
@@ -136,7 +133,7 @@ TEST(PipelineTest, DoWhileLoopsPromote) {
 }
 
 TEST(PipelineTest, MultipleExitLoopsGetTailStores) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int g = 0;
     void main() {
       int i;
@@ -155,7 +152,7 @@ TEST(PipelineTest, MultipleExitLoopsGetTailStores) {
 TEST(PipelineTest, IrreducibleControlFlowSurvives) {
   // goto-free Mini-C cannot write irreducible CFGs directly, but nested
   // break/continue carve multi-exit shapes the canonicaliser must handle.
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int g = 0;
     void main() {
       int i; int j;
@@ -174,7 +171,7 @@ TEST(PipelineTest, IrreducibleControlFlowSurvives) {
 }
 
 TEST(PipelineTest, StructFieldAndPointerMix) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     struct S { int a = 1; int b = 2; } s;
     void main() {
       int p = &s.a;

@@ -32,7 +32,7 @@ PipelineResult runIR(const std::string &Text,
       ADD_FAILURE() << "parse: " << E;
     return Pre;
   }
-  PipelineResult R = runPipeline(std::move(M), Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(std::move(M));
   for (const auto &E : R.Errors)
     ADD_FAILURE() << E;
   return R;
@@ -114,7 +114,7 @@ TEST(PromotionEdgeTest, DominatedCompensatingStoresPruned) {
   // one compensating store per version may be inserted (the paper's
   // dominance pruning of stores-added).
   PipelineOptions Opts;
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().options(Opts).run(R"(
     int g = 0;
     void probe() { g = g + 0; }
     void main() {
@@ -128,8 +128,7 @@ TEST(PromotionEdgeTest, DominatedCompensatingStoresPruned) {
       }
       print(g);
     }
-  )",
-                                 Opts);
+  )");
   for (const auto &E : R.Errors)
     ADD_FAILURE() << E;
   ASSERT_TRUE(R.Ok);
@@ -151,7 +150,7 @@ TEST(PromotionEdgeTest, PromotionIsIdempotentOnMemops) {
       print(g);
     }
   )";
-  PipelineResult R1 = runPipeline(Src);
+  PipelineResult R1 = PipelineBuilder().run(Src);
   ASSERT_TRUE(R1.Ok);
 
   // Feed the promoted module's text back through the IR path.
@@ -182,12 +181,12 @@ TEST(PromotionEdgeTest, DirectAliasedStorePlacement) {
     }
   )";
   PipelineOptions Faithful;
-  PipelineResult RF = runPipeline(Src, Faithful);
+  PipelineResult RF = PipelineBuilder().options(Faithful).run(Src);
   ASSERT_TRUE(RF.Ok);
 
   PipelineOptions Direct;
   Direct.Promo.DirectAliasedStores = true;
-  PipelineResult RD = runPipeline(Src, Direct);
+  PipelineResult RD = PipelineBuilder().options(Direct).run(Src);
   for (const auto &E : RD.Errors)
     ADD_FAILURE() << E;
   ASSERT_TRUE(RD.Ok);
@@ -202,7 +201,7 @@ TEST(PromotionEdgeTest, DirectAliasedStorePlacement) {
 TEST(PromotionEdgeTest, LoopWithOnlyAliasedRefsLeftAlone) {
   // Pointer traffic only: no singleton refs to promote; the pass must be
   // a no-op and not disturb the aliased ops.
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int g = 1;
     void main() {
       int p = &g;
@@ -219,7 +218,7 @@ TEST(PromotionEdgeTest, LoopWithOnlyAliasedRefsLeftAlone) {
 }
 
 TEST(PromotionEdgeTest, ZeroTripLoopStillCorrect) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int g = 5;
     int n = 0;
     void main() {
@@ -233,7 +232,7 @@ TEST(PromotionEdgeTest, ZeroTripLoopStillCorrect) {
 }
 
 TEST(PromotionEdgeTest, DeepNestingPromotesThroughAllLevels) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int g = 0;
     void main() {
       int a; int b; int c;
@@ -251,7 +250,7 @@ TEST(PromotionEdgeTest, DeepNestingPromotesThroughAllLevels) {
 }
 
 TEST(PromotionEdgeTest, ManyVariablesInOneLoop) {
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int a = 0; int b = 0; int c = 0; int d = 0;
     int e = 0; int f = 0; int g = 0; int h = 0;
     void main() {
@@ -271,7 +270,7 @@ TEST(PromotionEdgeTest, ConditionalStoreOnlySomePaths) {
   // g is stored on one arm only; the phi merges a store-defined and a
   // live-in version, forcing a leaf load on the non-store edge if
   // promotion fires.
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().run(R"(
     int g = 10;
     void main() {
       int i;

@@ -26,7 +26,7 @@ namespace {
 PipelineResult runPaper(const std::string &Source) {
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Paper;
-  PipelineResult R = runPipeline(Source, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Source);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << E;
   EXPECT_TRUE(R.Ok);
@@ -272,15 +272,14 @@ TEST(PromotionTest, UnexecutedFunctionsStillTransformValidly) {
 TEST(PromotionTest, StoreEliminationCanBeDisabled) {
   PipelineOptions Opts;
   Opts.Promo.AllowStoreElimination = false;
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().options(Opts).run(R"(
     int x = 0;
     void main() {
       int i;
       for (i = 0; i < 50; i++) x = x + 1;
       print(x);
     }
-  )",
-                                 Opts);
+  )");
   ASSERT_TRUE(R.Ok) << (R.Errors.empty() ? "?" : R.Errors[0]);
   EXPECT_EQ(R.RunAfter.Output[0], 50);
   // Loads are gone but the 50 stores remain (variable lives in memory and
@@ -306,12 +305,12 @@ TEST(PromotionTest, LoopBaselineBlockedByCall) {
   )";
   PipelineOptions Base;
   Base.Mode = PromotionMode::LoopBaseline;
-  PipelineResult RB = runPipeline(Src, Base);
+  PipelineResult RB = PipelineBuilder().options(Base).run(Src);
   ASSERT_TRUE(RB.Ok) << (RB.Errors.empty() ? "?" : RB.Errors[0]);
 
   PipelineOptions Paper;
   Paper.Mode = PromotionMode::Paper;
-  PipelineResult RP = runPipeline(Src, Paper);
+  PipelineResult RP = PipelineBuilder().options(Paper).run(Src);
   ASSERT_TRUE(RP.Ok) << (RP.Errors.empty() ? "?" : RP.Errors[0]);
 
   EXPECT_EQ(RB.RunAfter.Output, RP.RunAfter.Output);
@@ -322,15 +321,14 @@ TEST(PromotionTest, LoopBaselineBlockedByCall) {
 TEST(PromotionTest, LoopBaselinePromotesCleanLoop) {
   PipelineOptions Base;
   Base.Mode = PromotionMode::LoopBaseline;
-  PipelineResult R = runPipeline(R"(
+  PipelineResult R = PipelineBuilder().options(Base).run(R"(
     int x = 0;
     void main() {
       int i;
       for (i = 0; i < 60; i++) x = x + 1;
       print(x);
     }
-  )",
-                                 Base);
+  )");
   ASSERT_TRUE(R.Ok) << (R.Errors.empty() ? "?" : R.Errors[0]);
   EXPECT_EQ(R.RunAfter.Output[0], 60);
   EXPECT_GE(R.Baseline.VariablesPromoted, 1u);
@@ -353,12 +351,12 @@ TEST(PromotionTest, WebGranularityBeatsWholeVariable) {
     }
   )";
   PipelineOptions Web;
-  PipelineResult RW = runPipeline(Src, Web);
+  PipelineResult RW = PipelineBuilder().options(Web).run(Src);
   ASSERT_TRUE(RW.Ok);
 
   PipelineOptions Whole;
   Whole.Promo.WebGranularity = false;
-  PipelineResult RV = runPipeline(Src, Whole);
+  PipelineResult RV = PipelineBuilder().options(Whole).run(Src);
   ASSERT_TRUE(RV.Ok);
 
   EXPECT_EQ(RW.RunAfter.Output, RV.RunAfter.Output);

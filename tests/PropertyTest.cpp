@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "pipeline/Job.h"
 #include "pipeline/Pipeline.h"
 #include "gen/Corpus.h"
 #include "ir/Module.h"
@@ -40,7 +41,7 @@ TEST_P(PromotionPropertyTest, PaperModePreservesBehaviour) {
 
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Paper;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;
@@ -58,7 +59,7 @@ TEST_P(PromotionPropertyTest, NoProfileModePreservesBehaviour) {
 
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::PaperNoProfile;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;
@@ -72,7 +73,7 @@ TEST_P(PromotionPropertyTest, LoopBaselinePreservesBehaviour) {
 
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::LoopBaseline;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;
@@ -85,7 +86,7 @@ TEST_P(PromotionPropertyTest, StoreEliminationOffPreservesBehaviour) {
 
   PipelineOptions Opts;
   Opts.Promo.AllowStoreElimination = false;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;
@@ -98,7 +99,7 @@ TEST_P(PromotionPropertyTest, WholeVariableGranularityPreservesBehaviour) {
 
   PipelineOptions Opts;
   Opts.Promo.WebGranularity = false;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;
@@ -111,7 +112,7 @@ TEST_P(PromotionPropertyTest, DirectAliasedStoresPreservesBehaviour) {
 
   PipelineOptions Opts;
   Opts.Promo.DirectAliasedStores = true;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;
@@ -127,7 +128,7 @@ TEST_P(PromotionPropertyTest, MemOptOnlyPreservesBehaviour) {
 
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::MemOptOnly;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;
@@ -210,7 +211,7 @@ TEST_F(ParallelFuzzHeavyTest, SeededProgramsCleanUnderAllModes) {
       PromotionMode::PaperNoProfile, PromotionMode::LoopBaseline,
       PromotionMode::Superblock,     PromotionMode::MemOptOnly};
 
-  std::vector<PipelineJob> Jobs;
+  std::vector<CompileJob> Jobs;
   Jobs.reserve(NumPrograms * std::size(AllModes));
   for (uint64_t Seed = 1; Seed <= NumPrograms; ++Seed) {
     // The promotion-biased shape profiles are the fuzz-suite default:
@@ -222,7 +223,7 @@ TEST_F(ParallelFuzzHeavyTest, SeededProgramsCleanUnderAllModes) {
         srp::gen::generateProgram(Seed, srp::gen::biasedConfig(Seed, Profile));
 
     for (PromotionMode Mode : AllModes) {
-      PipelineJob J;
+      CompileJob J;
       J.Name = "seed-" + std::to_string(Seed) + "/" +
                srp::gen::shapeProfileName(Profile) + "/" +
                promotionModeName(Mode);

@@ -34,7 +34,7 @@ std::vector<Remark> runWithRemarks(const std::string &Source,
   RemarkEngine RE;
   RE.setPassFilter(PassFilter);
   ScopedRemarkSink Install(RE);
-  PipelineResult R = runPipeline(Source, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Source);
   EXPECT_TRUE(R.Ok) << "pipeline failed";
   for (const auto &E : R.Errors)
     ADD_FAILURE() << E;
@@ -93,7 +93,7 @@ TEST(RemarksTest, NoSinkMeansNoRecording) {
   // The whole pipeline runs with emission sites reduced to a null check.
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Paper;
-  PipelineResult R = runPipeline(HotLoop, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(HotLoop);
   EXPECT_TRUE(R.Ok);
 }
 

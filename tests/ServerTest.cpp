@@ -1,0 +1,404 @@
+//===- tests/ServerTest.cpp - compile-server tests ------------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-process CompileServer tests: wire-protocol round trips, concurrent
+/// jobs with overlapping function names staying ExecutionResult-identical
+/// to sequential one-shot runs (per-job isolation), job-cache hits over
+/// the wire, bounded-queue backpressure, protocol-error handling, and the
+/// ping/stats/shutdown lifecycle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Server.h"
+#include "support/JSON.h"
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <mutex>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace srp;
+using namespace srp::server;
+
+namespace {
+
+/// Unique per-test socket path so parallel ctest invocations (and crashed
+/// prior runs) cannot collide.
+std::string testSocketPath(const char *Tag) {
+  return "/tmp/srp-servertest-" + std::to_string(getpid()) + "-" + Tag +
+         ".sock";
+}
+
+/// Every program shares the global/function names `acc`, `helper`, and
+/// `main` — concurrent jobs must not alias each other's analyses or
+/// modules even when symbol names collide across jobs.
+std::string overlappingProgram(int K) {
+  std::string N = std::to_string(6 + K);
+  std::string B = std::to_string(K);
+  return "int acc = 0;\n"
+         "int helper(int n) { acc = acc + n; return acc; }\n"
+         "int main() {\n"
+         "  int i;\n"
+         "  for (i = 0; i < " + N + "; i++) helper(i + " + B + ");\n"
+         "  print(acc);\n"
+         "  return acc;\n"
+         "}\n";
+}
+
+CompileJob makeJob(const std::string &Src, PromotionMode Mode,
+                   const std::string &Name) {
+  CompileJob J;
+  J.Name = Name;
+  J.Source = SourceText(Src);
+  J.Opts.Mode = Mode;
+  return J;
+}
+
+struct RunningServer {
+  CompileServer Srv;
+  explicit RunningServer(ServerOptions O) : Srv(std::move(O)) {
+    std::string Err;
+    if (!Srv.start(Err)) {
+      ADD_FAILURE() << "server start failed: " << Err;
+      Started = false;
+    }
+  }
+  ~RunningServer() {
+    if (Started) {
+      Srv.requestShutdown();
+      Srv.wait();
+    }
+  }
+  bool Started = true;
+};
+
+TEST(ServerTest, ProtocolRequestRoundTrip) {
+  CompileJob J = makeJob(overlappingProgram(0), PromotionMode::Superblock,
+                         "round.mc");
+  J.Opts.EntryFunction = "main";
+  J.Opts.Promo.ProfitThreshold = 7;
+  J.Opts.Promo.WebGranularity = false;
+  J.InputIsIR = false;
+
+  std::string Line = encodeCompileRequest(J, 42);
+  json::Value Req;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Line, Req, Err)) << Err;
+
+  CompileJob Back;
+  uint64_t Id = 0;
+  ASSERT_TRUE(decodeCompileRequest(Req, Back, Id, Err)) << Err;
+  EXPECT_EQ(Id, 42u);
+  EXPECT_EQ(Back.Name, J.Name);
+  EXPECT_EQ(Back.Source.str(), J.Source.str());
+  EXPECT_EQ(Back.InputIsIR, J.InputIsIR);
+  EXPECT_EQ(Back.Opts.Mode, J.Opts.Mode);
+  EXPECT_EQ(Back.Opts.Promo.ProfitThreshold, J.Opts.Promo.ProfitThreshold);
+  EXPECT_EQ(Back.Opts.Promo.WebGranularity, J.Opts.Promo.WebGranularity);
+  // Same work on both sides of the wire: same cache identity.
+  EXPECT_EQ(jobFingerprint(Back), jobFingerprint(J));
+  EXPECT_EQ(pipelineOptionsKey(Back.Opts), pipelineOptionsKey(J.Opts));
+}
+
+TEST(ServerTest, ProtocolBadRequestsAreRejected) {
+  json::Value Req;
+  std::string Err;
+  // Missing source.
+  ASSERT_TRUE(json::parse(R"({"op":"compile","id":3})", Req, Err));
+  CompileJob J;
+  uint64_t Id = 0;
+  EXPECT_FALSE(decodeCompileRequest(Req, J, Id, Err));
+  // Unknown mode.
+  ASSERT_TRUE(json::parse(
+      R"({"op":"compile","id":3,"source":"void main() {}","mode":"turbo"})",
+      Req, Err));
+  EXPECT_FALSE(decodeCompileRequest(Req, J, Id, Err));
+}
+
+// Satellite of the compile-server PR: N concurrent jobs with overlapping
+// function names and distinct promotion modes through the server must be
+// ExecutionResult-identical to sequential one-shot runs.
+TEST(ServerTest, ConcurrentJobsMatchSequentialOneShot) {
+  const int NumPrograms = 4;
+  std::vector<CompileJob> Jobs;
+  for (int P = 0; P != NumPrograms; ++P)
+    for (PromotionMode M : allPromotionModes())
+      Jobs.push_back(makeJob(overlappingProgram(P), M,
+                             "p" + std::to_string(P) + "-" +
+                                 promotionModeName(M)));
+
+  // Sequential ground truth through the same job API the CLI uses.
+  struct Expected {
+    bool Ok;
+    int64_t ExitValue;
+    std::vector<int64_t> Output;
+    uint64_t MemHash;
+  };
+  std::vector<Expected> Want;
+  for (const CompileJob &J : Jobs) {
+    JobResult R = runCompileJob(J);
+    ASSERT_TRUE(R.ok()) << J.Name;
+    Want.push_back({R.ok(), R.Pipeline.RunAfter.ExitValue,
+                    R.Pipeline.RunAfter.Output,
+                    finalMemoryHash(R.Pipeline.RunAfter)});
+  }
+
+  ServerOptions O;
+  O.SocketPath = testSocketPath("parity");
+  O.Threads = 2;
+  O.QueueCapacity = 8;
+  O.MaxBatch = 4;
+  O.CacheEntries = 1; // all jobs distinct: every one runs the pipeline
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  const unsigned NumClients = 4;
+  std::vector<CompileResponse> Got(Jobs.size());
+  std::vector<std::string> ClientErrs(NumClients);
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != NumClients; ++C)
+    Threads.emplace_back([&, C] {
+      Client Cl;
+      std::string Err;
+      if (!Cl.connect(O.SocketPath, Err)) {
+        ClientErrs[C] = Err;
+        return;
+      }
+      for (size_t I = C; I < Jobs.size(); I += NumClients)
+        if (!Cl.compile(Jobs[I], Got[I], Err)) {
+          ClientErrs[C] = Jobs[I].Name + ": " + Err;
+          return;
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const std::string &E : ClientErrs)
+    EXPECT_TRUE(E.empty()) << E;
+
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    EXPECT_EQ(Got[I].Ok, Want[I].Ok) << Jobs[I].Name;
+    EXPECT_EQ(Got[I].ExitValue, Want[I].ExitValue) << Jobs[I].Name;
+    EXPECT_EQ(Got[I].Output, Want[I].Output) << Jobs[I].Name;
+    EXPECT_EQ(Got[I].FinalMemoryHash, Want[I].MemHash) << Jobs[I].Name;
+    EXPECT_FALSE(Got[I].ReportJson.empty()) << Jobs[I].Name;
+  }
+
+  ServerStats St = S.Srv.stats();
+  EXPECT_EQ(St.JobsSubmitted, Jobs.size());
+  EXPECT_EQ(St.JobsCompleted, Jobs.size());
+  EXPECT_EQ(St.JobsFailed, 0u);
+  EXPECT_GE(St.Batches, 1u);
+}
+
+TEST(ServerTest, CacheHitReturnsIdenticalReport) {
+  ServerOptions O;
+  O.SocketPath = testSocketPath("cache");
+  O.Threads = 1;
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  Client Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect(O.SocketPath, Err)) << Err;
+
+  CompileJob J = makeJob(overlappingProgram(1), PromotionMode::Paper,
+                         "cached.mc");
+  CompileResponse R1, R2;
+  ASSERT_TRUE(Cl.compile(J, R1, Err)) << Err;
+  ASSERT_TRUE(R1.Ok);
+  EXPECT_FALSE(R1.CacheHit);
+
+  ASSERT_TRUE(Cl.compile(J, R2, Err)) << Err;
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_TRUE(R2.CacheHit);
+  // The cached entry carries the original resultToJson bytes, so the
+  // resubmission's report is byte-identical, not merely equivalent.
+  EXPECT_EQ(R2.ReportJson, R1.ReportJson);
+  EXPECT_EQ(R2.ExitValue, R1.ExitValue);
+  EXPECT_EQ(R2.Output, R1.Output);
+  EXPECT_EQ(R2.FinalMemoryHash, R1.FinalMemoryHash);
+
+  ServerStats St = S.Srv.stats();
+  EXPECT_EQ(St.JobsSubmitted, 2u);
+  EXPECT_EQ(St.JobsCompleted, 1u); // second answered from cache
+  EXPECT_GE(St.Cache.Hits, 1u);
+}
+
+TEST(ServerTest, PipelineFailuresTravelInBand) {
+  ServerOptions O;
+  O.SocketPath = testSocketPath("fail");
+  O.Threads = 1;
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  Client Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect(O.SocketPath, Err)) << Err;
+
+  CompileJob Bad = makeJob("void main() { undeclared = 1; }",
+                           PromotionMode::Paper, "bad.mc");
+  CompileResponse R;
+  // Transport succeeds; the failure is in the response body.
+  ASSERT_TRUE(Cl.compile(Bad, R, Err)) << Err;
+  EXPECT_FALSE(R.Ok);
+  ASSERT_FALSE(R.Errors.empty());
+  EXPECT_FALSE(R.ReportJson.empty());
+
+  ServerStats St = S.Srv.stats();
+  EXPECT_EQ(St.JobsFailed, 1u);
+}
+
+// Floods the server through a raw socket — many requests written before
+// any response is read — with a capacity-1 queue. Every request must
+// still be answered (readers block, nothing is dropped) and the server
+// must record that backpressure engaged.
+TEST(ServerTest, BackpressureBlocksWithoutDroppingJobs) {
+  ServerOptions O;
+  O.SocketPath = testSocketPath("pressure");
+  O.Threads = 1;
+  O.QueueCapacity = 1;
+  O.MaxBatch = 1;
+  O.CacheEntries = 1;
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(FD, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s",
+                O.SocketPath.c_str());
+  ASSERT_EQ(::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+
+  const int NumRequests = 12;
+  std::string Burst;
+  for (int I = 0; I != NumRequests; ++I) {
+    // Distinct sources so the job cache cannot absorb the flood.
+    CompileJob J = makeJob(overlappingProgram(I), PromotionMode::Paper,
+                           "flood-" + std::to_string(I));
+    Burst += encodeCompileRequest(J, uint64_t(I + 1)) + "\n";
+  }
+  size_t Off = 0;
+  while (Off < Burst.size()) {
+    ssize_t N = ::send(FD, Burst.data() + Off, Burst.size() - Off, 0);
+    ASSERT_GT(N, 0);
+    Off += size_t(N);
+  }
+
+  std::string Acc;
+  int Responses = 0;
+  std::vector<bool> SeenId(NumRequests + 1, false);
+  char Chunk[4096];
+  while (Responses < NumRequests) {
+    ssize_t N = ::recv(FD, Chunk, sizeof(Chunk), 0);
+    ASSERT_GT(N, 0) << "connection closed before all responses arrived";
+    Acc.append(Chunk, size_t(N));
+    size_t NL;
+    while ((NL = Acc.find('\n')) != std::string::npos) {
+      std::string Line = Acc.substr(0, NL);
+      Acc.erase(0, NL + 1);
+      json::Value Doc;
+      std::string Err;
+      ASSERT_TRUE(json::parse(Line, Doc, Err)) << Err;
+      CompileResponse R;
+      ASSERT_TRUE(decodeCompileResponse(Doc, R, Err)) << Err;
+      EXPECT_TRUE(R.Ok) << "request " << R.Id;
+      ASSERT_GE(R.Id, 1u);
+      ASSERT_LE(R.Id, uint64_t(NumRequests));
+      EXPECT_FALSE(SeenId[size_t(R.Id)]) << "duplicate response";
+      SeenId[size_t(R.Id)] = true;
+      ++Responses;
+    }
+  }
+  ::close(FD);
+
+  ServerStats St = S.Srv.stats();
+  EXPECT_EQ(St.JobsSubmitted, uint64_t(NumRequests));
+  EXPECT_EQ(St.JobsCompleted, uint64_t(NumRequests));
+  EXPECT_GE(St.BackpressureWaits, 1u) << "capacity-1 queue never filled";
+}
+
+TEST(ServerTest, ProtocolErrorsAreAnsweredAndCounted) {
+  ServerOptions O;
+  O.SocketPath = testSocketPath("proto");
+  O.Threads = 1;
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  Client Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect(O.SocketPath, Err)) << Err;
+
+  const char *BadLines[] = {
+      "this is not json",
+      R"({"op":"frobnicate"})",
+      R"({"op":"compile","id":9})", // missing source
+  };
+  for (const char *Bad : BadLines) {
+    std::string Resp;
+    ASSERT_TRUE(Cl.roundTrip(Bad, Resp, Err)) << Err;
+    json::Value Doc;
+    ASSERT_TRUE(json::parse(Resp, Doc, Err)) << Err;
+    EXPECT_FALSE(Doc.get("ok").asBool(true)) << Bad;
+    EXPECT_FALSE(Doc.get("error").asString().empty()) << Bad;
+  }
+  // The connection survives garbage and still serves real work.
+  CompileJob J = makeJob(overlappingProgram(2), PromotionMode::Paper,
+                         "after-garbage.mc");
+  CompileResponse R;
+  ASSERT_TRUE(Cl.compile(J, R, Err)) << Err;
+  EXPECT_TRUE(R.Ok);
+
+  EXPECT_EQ(S.Srv.stats().ProtocolErrors, 3u);
+}
+
+TEST(ServerTest, PingStatsShutdownLifecycle) {
+  ServerOptions O;
+  O.SocketPath = testSocketPath("life");
+  O.Threads = 1;
+  CompileServer Srv(O);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(Err)) << Err;
+  ASSERT_TRUE(Srv.running());
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(O.SocketPath, Err)) << Err;
+  EXPECT_TRUE(Cl.ping(Err)) << Err;
+
+  CompileJob J = makeJob(overlappingProgram(3), PromotionMode::MemOptOnly,
+                         "life.mc");
+  CompileResponse R;
+  ASSERT_TRUE(Cl.compile(J, R, Err)) << Err;
+  EXPECT_TRUE(R.Ok);
+
+  std::string StatsJson;
+  ASSERT_TRUE(Cl.requestStats(StatsJson, Err)) << Err;
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(StatsJson, Doc, Err)) << Err;
+  EXPECT_EQ(Doc.get("jobs_submitted").asInt(-1), 1);
+  EXPECT_EQ(Doc.get("jobs_completed").asInt(-1), 1);
+  EXPECT_EQ(Doc.get("connections").asInt(-1), 1);
+  EXPECT_TRUE(Doc.get("job_cache").isObject());
+  EXPECT_TRUE(Doc.get("analysis_cache").isObject());
+
+  ASSERT_TRUE(Cl.requestShutdown(Err)) << Err;
+  Srv.wait();
+  EXPECT_FALSE(Srv.running());
+  // Socket file is gone: a fresh server can bind the same path.
+  CompileServer Again(O);
+  ASSERT_TRUE(Again.start(Err)) << Err;
+  Again.requestShutdown();
+  Again.wait();
+}
+
+} // namespace

@@ -24,7 +24,7 @@ namespace {
 PipelineResult runSB(const std::string &Source) {
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Superblock;
-  PipelineResult R = runPipeline(Source, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Source);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << E;
   return R;
@@ -66,7 +66,7 @@ TEST(SuperblockTest, ColdCallPathDoesNotBlock) {
 
   PipelineOptions Base;
   Base.Mode = PromotionMode::LoopBaseline;
-  PipelineResult RB = runPipeline(Src, Base);
+  PipelineResult RB = PipelineBuilder().options(Base).run(Src);
   ASSERT_TRUE(RB.Ok);
   EXPECT_EQ(RB.Baseline.VariablesPromoted, 0u);
 
@@ -139,7 +139,7 @@ TEST(SuperblockTest, SuperblockCanBeatPaperPlacement) {
   PipelineResult RS = runSB(Src);
   ASSERT_TRUE(RS.Ok);
   PipelineOptions Paper;
-  PipelineResult RP = runPipeline(Src, Paper);
+  PipelineResult RP = PipelineBuilder().options(Paper).run(Src);
   ASSERT_TRUE(RP.Ok);
   EXPECT_EQ(RS.RunAfter.Output, RP.RunAfter.Output);
   // Faithful paper placement keeps b's store each iteration here.
@@ -165,7 +165,7 @@ TEST(SuperblockTest, PaperWinsWhenRefsLeaveTheTrace) {
   PipelineResult RS = runSB(Src);
   ASSERT_TRUE(RS.Ok);
   PipelineOptions Paper;
-  PipelineResult RP = runPipeline(Src, Paper);
+  PipelineResult RP = PipelineBuilder().options(Paper).run(Src);
   ASSERT_TRUE(RP.Ok);
   EXPECT_EQ(RS.RunAfter.Output, RP.RunAfter.Output);
   EXPECT_LT(RP.RunAfter.Counts.memOps(), RS.RunAfter.Counts.memOps());
@@ -178,7 +178,7 @@ TEST_P(SuperblockPropertyTest, PreservesBehaviourOnRandomPrograms) {
   std::string Src = Gen.generate();
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Superblock;
-  PipelineResult R = runPipeline(Src, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(Src);
   for (const auto &E : R.Errors)
     ADD_FAILURE() << "seed " << GetParam() << ": " << E << "\nprogram:\n"
                   << Src;

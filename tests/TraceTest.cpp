@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "pipeline/Job.h"
 #include "pipeline/Pipeline.h"
 #include "support/Trace.h"
 #include "TestHelpers.h"
@@ -130,7 +131,7 @@ TEST(TraceTest, PipelineRunEmitsPassAnalysisAndInterpTracks) {
   trace::start();
   PipelineOptions Opts;
   Opts.Mode = PromotionMode::Paper;
-  PipelineResult R = runPipeline(TinyLoop, Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(TinyLoop);
   trace::stop();
   ASSERT_TRUE(R.Ok);
 
@@ -144,13 +145,13 @@ TEST(TraceTest, PipelineRunEmitsPassAnalysisAndInterpTracks) {
 
 TEST(TraceTest, ParallelDriverOneTrackPerWorker) {
   TraceGuard G;
-  std::vector<PipelineJob> Jobs;
+  std::vector<CompileJob> Jobs;
   const PromotionMode Modes[] = {
       PromotionMode::None,         PromotionMode::Paper,
       PromotionMode::LoopBaseline, PromotionMode::Superblock,
       PromotionMode::Paper,        PromotionMode::None};
   for (size_t I = 0; I != std::size(Modes); ++I) {
-    PipelineJob J;
+    CompileJob J;
     // Unique names so the one-span-per-job count below cannot alias.
     J.Name = "tiny" + std::to_string(I) + "/" +
              promotionModeName(Modes[I]);
@@ -181,7 +182,7 @@ TEST(TraceTest, ParallelDriverOneTrackPerWorker) {
   // Every job span landed on exactly one worker's track, none lost or
   // duplicated by the merge.
   size_t JobSpans = 0;
-  for (const PipelineJob &Job : Jobs)
+  for (const CompileJob &Job : Jobs)
     JobSpans += countOccurrences(J, "\"name\": \"" + Job.Name + "\", "
                                     "\"cat\": \"job\", \"ph\": \"X\"");
   EXPECT_EQ(JobSpans, Jobs.size());

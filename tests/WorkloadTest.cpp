@@ -64,7 +64,7 @@ TEST_P(WorkloadModeTest, CompilesRunsAndPreservesBehaviour) {
   const Case &C = GetParam();
   PipelineOptions Opts;
   Opts.Mode = C.Mode;
-  PipelineResult R = runPipeline(loadWorkload(C.File), Opts);
+  PipelineResult R = PipelineBuilder().options(Opts).run(loadWorkload(C.File));
   for (const auto &E : R.Errors)
     ADD_FAILURE() << C.File << ": " << E;
   ASSERT_TRUE(R.Ok);
@@ -100,7 +100,7 @@ TEST(WorkloadShapeTest, VortexImprovesLeastGoImprovesMost) {
   auto improvement = [&](const char *File) {
     PipelineOptions Opts;
     Opts.Mode = PromotionMode::Paper;
-    PipelineResult R = runPipeline(loadWorkload(File), Opts);
+    PipelineResult R = PipelineBuilder().options(Opts).run(loadWorkload(File));
     EXPECT_TRUE(R.Ok);
     double Bef = static_cast<double>(R.RunBefore.Counts.memOps());
     double Aft = static_cast<double>(R.RunAfter.Counts.memOps());
@@ -144,7 +144,7 @@ TEST_P(LargeWorkloadHeavyTest, FullOracleCleanAndPromotionWins) {
   // even.
   PipelineOptions PO;
   PO.Mode = PromotionMode::Paper;
-  PipelineResult PR = runPipeline(Src, PO);
+  PipelineResult PR = PipelineBuilder().options(PO).run(Src);
   ASSERT_TRUE(PR.Ok) << GetParam();
   EXPECT_LT(PR.RunAfter.Counts.memOps(), PR.RunBefore.Counts.memOps())
       << GetParam();
@@ -163,10 +163,10 @@ TEST(WorkloadShapeTest, BaselineNeverBeatsPaperPromoter) {
     std::string Src = loadWorkload(File);
     PipelineOptions Base;
     Base.Mode = PromotionMode::LoopBaseline;
-    PipelineResult RB = runPipeline(Src, Base);
+    PipelineResult RB = PipelineBuilder().options(Base).run(Src);
     PipelineOptions Paper;
     Paper.Mode = PromotionMode::Paper;
-    PipelineResult RP = runPipeline(Src, Paper);
+    PipelineResult RP = PipelineBuilder().options(Paper).run(Src);
     ASSERT_TRUE(RB.Ok && RP.Ok) << File;
     EXPECT_LE(RP.RunAfter.Counts.memOps(), RB.RunAfter.Counts.memOps())
         << File;

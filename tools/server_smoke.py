@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compile-server smoke gate (ctest: srp_server_smoke).
+
+Starts an `srpc --serve` daemon on a private socket, submits 20
+mixed-mode jobs through `srpc --connect`, and checks that every remote
+report is behaviourally identical to a local one-shot run of the same
+job: same ok / exit_value / printed output / final-memory digest /
+static+dynamic operation counts. The job list deliberately repeats
+(workload, mode) pairs so the server's job cache answers some requests,
+and the gate finishes with a stats query and a clean `--shutdown`,
+asserting the daemon drains and exits 0.
+
+This is the end-to-end slice of tests/ServerTest.cpp: real processes,
+real socket, the exact CLI a user types.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+MODES = ["none", "paper", "noprofile", "baseline", "superblock", "memopt"]
+
+# Behavioural report fields: identical whether the job ran in-process or
+# on the server. (Timing and process-lifetime statistics are not.)
+BEHAVIOURAL = ["file", "mode", "entry", "ok", "errors", "exit_value"]
+
+FAILURES = []
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+    return cond
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, capture_output=True, text=True, **kw)
+
+
+def report_for(args, workload, mode, remote):
+    cmd = [args.srpc, f"--mode={mode}", "--stats-json", "--quiet"]
+    if remote:
+        cmd += ["--connect", f"--socket={args.socket}"]
+    cmd.append(workload)
+    proc = run(cmd)
+    where = "remote" if remote else "local"
+    if not check(proc.returncode == 0,
+                 f"{where} {os.path.basename(workload)} mode={mode} "
+                 f"exited {proc.returncode}:\n{proc.stderr}"):
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        check(False, f"{where} {os.path.basename(workload)} mode={mode}: "
+                     f"bad report JSON: {e}")
+        return None
+
+
+def compare(workload, mode, local, remote):
+    tag = f"{os.path.basename(workload)} mode={mode}"
+    for key in BEHAVIOURAL:
+        check(local.get(key) == remote.get(key),
+              f"{tag}: {key} differs: local={local.get(key)!r} "
+              f"remote={remote.get(key)!r}")
+    for section, keys in (
+        ("exec", ["output", "final_memory_hash"]),
+        ("counts", None),  # every counter is deterministic
+    ):
+        lsec, rsec = local.get(section, {}), remote.get(section, {})
+        for key in keys if keys is not None else sorted(lsec):
+            check(lsec.get(key) == rsec.get(key),
+                  f"{tag}: {section}.{key} differs: "
+                  f"local={lsec.get(key)!r} remote={rsec.get(key)!r}")
+
+
+def wait_for_server(args, deadline=10.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if run([args.srpc, "--ping", f"--socket={args.socket}"]).returncode == 0:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--srpc", required=True)
+    ap.add_argument("--workload-dir", required=True)
+    ap.add_argument("--socket", default=None)
+    ap.add_argument("--jobs", type=int, default=20)
+    args = ap.parse_args()
+    if args.socket is None:
+        args.socket = f"/tmp/srp-smoke-{os.getpid()}.sock"
+
+    workloads = [os.path.join(args.workload_dir, w + ".mc")
+                 for w in ("compress", "li", "eqntott", "go")]
+    for w in workloads:
+        if not os.path.exists(w):
+            sys.exit(f"missing workload {w}")
+
+    server = subprocess.Popen(
+        [args.srpc, "--serve", f"--socket={args.socket}",
+         "--threads=2", "--queue=8", "--batch=4"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        if not check(wait_for_server(args), "server never answered --ping"):
+            server.kill()
+            report_and_exit(server)
+
+        # gcd(4 workloads, 6 modes) = 2, so the 20-job sequence covers all
+        # 12 distinct (workload, mode) pairs and then repeats 8 — the
+        # repeats must come back as job-cache hits with identical reports.
+        jobs = [(workloads[i % len(workloads)], MODES[i % len(MODES)])
+                for i in range(args.jobs)]
+        for workload, mode in jobs:
+            local = report_for(args, workload, mode, remote=False)
+            remote = report_for(args, workload, mode, remote=True)
+            if local is not None and remote is not None:
+                compare(workload, mode, local, remote)
+
+        stats_proc = run([args.srpc, "--server-stats",
+                          f"--socket={args.socket}"])
+        if check(stats_proc.returncode == 0,
+                 f"--server-stats exited {stats_proc.returncode}"):
+            stats = json.loads(stats_proc.stdout)
+            check(stats.get("jobs_submitted") == len(jobs),
+                  f"jobs_submitted={stats.get('jobs_submitted')}, "
+                  f"expected {len(jobs)}")
+            check(stats.get("jobs_failed") == 0,
+                  f"jobs_failed={stats.get('jobs_failed')}")
+            hits = stats.get("job_cache", {}).get("hits", 0)
+            check(hits >= len(jobs) - 12,
+                  f"expected >= {len(jobs) - 12} cache hits on repeated "
+                  f"jobs, got {hits}")
+
+        check(run([args.srpc, "--shutdown",
+                   f"--socket={args.socket}"]).returncode == 0,
+              "--shutdown failed")
+        try:
+            rc = server.wait(timeout=10)
+            check(rc == 0, f"server exited {rc} after shutdown")
+        except subprocess.TimeoutExpired:
+            check(False, "server did not exit within 10s of --shutdown")
+            server.kill()
+        check(not os.path.exists(args.socket),
+              "socket file left behind after shutdown")
+    finally:
+        if server.poll() is None:
+            server.kill()
+    report_and_exit(server)
+
+
+def report_and_exit(server):
+    if FAILURES:
+        print(f"srp_server_smoke: {len(FAILURES)} failure(s)")
+        for f in FAILURES:
+            print(f"  FAIL: {f}")
+        out = server.stdout.read() if server.stdout else ""
+        if out:
+            print("--- server output ---")
+            print(out)
+        sys.exit(1)
+    print("srp_server_smoke: ok (parity, cache hits, clean shutdown)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
