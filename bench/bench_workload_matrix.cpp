@@ -23,6 +23,15 @@
 ///   bench_workload_matrix --server --stats-json
 ///   bench_workload_matrix --server --trace-out=server.trace.json
 ///
+/// With --validator-overhead it measures what `-verify-each=semantic`
+/// costs: the matrix runs once at Strictness::Full and once at
+/// Strictness::Semantic, and the report is the wall-seconds delta plus
+/// the validator's own accounting (passes validated, obligations
+/// proven, webs discharged — docs/TRANSLATION_VALIDATION.md):
+///
+///   bench_workload_matrix --validator-overhead
+///   bench_workload_matrix --validator-overhead --stats-json
+///
 /// The JSON schema matches `srpc --stats-json` (docs/OBSERVABILITY.md):
 /// a "statistics" object aggregated over every job plus per-job summary
 /// rows, so dashboards can consume both tools identically.
@@ -213,11 +222,97 @@ void printLoadJson(const LoadReport &R, unsigned Clients) {
   std::printf("%s\n", Doc.dump().c_str());
 }
 
+/// One strictness leg of the --validator-overhead comparison.
+struct OverheadLeg {
+  double WallSeconds = 0;
+  unsigned Failures = 0;
+  TransValidateStats Validation; ///< zero for the Full leg
+};
+
+OverheadLeg runOverheadLeg(const std::vector<CompileJob> &Jobs,
+                           unsigned Threads, Strictness S) {
+  std::vector<CompileJob> Configured = Jobs;
+  for (CompileJob &J : Configured) {
+    J.Opts.VerifyEachStep = true;
+    J.Opts.VerifyStrictness = S;
+  }
+  std::vector<PipelineResult> Results;
+  OverheadLeg Leg;
+  Leg.WallSeconds = runMatrix(Configured, Threads, Results);
+  for (const PipelineResult &R : Results) {
+    if (!R.Ok)
+      ++Leg.Failures;
+    Leg.Validation += R.Verify.Validation;
+  }
+  return Leg;
+}
+
+void printOverheadText(const OverheadLeg &Full, const OverheadLeg &Sem,
+                       size_t JobCount, unsigned Threads) {
+  const double Delta = Sem.WallSeconds - Full.WallSeconds;
+  std::printf("validator overhead: %zu jobs, threads=%u\n", JobCount,
+              Threads);
+  std::printf("  verify=full      %8.3f s  failures %u\n", Full.WallSeconds,
+              Full.Failures);
+  std::printf("  verify=semantic  %8.3f s  failures %u\n", Sem.WallSeconds,
+              Sem.Failures);
+  std::printf("  delta            %8.3f s  (%.2fx, %.1f ms/job)\n", Delta,
+              Full.WallSeconds > 0 ? Sem.WallSeconds / Full.WallSeconds : 0,
+              JobCount ? Delta * 1e3 / double(JobCount) : 0);
+  const TransValidateStats &V = Sem.Validation;
+  std::printf("  validated        %llu passes, %llu functions "
+              "(%llu skipped identical)\n",
+              (unsigned long long)V.PassesValidated,
+              (unsigned long long)V.FunctionsValidated,
+              (unsigned long long)V.FunctionsSkippedIdentical);
+  std::printf("  proven           %llu obligations, %llu/%llu webs, "
+              "%llu effect pairs, %.3f s inside the validator\n",
+              (unsigned long long)V.ObligationsProven,
+              (unsigned long long)V.WebsProven,
+              (unsigned long long)V.WebsChecked,
+              (unsigned long long)V.EffectPairsMatched, V.WallSeconds);
+}
+
+void printOverheadJson(const OverheadLeg &Full, const OverheadLeg &Sem,
+                       size_t JobCount, unsigned Threads) {
+  const TransValidateStats &V = Sem.Validation;
+  json::Value Doc = json::Value::object();
+  Doc.set("job_count", json::Value::integer(int64_t(JobCount)));
+  Doc.set("threads", json::Value::integer(Threads));
+  json::Value F = json::Value::object();
+  F.set("wall_seconds", json::Value::number(Full.WallSeconds));
+  F.set("failures", json::Value::integer(Full.Failures));
+  Doc.set("full", std::move(F));
+  json::Value S = json::Value::object();
+  S.set("wall_seconds", json::Value::number(Sem.WallSeconds));
+  S.set("failures", json::Value::integer(Sem.Failures));
+  json::Value Val = json::Value::object();
+  Val.set("passes_validated", json::Value::integer(int64_t(V.PassesValidated)));
+  Val.set("functions_validated",
+          json::Value::integer(int64_t(V.FunctionsValidated)));
+  Val.set("functions_skipped_identical",
+          json::Value::integer(int64_t(V.FunctionsSkippedIdentical)));
+  Val.set("effect_pairs_matched",
+          json::Value::integer(int64_t(V.EffectPairsMatched)));
+  Val.set("obligations_proven",
+          json::Value::integer(int64_t(V.ObligationsProven)));
+  Val.set("obligations_failed",
+          json::Value::integer(int64_t(V.ObligationsFailed)));
+  Val.set("webs_checked", json::Value::integer(int64_t(V.WebsChecked)));
+  Val.set("webs_proven", json::Value::integer(int64_t(V.WebsProven)));
+  Val.set("wall_seconds", json::Value::number(V.WallSeconds));
+  S.set("validation", std::move(Val));
+  Doc.set("semantic", std::move(S));
+  Doc.set("delta_wall_seconds",
+          json::Value::number(Sem.WallSeconds - Full.WallSeconds));
+  std::printf("%s\n", Doc.dump().c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   unsigned Threads = 0; // 0 = sweep 1,2,4,..,hw in text mode
-  bool StatsJson = false, ServerMode = false;
+  bool StatsJson = false, ServerMode = false, ValidatorOverhead = false;
   unsigned Clients = 4, Requests = 0;
   server::ServerOptions SrvOpts;
   SrvOpts.SocketPath = "/tmp/srpc-bench.sock";
@@ -237,6 +332,10 @@ int main(int argc, char **argv) {
              TraceOutPath = V;
              return !V.empty();
            });
+  OP.flag("validator-overhead",
+          "run the matrix at verify=full and verify=semantic and report "
+          "the translation validator's wall-seconds delta",
+          [&] { ValidatorOverhead = true; });
   OP.flag("server",
           "load-generator mode: start an in-process compile server and "
           "drive the matrix through concurrent socket clients",
@@ -298,6 +397,22 @@ int main(int argc, char **argv) {
     Out << trace::toChromeJson();
     return true;
   };
+
+  if (ValidatorOverhead) {
+    const unsigned T = Threads ? Threads : HW;
+    OverheadLeg Full = runOverheadLeg(Jobs, T, Strictness::Full);
+    OverheadLeg Sem = runOverheadLeg(Jobs, T, Strictness::Semantic);
+    if (StatsJson)
+      printOverheadJson(Full, Sem, Jobs.size(), T);
+    else
+      printOverheadText(Full, Sem, Jobs.size(), T);
+    if (!writeTrace())
+      return 2;
+    return (Full.Failures || Sem.Failures ||
+            Sem.Validation.ObligationsFailed)
+               ? 1
+               : 0;
+  }
 
   if (ServerMode) {
     SrvOpts.Threads = Threads ? Threads : HW;

@@ -35,6 +35,8 @@ const char *srp::strictnessName(Strictness S) {
     return "fast";
   case Strictness::Full:
     return "full";
+  case Strictness::Semantic:
+    return "semantic";
   }
   return "unknown";
 }
@@ -46,6 +48,8 @@ bool srp::parseStrictness(const std::string &Name, Strictness &S) {
     S = Strictness::Fast;
   else if (Name == "full")
     S = Strictness::Full;
+  else if (Name == "semantic")
+    S = Strictness::Semantic;
   else
     return false;
   return true;

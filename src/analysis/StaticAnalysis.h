@@ -58,9 +58,14 @@ enum class Strictness : uint8_t {
   Off,  ///< No verification.
   Fast, ///< L0/L1 + per-instruction memory-SSA link checks.
   Full, ///< Everything: version walks, alias tagging, L3/L4.
+  /// Full plus per-pass translation validation: every transforming pass
+  /// must *prove* the new IR equivalent to a pre-pass snapshot via the
+  /// simulation relation in analysis/TransValidate.h. An unproven pair is
+  /// a hard error, exactly like a failed invariant check.
+  Semantic,
 };
 
-/// Stable spelling ("off", "fast", "full") for flags and JSON.
+/// Stable spelling ("off", "fast", "full", "semantic") for flags and JSON.
 const char *strictnessName(Strictness S);
 /// Inverse of strictnessName; returns false (leaving \p S untouched) for
 /// unknown spellings.

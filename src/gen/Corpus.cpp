@@ -202,11 +202,19 @@ unsigned jobsPerProgram(const CheckOptions &O) {
   return 6 + (O.EngineParity ? 2 : 0);
 }
 
+/// The strictness the sweep actually runs at: Semantic piggybacks on Full
+/// (the translation validator needs the structural checks to have passed
+/// before it compares the snapshots).
+Strictness appliedStrictness(const CheckOptions &O) {
+  return O.Semantic && O.Verify == Strictness::Full ? Strictness::Semantic
+                                                    : O.Verify;
+}
+
 void appendJobs(std::vector<CompileJob> &Jobs, const SourceText &Source,
                 const CheckOptions &O, const std::string &Label) {
   PipelineOptions Base;
   Base.VerifyEachStep = O.VerifyEachStep;
-  Base.VerifyStrictness = O.Verify;
+  Base.VerifyStrictness = appliedStrictness(O);
   Base.MeasurePressure = false; // coloring is dead weight for the oracle
   for (PromotionMode M : allPromotionModes()) {
     PipelineOptions PO = Base;
@@ -235,10 +243,23 @@ CheckResult evaluateProgram(const std::vector<PipelineResult> &R,
     return C;
   };
 
+  // A failed pipeline whose error list carries a translation-validation
+  // check ("[trans-...]") gets its own stable signature: the validator
+  // refuted (or could not prove) a pass, which the reducer shrinks
+  // separately from ordinary pipeline failures.
+  const auto SemanticFailure = [](const PipelineResult &RM) {
+    for (const std::string &E : RM.Errors)
+      if (E.find("[trans-") != std::string::npos)
+        return true;
+    return false;
+  };
+
   const auto &Modes = allPromotionModes();
   const PipelineResult &Control = R[Base];
   if (!Control.Ok)
-    return Fail("pipeline-error:none", joinErrors(Control));
+    return Fail(SemanticFailure(Control) ? "semantic-validation:none"
+                                         : "pipeline-error:none",
+                joinErrors(Control));
   if (!Control.RunAfter.Ok)
     return Fail("run-error:none", Control.RunAfter.Error);
 
@@ -246,7 +267,10 @@ CheckResult evaluateProgram(const std::vector<PipelineResult> &R,
     const PipelineResult &RM = R[Base + I];
     const char *Name = promotionModeName(Modes[I]);
     if (!RM.Ok)
-      return Fail(std::string("pipeline-error:") + Name, joinErrors(RM));
+      return Fail(std::string(SemanticFailure(RM) ? "semantic-validation:"
+                                                  : "pipeline-error:") +
+                      Name,
+                  joinErrors(RM));
     unsigned VerifyErrors = 0;
     for (const PassRecord &P : RM.Passes)
       VerifyErrors += P.VerifyErrors;
@@ -257,8 +281,7 @@ CheckResult evaluateProgram(const std::vector<PipelineResult> &R,
       return Fail(std::string("verify-diagnostics:") + Name,
                   std::to_string(RM.Verify.Diagnostics) +
                       " static-analysis diagnostics at " +
-                      (O.Verify == Strictness::Full ? "full" : "fast") +
-                      " strictness");
+                      strictnessName(appliedStrictness(O)) + " strictness");
     if (I == 0)
       continue;
     // The shared pre-promotion baseline must match the control exactly

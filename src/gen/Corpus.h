@@ -44,6 +44,13 @@ struct CheckOptions {
   /// Between-pass verification depth. The fuzz suites run Full.
   Strictness Verify = Strictness::Full;
   bool VerifyEachStep = true;
+  /// Upgrade Full verification to Strictness::Semantic: every pass of
+  /// every mode is additionally translation-validated against its
+  /// pre-pass snapshot (analysis/TransValidate.h), and an unproven pass
+  /// fails the program with the stable "semantic-validation:<mode>"
+  /// signature so srp-reduce can shrink validator failures like any other
+  /// oracle mismatch.
+  bool Semantic = true;
   /// Re-run the control and paper modes on the tree-walker and require
   /// field-by-field ExecutionResult equality with the bytecode runs.
   bool EngineParity = true;

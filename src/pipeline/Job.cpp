@@ -141,6 +141,23 @@ std::string srp::resultToJson(const PipelineResult &R,
      << "    \"diagnostics\": " << R.Verify.Diagnostics << ",\n"
      << "    \"wall_seconds\": " << R.Verify.WallSeconds << "\n"
      << "  },\n"
+     << "  \"validation\": {\n"
+     << "    \"passes_validated\": " << R.Verify.Validation.PassesValidated
+     << ",\n"
+     << "    \"functions_validated\": "
+     << R.Verify.Validation.FunctionsValidated << ",\n"
+     << "    \"functions_skipped_identical\": "
+     << R.Verify.Validation.FunctionsSkippedIdentical << ",\n"
+     << "    \"effect_pairs_matched\": "
+     << R.Verify.Validation.EffectPairsMatched << ",\n"
+     << "    \"obligations_proven\": "
+     << R.Verify.Validation.ObligationsProven << ",\n"
+     << "    \"obligations_failed\": "
+     << R.Verify.Validation.ObligationsFailed << ",\n"
+     << "    \"webs_checked\": " << R.Verify.Validation.WebsChecked << ",\n"
+     << "    \"webs_proven\": " << R.Verify.Validation.WebsProven << ",\n"
+     << "    \"wall_seconds\": " << R.Verify.Validation.WallSeconds << "\n"
+     << "  },\n"
      << "  \"counts\": {\n"
      << "    \"static_loads_before\": " << R.StaticBefore.Loads << ",\n"
      << "    \"static_loads_after\": " << R.StaticAfter.Loads << ",\n"

@@ -10,7 +10,10 @@
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include <memory>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace srp;
@@ -70,13 +73,34 @@ bool PassManager::run(Module &M, AnalysisManager &AM,
   for (const auto &[Name, Fn] : Passes)
     Records.push_back(PassRecord{Name, 0, false, false, false, 0});
 
+  const Strictness Level = Opts.effectiveStrictness();
   for (size_t I = 0; I != Passes.size(); ++I) {
     PassRecord &Rec = Records[I];
     Rec.Ran = true;
     ++NumPassesRun;
 
+    // At Full and above, keep the pre-pass text of every function: it
+    // detects which functions a pass touched (only those are
+    // translation-validated) and lets a failure dump show the IR the pass
+    // started from next to what it produced.
+    std::unordered_map<std::string, std::string> PreText;
+    if (Level >= Strictness::Full)
+      for (const auto &F : M.functions())
+        PreText.emplace(F->name(), toString(*F));
+    // At Semantic, additionally snapshot the module itself and collect
+    // the pass's promoted-web reports for the post-pass cross-check.
+    std::unique_ptr<Module> PreClone;
+    validation::WebLedger Ledger;
+    if (Level >= Strictness::Semantic) {
+      ScopedTimer T(VStats.Validation.WallSeconds);
+      PreClone = cloneModule(M);
+    }
+
     bool PassOk;
     {
+      std::optional<validation::ScopedWebLedger> LG;
+      if (Level >= Strictness::Semantic)
+        LG.emplace(Ledger);
       TraceSpan Span;
       if (trace::enabled())
         Span.begin("pass", Rec.Name);
@@ -91,7 +115,37 @@ bool PassManager::run(Module &M, AnalysisManager &AM,
       return false;
     }
 
-    const Strictness Level = Opts.effectiveStrictness();
+    // At Full strictness and above (the fuzz sweep's setting) a failure
+    // also dumps the offending functions — the IR the pass started from
+    // and what it left behind — so a seed failure is diagnosable from the
+    // error list alone.
+    auto DumpBroken = [&](const std::unordered_set<std::string> &BrokenFns) {
+      if (Level < Strictness::Full)
+        return;
+      for (const auto &F : M.functions()) {
+        if (!BrokenFns.count(F->name()))
+          continue;
+        auto It = PreText.find(F->name());
+        if (It != PreText.end())
+          Errors.push_back("after pass '" + Rec.Name +
+                           "': IR of function '" + F->name() +
+                           "' before the pass:\n" + It->second);
+        Errors.push_back("after pass '" + Rec.Name + "': IR of function '" +
+                         F->name() + "':\n" + toString(*F));
+      }
+    };
+    auto Attribute = [&](const DiagnosticEngine &DE) {
+      ++NumVerifyFailures;
+      std::unordered_set<std::string> BrokenFns;
+      for (const Diagnostic &D : DE.diagnostics())
+        if (D.Severity == DiagSeverity::Error) {
+          Errors.push_back("after pass '" + Rec.Name + "': " + toText(D));
+          if (!D.Loc.Function.empty())
+            BrokenFns.insert(D.Loc.Function);
+        }
+      DumpBroken(BrokenFns);
+    };
+
     if (Level != Strictness::Off) {
       Rec.Verified = true;
       DiagnosticEngine DE;
@@ -108,24 +162,46 @@ bool PassManager::run(Module &M, AnalysisManager &AM,
       VStats.Diagnostics += CS.Diagnostics;
       Rec.VerifyErrors = DE.errors();
       if (DE.hasErrors()) {
-        ++NumVerifyFailures;
-        std::unordered_set<std::string> BrokenFns;
-        for (const Diagnostic &D : DE.diagnostics())
-          if (D.Severity == DiagSeverity::Error) {
-            Errors.push_back("after pass '" + Rec.Name + "': " + toText(D));
-            if (!D.Loc.Function.empty())
-              BrokenFns.insert(D.Loc.Function);
-          }
-        // At Full strictness (the fuzz sweep's setting) also dump the
-        // offending functions so a seed failure is diagnosable from the
-        // error list alone.
-        if (Level == Strictness::Full)
-          for (const auto &F : M.functions())
-            if (BrokenFns.count(F->name()))
-              Errors.push_back("after pass '" + Rec.Name +
-                               "': IR of function '" + F->name() + "':\n" +
-                               toString(*F));
+        Attribute(DE);
         return false;
+      }
+    }
+
+    // Translation validation: prove the post-pass module equivalent to the
+    // pre-pass snapshot. Only well-formed IR is compared (the structural
+    // checks above passed), and only functions whose text changed.
+    if (Level >= Strictness::Semantic) {
+      std::unordered_set<std::string> Changed;
+      for (const auto &F : M.functions()) {
+        auto It = PreText.find(F->name());
+        if (It == PreText.end() || It->second != toString(*F))
+          Changed.insert(F->name());
+      }
+      for (const auto &[Name, Text] : PreText)
+        if (!M.getFunction(Name))
+          Changed.insert(Name);
+      if (Changed.empty() && Ledger.size() == 0) {
+        VStats.Validation.FunctionsSkippedIdentical += M.functions().size();
+      } else {
+        DiagnosticEngine VDE;
+        bool Proven;
+        {
+          TraceSpan Span;
+          if (trace::enabled())
+            Span.begin("verify", "validate:" + Rec.Name);
+          ScopedTimer T(VStats.Validation.WallSeconds);
+          std::unique_ptr<Module> PostClone = cloneModule(M);
+          Proven = validateTranslation(*PreClone, *PostClone,
+                                       Ledger.records(), VDE,
+                                       VStats.Validation, &Changed);
+        }
+        ++VStats.Validation.PassesValidated;
+        VStats.Diagnostics += VDE.diagnostics().size();
+        if (!Proven) {
+          Rec.VerifyErrors += VDE.errors();
+          Attribute(VDE);
+          return false;
+        }
       }
     }
   }

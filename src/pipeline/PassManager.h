@@ -35,6 +35,7 @@
 
 #include "analysis/AnalysisManager.h"
 #include "analysis/StaticAnalysis.h"
+#include "analysis/TransValidate.h"
 #include <functional>
 #include <string>
 #include <vector>
@@ -62,7 +63,11 @@ struct PassManagerOptions {
   /// analysis/StaticAnalysis.h). Fast is the historical verifier; Full
   /// adds the whole-function memory-SSA walks and the L3/L4 canonical and
   /// promotion invariants, and dumps the IR of every offending function
-  /// on failure (the fuzz sweep runs at Full).
+  /// on failure (the fuzz sweep runs at Full). Semantic runs everything
+  /// Full runs and additionally translation-validates each pass: the
+  /// manager snapshots the module before the pass and proves the result
+  /// semantically equivalent (analysis/TransValidate.h), cross-checking
+  /// the promoters' web ledger so a promoted-but-unproven web fails hard.
   Strictness VerifyStrictness = Strictness::Fast;
 
   /// The level verification actually runs at.
@@ -78,6 +83,9 @@ struct VerifyRunStats {
   uint64_t ChecksRun = 0;      ///< Individual checker executions.
   uint64_t Diagnostics = 0;    ///< Diagnostics emitted (all severities).
   double WallSeconds = 0;      ///< Time spent verifying.
+  /// Translation-validation accounting (populated at Strictness::Semantic;
+  /// surfaced as the `validation` section of `srpc --stats-json`).
+  TransValidateStats Validation;
 };
 
 /// Runs a fixed sequence of named module passes with timing, verification

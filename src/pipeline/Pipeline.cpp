@@ -161,11 +161,24 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
           // allow.
           const bool CheckDelta =
               Opts.VerifyEachStep &&
-              Opts.VerifyStrictness == Strictness::Full;
+              Opts.VerifyStrictness >= Strictness::Full;
           StaticCounts Before =
               CheckDelta ? countStaticMemOps(F) : StaticCounts{};
+          const size_t LedgerBefore =
+              validation::sink() ? validation::sink()->size() : 0;
           PromotionStats S = promoteRegisters(F, PI, AM, Opts.Promo);
           R.Promo += S;
+          // At Semantic the promoter must have filed one validation-ledger
+          // record per web it claims promoted, or the validator would
+          // silently skip the cross-check for the missing webs.
+          if (validation::WebLedger *L = validation::sink())
+            if (L->size() - LedgerBefore != S.WebsPromoted)
+              Errors.push_back(
+                  "promotion ledger mismatch in '" + F.name() + "': " +
+                  std::to_string(S.WebsPromoted) +
+                  " web(s) reported promoted but " +
+                  std::to_string(L->size() - LedgerBefore) +
+                  " recorded for validation");
           // Any instruction-level rewrite stales the decoded bytecode the
           // profile run cached; untouched functions keep their decode (the
           // promoter's own SSA/CFG edit notifications cover most edits,

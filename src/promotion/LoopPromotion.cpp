@@ -8,6 +8,7 @@
 #include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
 #include "analysis/Intervals.h"
+#include "analysis/TransValidate.h"
 #include "ir/Function.h"
 #include "ssa/Mem2Reg.h"
 #include "ssa/MemorySSA.h"
@@ -131,6 +132,8 @@ LoopPromotionStats runOnIntervals(Function &F, const IntervalTree &IT,
       }
       promoteInLoop(F, *Iv, Obj);
       ++Stats.VariablesPromoted;
+      validation::recordPromotedWeb(F.name(), Obj->name(), Obj->name(),
+                                    "loop-promotion");
       if (RemarkEngine *RE = remarks::sink())
         RE->record(
             Remark(RemarkKind::Passed, "loop-promotion", "PromotedVariable")

@@ -8,6 +8,7 @@
 #include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
 #include "analysis/Intervals.h"
+#include "analysis/TransValidate.h"
 #include "ir/CFGEdit.h"
 #include "ir/Function.h"
 #include "profile/ProfileInfo.h"
@@ -256,6 +257,8 @@ SuperblockStats runOnLoops(Function &F, const std::vector<Interval *> &Loops,
       promoteInTrace(F, *Iv, Trace, OnTrace, Obj, Refs);
       ++Stats.VariablesPromoted;
       ++NumSBVarsPromoted;
+      validation::recordPromotedWeb(F.name(), Obj->name(), Obj->name(),
+                                    "superblock");
       if (RemarkEngine *RE = remarks::sink())
         RE->record(Remark(RemarkKind::Passed, "superblock",
                           "PromotedTraceVariable")

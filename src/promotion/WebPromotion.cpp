@@ -6,6 +6,7 @@
 
 #include "promotion/WebPromotion.h"
 #include "analysis/Dominators.h"
+#include "analysis/TransValidate.h"
 #include "analysis/Intervals.h"
 #include "ir/Function.h"
 #include "profile/ProfileInfo.h"
@@ -506,6 +507,9 @@ PromotionStats srp::promoteInWeb(SSAWeb &W, Function &F,
   }
 
   ++Stats.WebsPromoted;
+  validation::recordPromotedWeb(F.name(), W.Obj->name(),
+                                W.Obj->name() + "#" + std::to_string(W.Id),
+                                "promotion");
   if (W.DefResources.empty()) {
     Promoter.replaceLoadsFromPreheaderLoad(W.Iv->preheader(), W.LiveIn);
     if (!W.AliasedLoadRefs.empty())

@@ -7,6 +7,7 @@
 #include "ssa/Mem2Reg.h"
 #include "analysis/AnalysisManager.h"
 #include "analysis/Dominators.h"
+#include "analysis/TransValidate.h"
 #include "ir/CFGEdit.h"
 #include "ir/Module.h"
 #include "support/Remarks.h"
@@ -121,6 +122,7 @@ unsigned srp::promoteLocalsToSSA(Function &F, const DominatorTree &DT) {
     }
     promoteObject(F, DT, L.get());
     ++Count;
+    validation::recordPromotedWeb(F.name(), L->name(), L->name(), "mem2reg");
     if (RemarkEngine *RE = remarks::sink())
       RE->record(Remark(RemarkKind::Passed, "mem2reg", "PromotedLocal")
                      .inFunction(F.name())

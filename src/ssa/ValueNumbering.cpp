@@ -29,21 +29,6 @@ struct ExprKey {
   }
 };
 
-bool isCommutative(BinOpKind K) {
-  switch (K) {
-  case BinOpKind::Add:
-  case BinOpKind::Mul:
-  case BinOpKind::And:
-  case BinOpKind::Or:
-  case BinOpKind::Xor:
-  case BinOpKind::CmpEQ:
-  case BinOpKind::CmpNE:
-    return true;
-  default:
-    return false;
-  }
-}
-
 class GVNWalker {
   Function &F;
   const DominatorTree &DT;
@@ -98,7 +83,7 @@ class GVNWalker {
       case Value::Kind::BinOp: {
         auto *B = cast<BinOpInst>(I);
         const void *L = B->lhs(), *R = B->rhs();
-        if (isCommutative(B->op()) && R < L)
+        if (isCommutativeBinOp(B->op()) && R < L)
           std::swap(L, R);
         ExprKey Key{static_cast<unsigned>(B->op()) + 1, L, R};
         if (Value *Prev = lookup(Key)) {
@@ -175,8 +160,145 @@ public:
   }
 };
 
+/// The read-only twin of GVNWalker: identical scoped preorder walk and
+/// expression keys, but hits are recorded in a leader map instead of
+/// rewriting uses. Because nothing is erased, later expressions still
+/// name their original operands; keying resolves each operand through
+/// the leader map first so chains (copy-of-copy, binop over forwarded
+/// copies) land on the same key runGVN would have produced.
+class TableBuilder {
+  Function &F;
+  const DominatorTree &DT;
+  std::unordered_map<const Value *, Value *> &Leader;
+  std::map<ExprKey, Value *> Table;
+  std::vector<std::vector<ExprKey>> Scopes;
+
+  Value *leaderOf(Value *V) const {
+    auto It = Leader.find(V);
+    return It == Leader.end() ? V : It->second;
+  }
+
+  void insert(const ExprKey &K, Value *V) {
+    if (Table.emplace(K, V).second)
+      Scopes.back().push_back(K);
+  }
+
+  Value *lookup(const ExprKey &K) const {
+    auto It = Table.find(K);
+    return It == Table.end() ? nullptr : It->second;
+  }
+
+  void processBlock(BasicBlock *BB) {
+    for (auto &IP : *BB) {
+      Instruction *I = IP.get();
+      switch (I->kind()) {
+      case Value::Kind::Copy:
+        Leader[I] = leaderOf(cast<CopyInst>(I)->source());
+        break;
+      case Value::Kind::Phi: {
+        auto *P = cast<PhiInst>(I);
+        if (P->numIncoming() == 0)
+          break;
+        Value *Common = P->incomingValue(0);
+        bool AllSame = Common != P;
+        for (unsigned K = 1; K != P->numIncoming(); ++K)
+          if (P->incomingValue(K) != Common && P->incomingValue(K) != P)
+            AllSame = false;
+        if (AllSame && Common != P)
+          Leader[P] = leaderOf(Common);
+        break;
+      }
+      case Value::Kind::BinOp: {
+        auto *B = cast<BinOpInst>(I);
+        const void *L = leaderOf(B->lhs()), *R = leaderOf(B->rhs());
+        if (isCommutativeBinOp(B->op()) && R < L)
+          std::swap(L, R);
+        ExprKey Key{static_cast<unsigned>(B->op()) + 1, L, R};
+        if (Value *Prev = lookup(Key))
+          Leader[I] = Prev;
+        else
+          insert(Key, I);
+        break;
+      }
+      case Value::Kind::AddrOf: {
+        ExprKey Key{~0u, cast<AddrOfInst>(I)->object(), nullptr};
+        if (Value *Prev = lookup(Key))
+          Leader[I] = Prev;
+        else
+          insert(Key, I);
+        break;
+      }
+      case Value::Kind::Load: {
+        auto *Ld = cast<LoadInst>(I);
+        if (!Ld->memUse())
+          break;
+        ExprKey Key{0, Ld->memUse(), nullptr};
+        if (Value *Prev = lookup(Key))
+          Leader[I] = Prev;
+        else
+          insert(Key, I);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+public:
+  TableBuilder(Function &F, const DominatorTree &DT,
+               std::unordered_map<const Value *, Value *> &Leader)
+      : F(F), DT(DT), Leader(Leader) {}
+
+  void run() {
+    struct Frame {
+      BasicBlock *BB;
+      unsigned NextChild = 0;
+    };
+    std::vector<Frame> Stack;
+    Scopes.emplace_back();
+    Stack.push_back({F.entry()});
+    processBlock(F.entry());
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      const auto &Kids = DT.children(Top.BB);
+      if (Top.NextChild < Kids.size()) {
+        BasicBlock *Child = Kids[Top.NextChild++];
+        Scopes.emplace_back();
+        Stack.push_back({Child});
+        processBlock(Child);
+        continue;
+      }
+      for (const ExprKey &K : Scopes.back())
+        Table.erase(K);
+      Scopes.pop_back();
+      Stack.pop_back();
+    }
+  }
+};
+
 } // namespace
+
+bool srp::isCommutativeBinOp(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Add:
+  case BinOpKind::Mul:
+  case BinOpKind::And:
+  case BinOpKind::Or:
+  case BinOpKind::Xor:
+  case BinOpKind::CmpEQ:
+  case BinOpKind::CmpNE:
+    return true;
+  default:
+    return false;
+  }
+}
 
 GVNStats srp::runGVN(Function &F, const DominatorTree &DT) {
   return GVNWalker(F, DT).run();
+}
+
+void ValueNumberTable::build(Function &F, const DominatorTree &DT) {
+  Leader.clear();
+  TableBuilder(F, DT, Leader).run();
 }

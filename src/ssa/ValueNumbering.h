@@ -23,10 +23,21 @@
 #ifndef SRP_SSA_VALUENUMBERING_H
 #define SRP_SSA_VALUENUMBERING_H
 
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
 namespace srp {
 
 class DominatorTree;
 class Function;
+class Value;
+
+enum class BinOpKind : uint8_t;
+
+/// True for operators where `a op b == b op a`; shared between the
+/// mutating GVN below and the read-only ValueNumberTable.
+bool isCommutativeBinOp(BinOpKind K);
 
 struct GVNStats {
   unsigned BinOpsUnified = 0;
@@ -43,6 +54,39 @@ struct GVNStats {
 /// only unified when it is (without version tags two loads may see
 /// different memory). Leaves the IR valid.
 GVNStats runGVN(Function &F, const DominatorTree &DT);
+
+/// Read-only value numbering: the same dominator-scoped walk as runGVN,
+/// but instead of rewriting the IR it records, for every instruction that
+/// would have been unified, the dominating *leader* of its congruence
+/// class. Copies forward to their source's leader, trivial phis to their
+/// common incoming, binops/addr-ofs to the earliest equal expression,
+/// loads to the earliest load of the same memory version.
+///
+/// The translation validator (analysis/TransValidate.h) uses this to
+/// canonicalise values on each side of a pass before comparing them, so
+/// GVN-style rewrites inside other passes are provable without mutating
+/// either snapshot.
+class ValueNumberTable {
+public:
+  ValueNumberTable() = default;
+  ValueNumberTable(Function &F, const DominatorTree &DT) { build(F, DT); }
+
+  /// (Re)populates the table for \p F. The IR is not modified.
+  void build(Function &F, const DominatorTree &DT);
+
+  /// The dominating leader of \p V's congruence class; \p V itself when
+  /// it is the first occurrence or not a numbered expression.
+  Value *leader(Value *V) const {
+    auto It = Leader.find(V);
+    return It == Leader.end() ? V : It->second;
+  }
+
+  /// Number of values mapped to an earlier leader.
+  size_t size() const { return Leader.size(); }
+
+private:
+  std::unordered_map<const Value *, Value *> Leader;
+};
 
 } // namespace srp
 

@@ -134,9 +134,10 @@ int main(int argc, char **argv) {
            [&](const std::string &V) {
              return parseU(V, Opts.MaxFailures);
            });
-  OP.value("verify", "<off|fast|full>",
+  OP.value("verify", "<off|fast|full|no-semantic>",
            "between-pass verification depth (default full; the fuzz "
-           "contract)",
+           "contract — full also translation-validates every pass; "
+           "no-semantic is full without the validator)",
            [&](const std::string &V) {
              if (V == "off") {
                Opts.Check.VerifyEachStep = false;
@@ -148,6 +149,11 @@ int main(int argc, char **argv) {
              }
              if (V == "full") {
                Opts.Check.Verify = Strictness::Full;
+               return true;
+             }
+             if (V == "no-semantic") {
+               Opts.Check.Verify = Strictness::Full;
+               Opts.Check.Semantic = false;
                return true;
              }
              return false;

@@ -181,9 +181,11 @@ int main(int argc, char **argv) {
           [&] { Analyze = true; });
   OP.flag("diag-json", "with -analyze, emit diagnostics as JSON",
           [&] { DiagJson = true; });
-  OP.value("verify-each", "<off|fast|full>",
+  OP.value("verify-each", "<off|fast|full|semantic>",
            "between-pass verification depth (default fast; full adds "
-           "the memory-SSA walks, canonical-shape and promotion checks)",
+           "the memory-SSA walks, canonical-shape and promotion checks; "
+           "semantic additionally translation-validates every pass "
+           "against a pre-pass snapshot)",
            [&](const std::string &V) {
              Strictness S;
              if (!parseStrictness(V, S))

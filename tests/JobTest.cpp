@@ -102,8 +102,8 @@ TEST(JobTest, ReportSchemaIsPinned) {
   const char *TopLevel[] = {"file",     "mode",         "entry",
                             "ok",       "errors",       "exit_value",
                             "passes",   "statistics",   "analysis",
-                            "interp",   "verification", "counts",
-                            "exec",     "pressure"};
+                            "interp",   "verification", "validation",
+                            "counts",   "exec",         "pressure"};
   std::vector<std::string> Keys;
   for (const auto &KV : Doc.members())
     Keys.push_back(KV.first);
@@ -125,6 +125,12 @@ TEST(JobTest, ReportSchemaIsPinned) {
                         "diagnostics", "wall_seconds"})
     EXPECT_TRUE(Doc.get("verification").has(K)) << "verification." << K;
   for (const char *K :
+       {"passes_validated", "functions_validated",
+        "functions_skipped_identical", "effect_pairs_matched",
+        "obligations_proven", "obligations_failed", "webs_checked",
+        "webs_proven", "wall_seconds"})
+    EXPECT_TRUE(Doc.get("validation").has(K)) << "validation." << K;
+  for (const char *K :
        {"static_loads_before", "static_loads_after", "static_stores_before",
         "static_stores_after", "dynamic_loads_before", "dynamic_loads_after",
         "dynamic_stores_before", "dynamic_stores_after"})
@@ -139,6 +145,33 @@ TEST(JobTest, ReportSchemaIsPinned) {
   ASSERT_EQ(Out.items().size(), 1u);
   EXPECT_EQ(Out.items()[0].asInt(0), 45);
   EXPECT_EQ(Doc.get("exec").get("final_memory_hash").asString().size(), 16u);
+}
+
+// At Strictness::Semantic the validation section carries the real
+// translation-validation accounting; at the default strictness it is
+// all zeros (present, so consumers never branch on key existence).
+TEST(JobTest, ValidationSectionReflectsSemanticStrictness) {
+  CompileJob Job = makeJob(CountLoop, PromotionMode::Paper);
+  Job.Opts.VerifyEachStep = true;
+  Job.Opts.VerifyStrictness = Strictness::Semantic;
+  JobResult R = runCompileJob(Job);
+  ASSERT_TRUE(R.ok());
+
+  json::Value Doc;
+  std::string Err;
+  ASSERT_TRUE(json::parse(R.ReportJson, Doc, Err)) << Err;
+  const json::Value &V = Doc.get("validation");
+  EXPECT_EQ(Doc.get("verification").get("strictness").asString(),
+            "semantic");
+  EXPECT_GT(V.get("passes_validated").asInt(0), 0);
+  EXPECT_GT(V.get("obligations_proven").asInt(0), 0);
+  EXPECT_EQ(V.get("obligations_failed").asInt(-1), 0);
+  EXPECT_EQ(V.get("webs_proven").asInt(-1), V.get("webs_checked").asInt(-2));
+
+  JobResult Fast = runCompileJob(makeJob(CountLoop, PromotionMode::Paper));
+  ASSERT_TRUE(Fast.ok());
+  ASSERT_TRUE(json::parse(Fast.ReportJson, Doc, Err)) << Err;
+  EXPECT_EQ(Doc.get("validation").get("passes_validated").asInt(-1), 0);
 }
 
 TEST(JobTest, FingerprintSeparatesSourceOptionsAndKind) {

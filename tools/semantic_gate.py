@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Translation-validation gate (ctest: srp_semantic_gate).
+
+Runs `srpc -verify-each=semantic --stats-json` over the golden corpus
+and every oracle workload, across all six promotion modes, and requires
+every pass of every run to be *proven* semantically equivalent to its
+pre-pass snapshot (docs/TRANSLATION_VALIDATION.md):
+
+  - the run must succeed (ok == true, no errors),
+  - the `validation` stats section must be present and well-formed,
+  - at least one pass must actually have been validated,
+  - zero failed proof obligations,
+  - every web the promoters reported must be proven
+    (webs_proven == webs_checked).
+
+This is the end-to-end slice of tests/TransValidateTest.cpp: the exact
+CLI a user types, over the same programs the differential oracle and
+golden-corpus suites pin down.
+"""
+
+import argparse
+import concurrent.futures
+import glob
+import json
+import os
+import subprocess
+import sys
+
+MODES = ["none", "paper", "noprofile", "baseline", "superblock", "memopt"]
+
+VALIDATION_FIELDS = [
+    "passes_validated",
+    "functions_validated",
+    "functions_skipped_identical",
+    "effect_pairs_matched",
+    "obligations_proven",
+    "obligations_failed",
+    "webs_checked",
+    "webs_proven",
+    "wall_seconds",
+]
+
+
+def check_one(srpc, path, mode):
+    """Returns (failures, validation-stats) for one (program, mode) run."""
+    name = f"{os.path.basename(path)} mode={mode}"
+    proc = subprocess.run(
+        [srpc, f"--mode={mode}", "--verify-each=semantic", "--stats-json",
+         "--quiet", path],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [f"{name}: srpc exited {proc.returncode}:\n{proc.stderr}"], {}
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        return [f"{name}: bad report JSON: {e}"], {}
+
+    failures = []
+    if not report.get("ok", False):
+        failures.append(f"{name}: ok=false, errors={report.get('errors')}")
+    v = report.get("validation")
+    if v is None:
+        return failures + [f"{name}: no `validation` section"], {}
+    for field in VALIDATION_FIELDS:
+        if field not in v:
+            failures.append(f"{name}: validation section lacks `{field}`")
+    # A run may legitimately validate zero passes (every pass left the
+    # module textually unchanged); main() requires the aggregate over the
+    # whole matrix to be substantial instead.
+    if v.get("obligations_failed", 0) != 0:
+        failures.append(
+            f"{name}: {v['obligations_failed']} failed proof obligation(s)")
+    if v.get("webs_proven", -1) != v.get("webs_checked", -2):
+        failures.append(
+            f"{name}: {v.get('webs_checked')} webs checked but only "
+            f"{v.get('webs_proven')} proven")
+    return failures, v
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--srpc", required=True)
+    ap.add_argument("--workload-dir", required=True)
+    ap.add_argument("--corpus-dir", required=True)
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = ap.parse_args()
+
+    programs = sorted(glob.glob(os.path.join(args.workload_dir, "*.mc")))
+    programs += sorted(glob.glob(os.path.join(args.corpus_dir, "*.mc")))
+    if not programs:
+        print("semantic gate: no programs found", file=sys.stderr)
+        return 1
+
+    runs = [(p, m) for p in programs for m in MODES]
+    failures = []
+    totals = {f: 0 for f in VALIDATION_FIELDS}
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for fails, v in pool.map(
+                lambda pm: check_one(args.srpc, pm[0], pm[1]), runs):
+            failures.extend(fails)
+            for field in VALIDATION_FIELDS:
+                totals[field] += v.get(field, 0)
+
+    # The matrix as a whole must have exercised the validator for real:
+    # passes snapshotted, effects paired, obligations discharged, webs
+    # cross-checked. A silently skipped validator must not pass the gate.
+    for field in ("passes_validated", "functions_validated",
+                  "effect_pairs_matched", "obligations_proven",
+                  "webs_proven"):
+        if totals[field] <= 0:
+            failures.append(f"aggregate: total {field} is zero — the "
+                            f"validator never ran")
+
+    if failures:
+        print(f"semantic gate: {len(failures)} failure(s) over "
+              f"{len(runs)} runs", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    print(f"semantic gate: {len(runs)} runs "
+          f"({len(programs)} programs x {len(MODES)} modes), all proven: "
+          f"{totals['passes_validated']} passes, "
+          f"{totals['obligations_proven']} obligations, "
+          f"{totals['webs_proven']} webs, "
+          f"{totals['wall_seconds']:.1f}s validating")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
