@@ -1,21 +1,27 @@
-//===- bench/bench_interp.cpp - Walk vs bytecode engine benchmark ---------===//
+//===- bench/bench_interp.cpp - Interpreter engine benchmark --------------===//
 //
 // Part of the srp project: SSA-based scalar register promotion.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Times the two interpreter engines head to head on every workload:
+/// Times the three interpreter engines head to head on every workload:
 ///
 ///   walk             the reference tree-walker
 ///   bytecode-cold    decoded dispatch loop, decode cost paid every run
 ///                    (no AnalysisManager, as a one-shot `srpc` run pays it)
 ///   bytecode-amort   decode cached through a shared AnalysisManager, the
 ///                    profile + measurement configuration the pipeline uses
+///   native-cold      baseline JIT, compile forced on first call and paid
+///                    every run (fresh engine per run)
+///   native-amort     compiled code cached through a shared
+///                    AnalysisManager, warmed past the tier threshold, so
+///                    timed runs execute pure native code
 ///
 /// Each timed run is also a parity check: exit status, printed output
 /// length and dynamic memory-op counts must match the walker exactly or
-/// the bench fails. Modes:
+/// the bench fails. On hosts without the JIT the native columns degrade
+/// to bytecode numbers by construction. Modes:
 ///
 ///   bench_interp              # text table, full workload list
 ///   bench_interp --json       # BENCH_interp.json schema on stdout
@@ -47,8 +53,10 @@ struct Row {
   std::string Name;
   uint64_t Instructions = 0; ///< Dynamic instructions per run.
   double WalkSec = 0;
-  double ColdSec = 0;  ///< Bytecode, decode repeated every run.
-  double AmortSec = 0; ///< Bytecode, decode cached across runs.
+  double ColdSec = 0;       ///< Bytecode, decode repeated every run.
+  double AmortSec = 0;      ///< Bytecode, decode cached across runs.
+  double NativeColdSec = 0; ///< JIT, compile repeated every run.
+  double NativeAmortSec = 0;///< JIT, compiled code cached across runs.
 };
 
 /// Best-of-N wall time for one engine configuration. Best-of (not mean)
@@ -88,6 +96,15 @@ bool benchWorkload(const Workload &W, unsigned Reps, Row &Out) {
     std::fprintf(stderr, "error: engine mismatch on %s\n", W.Name);
     return false;
   }
+  {
+    Interpreter NI(*M, 200'000'000, InterpEngine::Native);
+    NI.setJitThreshold(1);
+    ExecutionResult Native = NI.run();
+    if (!sameBehaviour(Walk, Native)) {
+      std::fprintf(stderr, "error: native engine mismatch on %s\n", W.Name);
+      return false;
+    }
+  }
 
   Out.Name = W.Name;
   Out.Instructions = Walk.Counts.Instructions;
@@ -103,6 +120,20 @@ bool benchWorkload(const Workload &W, unsigned Reps, Row &Out) {
   Interpreter Amort(*M, 200'000'000, InterpEngine::Bytecode, &AM);
   Amort.run();
   Out.AmortSec = bestOf(Reps, [&] { Amort.run(); });
+  // Native cold: fresh engine per run, first-call threshold — every run
+  // pays decode + compile, the one-shot configuration.
+  Out.NativeColdSec = bestOf(Reps, [&] {
+    Interpreter NI(*M, 200'000'000, InterpEngine::Native);
+    NI.setJitThreshold(1);
+    NI.run();
+  });
+  // Native amortised: compiled code cached through the manager; warm past
+  // the threshold so every timed run executes pure native code.
+  AnalysisManager NAM(M.get());
+  Interpreter NativeAmort(*M, 200'000'000, InterpEngine::Native, &NAM);
+  NativeAmort.setJitThreshold(1);
+  NativeAmort.run();
+  Out.NativeAmortSec = bestOf(Reps, [&] { NativeAmort.run(); });
   return true;
 }
 
@@ -165,12 +196,17 @@ int main(int argc, char **argv) {
     Rows.push_back(R);
   }
 
-  std::vector<double> ColdUps, AmortUps;
+  std::vector<double> ColdUps, AmortUps, NatColdUps, NatAmortUps;
   for (const Row &R : Rows) {
     ColdUps.push_back(R.WalkSec / R.ColdSec);
     AmortUps.push_back(R.WalkSec / R.AmortSec);
+    NatColdUps.push_back(R.WalkSec / R.NativeColdSec);
+    // The tentpole headline: amortised native over amortised bytecode.
+    NatAmortUps.push_back(R.AmortSec / R.NativeAmortSec);
   }
   double GeoCold = geomean(ColdUps), GeoAmort = geomean(AmortUps);
+  double GeoNatCold = geomean(NatColdUps);
+  double GeoNatAmort = geomean(NatAmortUps);
 
   if (Json) {
     std::printf("{\n  \"bench\": \"bench_interp\",\n  \"reps\": %u,\n"
@@ -181,29 +217,41 @@ int main(int argc, char **argv) {
       std::printf("%s\n    {\"name\": \"%s\", \"instructions\": %llu, "
                   "\"walk_seconds\": %.6f, \"bytecode_cold_seconds\": %.6f, "
                   "\"bytecode_amortized_seconds\": %.6f, "
-                  "\"speedup_cold\": %.2f, \"speedup_amortized\": %.2f}",
+                  "\"native_cold_seconds\": %.6f, "
+                  "\"native_amortized_seconds\": %.6f, "
+                  "\"speedup_cold\": %.2f, \"speedup_amortized\": %.2f, "
+                  "\"native_speedup_cold\": %.2f, "
+                  "\"native_over_bytecode_amortized\": %.2f}",
                   I ? "," : "", R.Name.c_str(),
                   static_cast<unsigned long long>(R.Instructions), R.WalkSec,
-                  R.ColdSec, R.AmortSec, ColdUps[I], AmortUps[I]);
+                  R.ColdSec, R.AmortSec, R.NativeColdSec, R.NativeAmortSec,
+                  ColdUps[I], AmortUps[I], NatColdUps[I], NatAmortUps[I]);
     }
     std::printf("\n  ],\n  \"geomean_speedup_cold\": %.2f,\n"
-                "  \"geomean_speedup_amortized\": %.2f\n}\n",
-                GeoCold, GeoAmort);
+                "  \"geomean_speedup_amortized\": %.2f,\n"
+                "  \"geomean_native_speedup_cold\": %.2f,\n"
+                "  \"geomean_native_over_bytecode_amortized\": %.2f\n}\n",
+                GeoCold, GeoAmort, GeoNatCold, GeoNatAmort);
     return 0;
   }
 
   std::printf("interpreter engines, best of %u runs (seconds per run)\n\n",
               Reps);
-  std::printf("%-10s %12s %10s %10s %10s %8s %8s\n", "workload", "dyn insts",
-              "walk", "cold", "amort", "x cold", "x amort");
+  std::printf("%-10s %12s %10s %10s %10s %10s %10s %8s %8s %8s\n",
+              "workload", "dyn insts", "walk", "cold", "amort", "nat-cold",
+              "nat-amort", "x cold", "x amort", "nat/bc");
   for (size_t I = 0; I != Rows.size(); ++I) {
     const Row &R = Rows[I];
-    std::printf("%-10s %12llu %10.4f %10.4f %10.4f %7.1fx %7.1fx\n",
-                R.Name.c_str(),
-                static_cast<unsigned long long>(R.Instructions), R.WalkSec,
-                R.ColdSec, R.AmortSec, ColdUps[I], AmortUps[I]);
+    std::printf(
+        "%-10s %12llu %10.4f %10.4f %10.4f %10.4f %10.4f %7.1fx %7.1fx "
+        "%7.1fx\n",
+        R.Name.c_str(), static_cast<unsigned long long>(R.Instructions),
+        R.WalkSec, R.ColdSec, R.AmortSec, R.NativeColdSec, R.NativeAmortSec,
+        ColdUps[I], AmortUps[I], NatAmortUps[I]);
   }
-  std::printf("\ngeomean speedup: %.1fx cold, %.1fx amortised\n", GeoCold,
-              GeoAmort);
+  std::printf("\ngeomean speedup over walk: %.1fx cold, %.1fx amortised, "
+              "%.1fx native-cold\n"
+              "geomean native over bytecode (amortised): %.1fx\n",
+              GeoCold, GeoAmort, GeoNatCold, GeoNatAmort);
   return 0;
 }

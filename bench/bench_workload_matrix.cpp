@@ -17,7 +17,11 @@
 /// in-process CompileServer on a unix socket, fans the matrix out over
 /// N concurrent client connections, and reports request-latency
 /// percentiles (p50/p95/p99), jobs/sec, and the server's job/analysis/
-/// bytecode cache hit rates (docs/SERVER.md):
+/// bytecode cache hit rates (docs/SERVER.md). The server stripe also
+/// folds in `-interp=native` variants of a slice of the matrix: the
+/// same (workload, mode) pair under a different engine must live under
+/// a different job-cache fingerprint, so resubmissions hit within an
+/// engine but never across engines:
 ///
 ///   bench_workload_matrix --server --clients=4 --requests=200
 ///   bench_workload_matrix --server --stats-json
@@ -416,6 +420,22 @@ int main(int argc, char **argv) {
 
   if (ServerMode) {
     SrvOpts.Threads = Threads ? Threads : HW;
+    // Fold native-tier jobs into the stripe: every third matrix job is
+    // resubmitted with `-interp=native` at a first-call compile
+    // threshold. pipelineOptionsKey folds the engine and threshold into
+    // the job-cache fingerprint, so these land in distinct cache slots —
+    // a bytecode hit can never answer a native submission (and the
+    // resubmission pass below still hits within each engine).
+    {
+      const size_t MatrixSize = Jobs.size();
+      for (size_t I = 0; I < MatrixSize; I += 3) {
+        CompileJob J = Jobs[I];
+        J.Name += "@native";
+        J.Opts.Interp = InterpEngine::Native;
+        J.Opts.JitThreshold = 1;
+        Jobs.push_back(std::move(J));
+      }
+    }
     if (!Requests)
       Requests = static_cast<unsigned>(Jobs.size()) * 3;
     LoadReport R;

@@ -38,6 +38,8 @@ SRP_STATISTIC(NumLivenessBuilt, "analysis", "liveness-built",
               "Liveness analyses constructed");
 SRP_STATISTIC(NumBytecodeBuilt, "analysis", "bytecode-built",
               "Interpreter bytecode decodes constructed");
+SRP_STATISTIC(NumNativeCodeBuilt, "analysis", "native-code-built",
+              "Native-code cache entries constructed");
 
 const char *srp::analysisKindName(AnalysisKind K) {
   switch (K) {
@@ -55,6 +57,8 @@ const char *srp::analysisKindName(AnalysisKind K) {
     return "liveness";
   case AnalysisKind::Bytecode:
     return "bytecode";
+  case AnalysisKind::NativeCode:
+    return "native-code";
   }
   return "unknown";
 }
@@ -77,6 +81,8 @@ Statistic *buildCounterFor(AnalysisKind K) {
     return &NumLivenessBuilt;
   case AnalysisKind::Bytecode:
     return &NumBytecodeBuilt;
+  case AnalysisKind::NativeCode:
+    return &NumNativeCodeBuilt;
   }
   return nullptr;
 }
@@ -181,6 +187,11 @@ void AnalysisManager::invalidate(Function &F, const PreservedAnalyses &PA) {
     Eff.abandon(AnalysisKind::Intervals);
   if (!Eff.isPreserved(AnalysisKind::Intervals))
     Eff.abandon(AnalysisKind::StaticFrequency);
+  // Native code is compiled from the decoded bytecode stream: a stale
+  // decode implies stale machine code (same instruction indices are baked
+  // into the deopt metadata).
+  if (!Eff.isPreserved(AnalysisKind::Bytecode))
+    Eff.abandon(AnalysisKind::NativeCode);
   for (unsigned I = 0; I != NumAnalysisKinds; ++I) {
     auto K = static_cast<AnalysisKind>(I);
     if (Eff.isPreserved(K))
@@ -256,7 +267,8 @@ void AnalysisManager::cfgChanged(Function &F) {
   invalidate(F, PreservedAnalyses::all()
                     .abandon(AnalysisKind::Dominators)
                     .abandon(AnalysisKind::Liveness)
-                    .abandon(AnalysisKind::Bytecode));
+                    .abandon(AnalysisKind::Bytecode)
+                    .abandon(AnalysisKind::NativeCode));
 }
 
 void AnalysisManager::ssaEdited(Function &F) {
@@ -270,7 +282,8 @@ void AnalysisManager::ssaEdited(Function &F) {
   // instruction streams, so any instruction-level edit retires it.
   invalidate(F, PreservedAnalyses::all()
                     .abandon(AnalysisKind::Liveness)
-                    .abandon(AnalysisKind::Bytecode));
+                    .abandon(AnalysisKind::Bytecode)
+                    .abandon(AnalysisKind::NativeCode));
 }
 
 std::string srp::analysisCacheStatsToJson(const AnalysisCacheStats &S,

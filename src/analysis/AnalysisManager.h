@@ -73,8 +73,9 @@ enum class AnalysisKind : unsigned {
   StaticFrequency, ///< StaticFrequency estimate (profile/ProfileInfo.h)
   Liveness,        ///< Liveness (regalloc/Liveness.h)
   Bytecode,        ///< DecodedFunction (interp/Bytecode.h): interpreter tier
+  NativeCode,      ///< jit::NativeCode (jit/NativeJIT.h): x86-64 baseline tier
 };
-inline constexpr unsigned NumAnalysisKinds = 7;
+inline constexpr unsigned NumAnalysisKinds = 8;
 
 /// Short stable spelling used in statistics and JSON ("dominators", ...).
 const char *analysisKindName(AnalysisKind K);

@@ -197,9 +197,10 @@ std::string diffRuns(const ExecutionResult &A, const ExecutionResult &B,
 }
 
 /// Job layout per program: the six modes on the bytecode engine, then
-/// (with EngineParity) the control and paper modes again on the walker.
+/// (with EngineParity) the control and paper modes again on the walker,
+/// then (with NativeParity) the same two on the native engine.
 unsigned jobsPerProgram(const CheckOptions &O) {
-  return 6 + (O.EngineParity ? 2 : 0);
+  return 6 + (O.EngineParity ? 2 : 0) + (O.NativeParity ? 2 : 0);
 }
 
 /// The strictness the sweep actually runs at: Semantic piggybacks on Full
@@ -229,6 +230,15 @@ void appendJobs(std::vector<CompileJob> &Jobs, const SourceText &Source,
       PO.Interp = InterpEngine::Walk;
       Jobs.push_back(
           {Label + "/" + promotionModeName(M) + "@walk", Source, PO});
+    }
+  if (O.NativeParity)
+    for (PromotionMode M : {PromotionMode::None, PromotionMode::Paper}) {
+      PipelineOptions PO = Base;
+      PO.Mode = M;
+      PO.Interp = InterpEngine::Native;
+      PO.JitThreshold = 1; // force the JIT path, no warm-up calls
+      Jobs.push_back(
+          {Label + "/" + promotionModeName(M) + "@native", Source, PO});
     }
 }
 
@@ -321,6 +331,32 @@ CheckResult evaluateProgram(const std::vector<PipelineResult> &R,
                        Detail);
       if (!Field.empty())
         return Fail(std::string("engine-parity:") + Name + ":" + Field,
+                    Detail);
+    }
+  }
+
+  if (O.NativeParity) {
+    const size_t NBase = Base + Modes.size() + (O.EngineParity ? 2 : 0);
+    const std::pair<size_t, const char *> Parity[] = {{0, "none"},
+                                                      {1, "paper"}};
+    for (size_t P = 0; P != 2; ++P) {
+      const PipelineResult &Nat = R[NBase + P];
+      const PipelineResult &Byte = R[Base + Parity[P].first];
+      const char *Name = Parity[P].second;
+      if (!Nat.Ok)
+        return Fail(std::string("pipeline-error:") + Name + "@native",
+                    joinErrors(Nat));
+      std::string Detail;
+      std::string Field = diffRuns(Byte.RunBefore, Nat.RunBefore,
+                                   /*Profile=*/true, Detail);
+      if (!Field.empty())
+        return Fail(std::string("native-parity:") + Name + ":before-" +
+                        Field,
+                    Detail);
+      Field = diffRuns(Byte.RunAfter, Nat.RunAfter, /*Profile=*/true,
+                       Detail);
+      if (!Field.empty())
+        return Fail(std::string("native-parity:") + Name + ":" + Field,
                     Detail);
     }
   }

@@ -11,8 +11,9 @@
 ///    PromotionMode::None control: exit value, printed output, final
 ///    memory, and the shared pre-promotion run),
 ///  - Strictness::Full between-pass verification, and
-///  - walk-vs-bytecode interpreter parity (full ExecutionResult,
-///    block/edge profiles compared by block name),
+///  - interpreter engine parity, walk-vs-bytecode and native(JIT)-vs-
+///    bytecode (full ExecutionResult, block/edge profiles compared by
+///    block name),
 /// batching seeds through runPipelineParallel so a 1000-program sweep
 /// saturates the worker pool without holding 1000 modules alive.
 ///
@@ -54,6 +55,11 @@ struct CheckOptions {
   /// Re-run the control and paper modes on the tree-walker and require
   /// field-by-field ExecutionResult equality with the bytecode runs.
   bool EngineParity = true;
+  /// Re-run the control and paper modes on the native (JIT) engine with a
+  /// first-call compile threshold and require the same field-by-field
+  /// equality. Safe on non-x86-64 hosts: the engine degrades to bytecode
+  /// there, so the comparison is trivially exact.
+  bool NativeParity = true;
   /// Worker threads for the per-program mode fan-out (0 = hardware).
   /// Corpus sweeps flatten whole batches instead and leave this at 1.
   unsigned Threads = 1;

@@ -2,25 +2,30 @@
 //
 // Part of the srp project: SSA-based scalar register promotion.
 //
-// Two engines, one observable behaviour (docs/INTERPRETER.md):
+// Three engines, one observable behaviour (docs/INTERPRETER.md):
 //  - callWalk: the reference tree-walker. Interprets the IR in place with a
 //    hash-map frame; every register read is checked, so use-before-def is a
 //    trap (UndefValue stays a deterministic 0).
-//  - execDecoded: the bytecode engine. Runs the decoded stream from
-//    interp/Bytecode.h over a flat register stack; fuel is charged per
+//  - execDecoded/execLoop: the bytecode engine. Runs the decoded stream
+//    from interp/Bytecode.h over a flat register stack; fuel is charged per
 //    segment (block prefix / post-call run) in one subtraction, with a
 //    per-instruction slow path once fuel runs low so exhaustion traps at
 //    exactly the same instruction as the walker.
-// The two share the memory image, the trap plumbing and the result object,
-// and may interleave within one run: functions the decoder rejects
+//  - nativeInvoke: the native tier (jit/NativeJIT.h). Hot functions run as
+//    JIT-compiled x86-64 on the same frame arenas; traps and fuel
+//    exhaustion deopt into execLoop mid-frame at the faulting instruction.
+// All engines share the memory image, the trap plumbing and the result
+// object, and may interleave within one run: functions the decoder rejects
 // (use-before-def it cannot disprove, malformed blocks) execute via the
-// walker call by call.
+// walker call by call, and native frames hand unencodable events to the
+// bytecode loop.
 //
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 #include "analysis/Dominators.h"
 #include "interp/Bytecode.h"
+#include "jit/NativeJIT.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
 #include "support/Statistics.h"
@@ -48,10 +53,26 @@ SRP_STATISTIC(NumWalkFallbackCalls, "interp", "walk-fallback-calls",
               "Calls executed by the walker because decoding was refused");
 SRP_STATISTIC(ExecMicros, "interp", "exec-micros",
               "Wall time spent in interpreter runs, in microseconds");
+SRP_STATISTIC(NumNativeRuns, "interp", "native-runs",
+              "Runs executed by the native (JIT) engine");
+SRP_STATISTIC(NumNativeCompiles, "interp", "native-compiles",
+              "Functions compiled by the baseline JIT");
+SRP_STATISTIC(NumNativeCalls, "interp", "native-calls",
+              "Calls executed by JIT-compiled code");
+SRP_STATISTIC(NumNativeDeopts, "interp", "native-deopts",
+              "Native frames that deopted into the bytecode loop");
 } // namespace
 
 const char *srp::interpEngineName(InterpEngine E) {
-  return E == InterpEngine::Walk ? "walk" : "bytecode";
+  switch (E) {
+  case InterpEngine::Walk:
+    return "walk";
+  case InterpEngine::Native:
+    return "native";
+  case InterpEngine::Bytecode:
+    break;
+  }
+  return "bytecode";
 }
 
 bool srp::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
@@ -61,6 +82,10 @@ bool srp::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
   }
   if (Name == "bytecode") {
     Out = InterpEngine::Bytecode;
+    return true;
+  }
+  if (Name == "native") {
+    Out = InterpEngine::Native;
     return true;
   }
   return false;
@@ -112,6 +137,29 @@ public:
   void write(uint64_t Addr, int64_t V) { Cells[Addr] = V; }
 
   const std::vector<const MemoryObject *> &objects() const { return Objects; }
+
+  /// Raw geometry for the native tier: compiled code addresses cells
+  /// directly and bakes bases as immediates. Stable once construction
+  /// (the add() sequence) is done.
+  int64_t *cellsData() { return Cells.data(); }
+  size_t cellsSize() const { return Cells.size(); }
+  const std::vector<int64_t> &baseTable() const { return BaseById; }
+
+  /// Layout identity: compiled code is only valid against the exact image
+  /// geometry it was baked for (FNV-1a over bases + size).
+  uint64_t signature() const {
+    uint64_t H = 1469598103934665603ull;
+    auto Mix = [&H](uint64_t V) {
+      for (int I = 0; I != 8; ++I) {
+        H ^= (V >> (8 * I)) & 0xff;
+        H *= 1099511628211ull;
+      }
+    };
+    Mix(Cells.size());
+    for (int64_t B : BaseById)
+      Mix(static_cast<uint64_t>(B));
+    return H;
+  }
 };
 
 /// Tree-walker register frame. get() distinguishes "never written" from
@@ -144,20 +192,28 @@ class ExecEngine {
   uint64_t FuelLeft;
   ExecutionResult &R;
   MemoryImage Mem;
-  const bool UseBytecode;
+  const bool UseBytecode; ///< Bytecode or Native engine selected.
+  const bool UseNative;   ///< Native engine selected (implies UseBytecode).
   AnalysisManager *AM;
 
   /// Private decode cache when no AnalysisManager is supplied.
   std::unordered_map<const Function *, std::unique_ptr<DecodedFunction>>
       LocalDecoded;
+  /// Private native-code cache when no AnalysisManager is supplied (no
+  /// cross-run hotness then: each engine instance starts cold).
+  std::unordered_map<const Function *, std::unique_ptr<jit::NativeCode>>
+      LocalNative;
 
   /// Dense per-function execution counters, converted to the pointer-keyed
   /// result maps by finish(). The walker fallback writes the maps
   /// directly; finish() merges with +=, so mixed runs stay exact.
   struct FnState {
     const DecodedFunction *DF = nullptr;
-    std::vector<uint64_t> BlockCnt;
-    std::vector<uint64_t> EdgeCnt;
+    /// Merged block+edge counters: blocks at [0, NumBlocks), edges at
+    /// [NumBlocks, NumBlocks+NumEdges). One flat array so compiled code
+    /// addresses both through a single pinned register.
+    std::vector<uint64_t> Cnt;
+    jit::NativeCode *NC = nullptr; ///< Native tier entry (native mode only).
     /// Per-callee-index resolved state (parallel to DF->Callees), filled
     /// lazily so hot call sites skip the States hash lookup entirely.
     /// FnState references are stable across States rehashes, so the raw
@@ -165,6 +221,14 @@ class ExecEngine {
     std::vector<FnState *> CalleeStates;
   };
   std::unordered_map<const Function *, FnState> States;
+
+  /// Native-tier state: the engine<->code context (one per engine; nested
+  /// native frames share it, saving/restoring Depth around calls), the
+  /// memory-image identity compiled code must match, and the call-count
+  /// tier threshold.
+  jit::NativeCtx Ctx;
+  uint64_t ImageSig = 0;
+  uint64_t JitThreshold = 2;
 
   /// Register / frame-local-memory stacks shared by all bytecode frames
   /// (one contiguous arena each instead of a malloc per call). Grown
@@ -179,9 +243,11 @@ class ExecEngine {
   std::vector<int64_t> ArgStack;   ///< Call-argument staging stack.
 
 public:
-  ExecEngine(Module &M, uint64_t Fuel, ExecutionResult &R, bool UseBytecode,
-             AnalysisManager *AM)
-      : M(M), FuelLeft(Fuel), R(R), Mem(M), UseBytecode(UseBytecode), AM(AM) {
+  ExecEngine(Module &M, uint64_t Fuel, ExecutionResult &R, InterpEngine E,
+             AnalysisManager *AM, uint64_t Threshold)
+      : M(M), FuelLeft(Fuel), R(R), Mem(M),
+        UseBytecode(E != InterpEngine::Walk),
+        UseNative(E == InterpEngine::Native), AM(AM) {
     for (const auto &G : M.globals())
       Mem.add(*G);
     // Address-taken locals get static storage (single activation).
@@ -189,6 +255,14 @@ public:
       for (const auto &L : F->locals())
         if (L->isAddressTaken())
           Mem.add(*L);
+    if (UseNative) {
+      JitThreshold = Threshold ? Threshold : jit::defaultJitThreshold();
+      ImageSig = Mem.signature();
+      Ctx.MemCells = Mem.cellsData(); // stable: no add() after this point
+      Ctx.CallHelper = &callThunk;
+      Ctx.PrintHelper = &printThunk;
+      Ctx.Engine = this;
+    }
   }
 
   bool trap(const std::string &Msg) {
@@ -204,9 +278,10 @@ public:
     FnState &FS = It->second;
     if (Inserted) {
       FS.DF = &getDecoded(F);
-      FS.BlockCnt.assign(FS.DF->Blocks.size(), 0);
-      FS.EdgeCnt.assign(FS.DF->numEdges(), 0);
+      FS.Cnt.assign(FS.DF->Blocks.size() + FS.DF->numEdges(), 0);
       FS.CalleeStates.assign(FS.DF->Callees.size(), nullptr);
+      if (UseNative)
+        FS.NC = &getNativeCode(F);
     }
     return FS;
   }
@@ -227,7 +302,7 @@ public:
           return trap("call to empty function " + F.name());
         if (NArgs != DF.NumArgs)
           return trap("arity mismatch calling " + F.name());
-        return execDecoded(DF, FS, Args, RetVal, Depth);
+        return dispatchDecoded(DF, FS, Args, RetVal, Depth);
       }
       ++R.Interp.WalkFallbackCalls;
       ++NumWalkFallbackCalls;
@@ -243,13 +318,14 @@ public:
     for (auto &[F, FS] : States) {
       (void)F;
       const DecodedFunction &DF = *FS.DF;
-      for (size_t I = 0; I != FS.BlockCnt.size(); ++I)
-        if (FS.BlockCnt[I])
-          R.BlockCounts[DF.BlockPtrs[I]] += FS.BlockCnt[I];
-      for (size_t E = 0; E != FS.EdgeCnt.size(); ++E)
-        if (FS.EdgeCnt[E])
+      const size_t NB = DF.Blocks.size();
+      for (size_t I = 0; I != NB; ++I)
+        if (FS.Cnt[I])
+          R.BlockCounts[DF.BlockPtrs[I]] += FS.Cnt[I];
+      for (size_t E = 0; E != DF.numEdges(); ++E)
+        if (FS.Cnt[NB + E])
           R.EdgeCounts[DF.BlockPtrs[DF.EdgeFrom[E]]]
-                      [DF.BlockPtrs[DF.EdgeTo[E]]] += FS.EdgeCnt[E];
+                      [DF.BlockPtrs[DF.EdgeTo[E]]] += FS.Cnt[NB + E];
     }
     for (const MemoryObject *Obj : Mem.objects()) {
       // Only module-scope memory is observable after exit; locals (even
@@ -299,6 +375,204 @@ private:
     return *(LocalDecoded[&F] = std::move(DF));
   }
 
+  //===-- Native tier ------------------------------------------------------===
+
+  /// Per-run native-code resolution; the AM-cached entry carries HotCount
+  /// across runs, the private map starts cold per engine instance.
+  jit::NativeCode &getNativeCode(Function &F) {
+    if (AM)
+      return AM->get<jit::NativeCode>(F);
+    auto &P = LocalNative[&F];
+    if (!P)
+      P = std::make_unique<jit::NativeCode>();
+    return *P;
+  }
+
+  /// Decoded-function dispatch below call(): native code when the function
+  /// is hot (compiling it on the crossing call), bytecode otherwise. The
+  /// caller has already validated Empty/NeedsWalk/arity.
+  bool dispatchDecoded(const DecodedFunction &DF, FnState &FS,
+                       const int64_t *Args, int64_t &RetVal, unsigned Depth) {
+    if (UseNative)
+      if (jit::NativeCode *NC = maybeNative(DF, FS))
+        return nativeInvoke(*NC, DF, FS, Args, RetVal, Depth);
+    return execDecoded(DF, FS, Args, RetVal, Depth);
+  }
+
+  /// The tier decision for one call: bump the hotness ledger, compile at
+  /// the threshold, and return the entry when this call can run natively.
+  jit::NativeCode *maybeNative(const DecodedFunction &DF, FnState &FS) {
+    jit::NativeCode *NC = FS.NC;
+    if (!NC)
+      return nullptr;
+    ++NC->HotCount;
+    if (NC->Entry && NC->ImageSig == ImageSig)
+      return NC;
+    // A cached compile against a different memory-image layout (an object
+    // was added or removed module-wide since) is stale even though this
+    // function's IR is unchanged; recompile against the current image.
+    if (NC->Attempted && NC->ImageSig == ImageSig)
+      return nullptr; // compile already failed for this shape
+    if (NC->HotCount < JitThreshold)
+      return nullptr;
+    double T0 = monotonicSeconds();
+    TraceSpan Span;
+    if (trace::enabled())
+      Span.begin("jit", "compile:" + DF.F->name());
+    NC->Attempted = true;
+    NC->ImageSig = ImageSig;
+    NC->Entry = nullptr; // never leave a stale entry if the compile fails
+    jit::MemoryLayout L;
+    L.BaseById = Mem.baseTable().data();
+    L.NumIds = Mem.baseTable().size();
+    L.NumCells = Mem.cellsSize();
+    L.Sig = ImageSig;
+    const bool Ok = jit::compileFunction(*NC, DF, L);
+    Span.end();
+    R.Interp.CompileSeconds += monotonicSeconds() - T0;
+    if (!Ok)
+      return nullptr;
+    ++R.Interp.FunctionsCompiled;
+    ++NumNativeCompiles;
+    return NC;
+  }
+
+  /// Flushes the count deltas compiled code accumulated in the context
+  /// into the run's counters. Must happen before any result is read —
+  /// nativeInvoke does it on every exit path (return, trap, deopt).
+  void flushNativeCounts() {
+    DynamicCounts &C = R.Counts;
+    C.Instructions += Ctx.Instructions;
+    C.SingletonLoads += Ctx.SingletonLoads;
+    C.SingletonStores += Ctx.SingletonStores;
+    C.AliasedLoads += Ctx.AliasedLoads;
+    C.AliasedStores += Ctx.AliasedStores;
+    C.Copies += Ctx.Copies;
+    Ctx.Instructions = Ctx.SingletonLoads = Ctx.SingletonStores =
+        Ctx.AliasedLoads = Ctx.AliasedStores = Ctx.Copies = 0;
+  }
+
+  /// The block whose instruction range contains \p CodeIdx (deopt resume
+  /// target). Blocks[i].First is ascending by construction.
+  static uint32_t blockContaining(const DecodedFunction &DF,
+                                  uint32_t CodeIdx) {
+    uint32_t B = 0;
+    while (B + 1 < DF.Blocks.size() && DF.Blocks[B + 1].First <= CodeIdx)
+      ++B;
+    return B;
+  }
+
+  /// Runs one call in compiled code: identical frame push to execDecoded,
+  /// then the JIT entry. Status selects the exit: plain return, trap
+  /// (recorded by a helper; unwind), or deopt — resume the bytecode loop
+  /// on this very frame at the faulting instruction, with per-instruction
+  /// fuel (the native tier never leaves a prepaid segment behind).
+  bool nativeInvoke(jit::NativeCode &NC, const DecodedFunction &DF,
+                    FnState &FS, const int64_t *Args, int64_t &RetVal,
+                    unsigned Depth) {
+    const size_t Base = RegTop;
+    RegTop += DF.NumSlots;
+    if (RegTop > RegStack.size())
+      RegStack.resize(std::max(RegTop, RegStack.size() * 2));
+    const size_t LocalBase = LocalTop;
+    LocalTop += DF.LocalArenaSize;
+    if (LocalTop > LocalStack.size())
+      LocalStack.resize(std::max(LocalTop, LocalStack.size() * 2));
+    int64_t *Rg = RegStack.data() + Base;
+    int64_t *Lc = LocalStack.data() + LocalBase;
+    for (const auto &CI : DF.ConstInits)
+      Rg[CI.Slot] = CI.Val;
+    for (uint32_t I = 0; I != DF.NumArgs; ++I)
+      Rg[I] = Args[I];
+    for (const auto &L : DF.Locals)
+      std::fill_n(Lc + L.Off, L.Size, L.Init);
+
+    ++R.Interp.NativeCalls;
+    ++NumNativeCalls;
+    Ctx.FuelLeft = FuelLeft;
+    const uint32_t SavedDepth = Ctx.Depth;
+    Ctx.Depth = Depth;
+    Ctx.Status = jit::StatusOk;
+    int64_t Ret = NC.Entry(&Ctx, Rg, Lc, FS.Cnt.data(), &FS);
+    Ctx.Depth = SavedDepth;
+    FuelLeft = Ctx.FuelLeft;
+    flushNativeCounts();
+    if (Ctx.Status == jit::StatusOk) {
+      RetVal = Ret;
+      RegTop = Base;
+      LocalTop = LocalBase;
+      return true;
+    }
+    if (Ctx.Status != jit::StatusDeopt)
+      return false; // trap already recorded by the raising helper
+    ++R.Interp.Deopts;
+    ++NumNativeDeopts;
+    Ctx.Status = jit::StatusOk;
+    const uint32_t Idx = static_cast<uint32_t>(Ctx.DeoptIndex);
+    return execLoop(DF, FS, Base, LocalBase, RetVal, Depth,
+                    blockContaining(DF, Idx), Idx, /*Resume=*/true);
+  }
+
+  /// The BOp::Call helper compiled code calls out to. Mirrors the
+  /// bytecode loop's Call case byte for byte: depth check, callee-state
+  /// resolution, argument staging, tier dispatch, trap propagation — and
+  /// re-anchors the caller's frame pointers since the callee may have
+  /// grown the shared arenas.
+  int64_t nativeCall(jit::NativeCtx *C, FnState *CallerFS, uint64_t CodeIdx,
+                     int64_t *Rg, int64_t *Lc) {
+    const DecodedFunction &DF = *CallerFS->DF;
+    const BInst &X = DF.Code[CodeIdx];
+    Function &Callee = *DF.Callees[X.T0];
+    FuelLeft = C->FuelLeft;
+    const unsigned Depth = C->Depth;
+    const size_t RgOff = static_cast<size_t>(Rg - RegStack.data());
+    const size_t LcOff = static_cast<size_t>(Lc - LocalStack.data());
+    int64_t Out = 0;
+    bool Ok;
+    if (Depth >= 400) {
+      Ok = trap("call stack overflow in " + Callee.name());
+    } else {
+      FnState *CS = CallerFS->CalleeStates[X.T0];
+      if (!CS)
+        CS = CallerFS->CalleeStates[X.T0] = &stateFor(Callee);
+      const uint32_t NA = X.ArgsEnd - X.ArgsBegin;
+      const size_t AB = ArgStack.size();
+      ArgStack.resize(AB + NA);
+      for (uint32_t I = 0; I != NA; ++I)
+        ArgStack[AB + I] = Rg[DF.CallArgSlots[X.ArgsBegin + I]];
+      const DecodedFunction &CDF = *CS->DF;
+      if (!CDF.NeedsWalk) {
+        if (CDF.Empty)
+          Ok = trap("call to empty function " + Callee.name());
+        else if (NA != CDF.NumArgs)
+          Ok = trap("arity mismatch calling " + Callee.name());
+        else
+          Ok = dispatchDecoded(CDF, *CS, ArgStack.data() + AB, Out,
+                               Depth + 1);
+      } else {
+        ++R.Interp.WalkFallbackCalls;
+        ++NumWalkFallbackCalls;
+        Ok = callWalk(Callee, ArgStack.data() + AB, NA, Out, Depth + 1);
+      }
+      ArgStack.resize(AB);
+    }
+    C->CurRg = RegStack.data() + RgOff;
+    C->CurLc = LocalStack.data() + LcOff;
+    C->FuelLeft = FuelLeft;
+    C->Status = Ok ? jit::StatusOk : jit::StatusTrap;
+    return Out;
+  }
+
+  static int64_t callThunk(jit::NativeCtx *C, void *CallerFS, uint64_t Idx,
+                           int64_t *Rg, int64_t *Lc) {
+    return static_cast<ExecEngine *>(C->Engine)
+        ->nativeCall(C, static_cast<FnState *>(CallerFS), Idx, Rg, Lc);
+  }
+
+  static void printThunk(jit::NativeCtx *C, int64_t V) {
+    static_cast<ExecEngine *>(C->Engine)->R.Output.push_back(V);
+  }
+
   //===-- Bytecode engine --------------------------------------------------===
 
   bool execDecoded(const DecodedFunction &DF, FnState &FS,
@@ -315,8 +589,6 @@ private:
     LocalTop += DF.LocalArenaSize;
     if (LocalTop > LocalStack.size())
       LocalStack.resize(std::max(LocalTop, LocalStack.size() * 2));
-    if (PhiScratch.size() < DF.MaxPhiCopies)
-      PhiScratch.resize(DF.MaxPhiCopies);
 
     int64_t *Rg = RegStack.data() + Base;
     int64_t *Lc = LocalStack.data() + LocalBase;
@@ -327,19 +599,36 @@ private:
     // Frame-local memory does carry defined initial values.
     for (const auto &L : DF.Locals)
       std::fill_n(Lc + L.Off, L.Size, L.Init);
+    return execLoop(DF, FS, Base, LocalBase, RetVal, Depth, 0,
+                    DF.Blocks[0].First, /*Resume=*/false);
+  }
+
+  /// The dispatch loop over an already-pushed frame. A fresh call enters
+  /// at block 0; a native deopt re-enters mid-block at \p StartIdx with
+  /// \p Resume set — the block counter and every instruction before
+  /// StartIdx were already accounted by the compiled code, so the resume
+  /// path skips the block preamble and starts with per-instruction fuel.
+  bool execLoop(const DecodedFunction &DF, FnState &FS, size_t Base,
+                size_t LocalBase, int64_t &RetVal, unsigned Depth,
+                uint32_t StartBI, uint32_t StartIdx, bool Resume) {
+    if (PhiScratch.size() < DF.MaxPhiCopies)
+      PhiScratch.resize(DF.MaxPhiCopies);
+    int64_t *Rg = RegStack.data() + Base;
+    int64_t *Lc = LocalStack.data() + LocalBase;
     DynamicCounts &Cnt = R.Counts;
     auto Wrap = [](uint64_t X) { return static_cast<int64_t>(X); };
     auto U = [](int64_t X) { return static_cast<uint64_t>(X); };
 
     uint64_t Prepaid = 0;
-    uint32_t BI = 0;
+    uint32_t BI = StartBI;
     const BInst *IP = nullptr;
+    const size_t NB = DF.Blocks.size();
 
     // Taking edge E: bump its counter, run its pre-resolved phi moves with
     // parallel-copy semantics (gather, then scatter), move to the target.
     auto TakeEdge = [&](int32_t EI) {
       const BEdge &E = DF.Edges[EI];
-      ++FS.EdgeCnt[E.Id];
+      ++FS.Cnt[NB + E.Id];
       const uint32_t N = E.CopyEnd - E.CopyBegin;
       if (N) {
         const PhiCopy *C = DF.PhiCopies.data() + E.CopyBegin;
@@ -351,9 +640,18 @@ private:
       BI = E.To;
     };
 
+    if (Resume) {
+      // Deopt re-entry: the compiled code already counted this block and
+      // every instruction before StartIdx; pay fuel per instruction from
+      // here (Prepaid == 0) so exhaustion fires exactly where the JIT's
+      // per-instruction ledger says it must.
+      IP = DF.Code.data() + StartIdx;
+      goto Dispatch;
+    }
+
   NextBlock: {
     const BBlock &Blk = DF.Blocks[BI];
-    ++FS.BlockCnt[BI];
+    ++FS.Cnt[BI];
     // Bulk fuel charge for the block's leading segment. When fuel is too
     // low for the whole segment, fall back to paying per instruction so
     // the exhaustion trap fires at exactly the walker's instruction.
@@ -363,6 +661,7 @@ private:
     }
     IP = DF.Code.data() + Blk.First;
   }
+  Dispatch:
     for (;;) {
       const BInst &X = *IP++;
       if (Prepaid)
@@ -522,7 +821,8 @@ private:
             return trap("call to empty function " + Callee.name());
           if (NA != CDF.NumArgs)
             return trap("arity mismatch calling " + Callee.name());
-          CallOk = execDecoded(CDF, *CS, ArgStack.data() + AB, Out, Depth + 1);
+          CallOk =
+              dispatchDecoded(CDF, *CS, ArgStack.data() + AB, Out, Depth + 1);
         } else {
           ++R.Interp.WalkFallbackCalls;
           ++NumWalkFallbackCalls;
@@ -849,7 +1149,7 @@ ExecutionResult Interpreter::run(const std::string &EntryName,
   TraceSpan Span;
   if (trace::enabled())
     Span.begin("interp", "exec:" + EntryName);
-  ExecEngine E(M, Fuel, R, Engine == InterpEngine::Bytecode, AM);
+  ExecEngine E(M, Fuel, R, Engine, AM, JitThreshold);
   int64_t Ret = 0;
   R.Ok = true;
   if (E.call(*Entry, Args.data(), Args.size(), Ret, 0))
@@ -861,10 +1161,17 @@ ExecutionResult Interpreter::run(const std::string &EntryName,
                    static_cast<int64_t>(R.Counts.Instructions));
   R.Interp.ExecSeconds = monotonicSeconds() - T0;
   ++NumExecutions;
-  if (Engine == InterpEngine::Bytecode)
+  switch (Engine) {
+  case InterpEngine::Bytecode:
     ++NumBytecodeRuns;
-  else
+    break;
+  case InterpEngine::Native:
+    ++NumNativeRuns;
+    break;
+  case InterpEngine::Walk:
     ++NumWalkRuns;
+    break;
+  }
   NumInstsExecuted += R.Counts.Instructions;
   ExecMicros += static_cast<uint64_t>(R.Interp.ExecSeconds * 1e6);
   return R;

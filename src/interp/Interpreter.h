@@ -18,17 +18,22 @@
 /// Address-taken locals get static storage (one activation at a time), a
 /// documented simplification; the Mini-C workloads comply.
 ///
-/// Two engines share these semantics (docs/INTERPRETER.md):
+/// Three engines share these semantics (docs/INTERPRETER.md):
 ///  - the *tree-walker*, the reference engine: interprets the IR in place,
 ///    one hash lookup per operand;
 ///  - the *bytecode* engine (default): functions are decoded once into
 ///    dense slot-numbered instruction streams (interp/Bytecode.h) and run
 ///    by a flat register-file dispatch loop with per-block fuel accounting
-///    and dense block/edge counters.
+///    and dense block/edge counters;
+///  - the *native* engine: bytecode plus a hotness-tiered x86-64 template
+///    JIT (jit/NativeJIT.h) that compiles functions from their decoded
+///    BInst arrays once a call-count threshold is crossed, deopting back
+///    into the bytecode loop at the exact instruction for traps and fuel
+///    exhaustion. On non-x86-64 hosts it degrades to the bytecode engine.
 /// Results are required to be identical field by field; the parity suite
-/// (tests/InterpParityTest.cpp) and the srp_oracle_walk ctest gate enforce
-/// it. Functions the decoder cannot statically validate fall back to the
-/// walker per call, so mixed execution is still exact.
+/// (tests/InterpParityTest.cpp) and the srp_oracle_walk / srp_native_parity
+/// ctest gates enforce it. Functions the decoder cannot statically validate
+/// fall back to the walker per call, so mixed execution is still exact.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,17 +56,18 @@ class Module;
 enum class InterpEngine : uint8_t {
   Walk,     ///< Reference tree-walker (slow, obviously correct).
   Bytecode, ///< Decoded dispatch loop (default).
+  Native,   ///< Bytecode + hotness-tiered x86-64 baseline JIT.
 };
 
-/// Stable spelling for flags/JSON: "walk" / "bytecode".
+/// Stable spelling for flags/JSON: "walk" / "bytecode" / "native".
 const char *interpEngineName(InterpEngine E);
 
 /// Inverse of interpEngineName; returns false for unknown spellings.
 bool parseInterpEngine(const std::string &Name, InterpEngine &Out);
 
 /// The build-default engine (Bytecode), overridable per process with
-/// SRP_INTERP=walk|bytecode — the hook the srp_oracle_walk ctest gate uses
-/// to re-run the differential oracle on the reference engine.
+/// SRP_INTERP=walk|bytecode|native — the hook the srp_oracle_walk and
+/// native-engine ctest gates use to re-run suites on another engine.
 InterpEngine defaultInterpEngine();
 
 /// Dynamic operation counters. "Singleton" loads/stores are the paper's
@@ -84,8 +90,12 @@ struct InterpRunStats {
   uint64_t FunctionsDecoded = 0;  ///< Decodes performed during this run.
   uint64_t DecodeCacheHits = 0;   ///< Decodes served from the manager cache.
   uint64_t WalkFallbackCalls = 0; ///< Calls executed by the walker fallback.
+  uint64_t FunctionsCompiled = 0; ///< Native-tier compiles this run.
+  uint64_t NativeCalls = 0;       ///< Calls executed by JIT-compiled code.
+  uint64_t Deopts = 0;            ///< Native frames resumed in bytecode.
   double DecodeSeconds = 0;
-  double ExecSeconds = 0; ///< Whole run, decode included.
+  double CompileSeconds = 0; ///< Native-tier compile time this run.
+  double ExecSeconds = 0;    ///< Whole run, decode included.
 };
 
 /// Result of one execution.
@@ -112,19 +122,27 @@ class Interpreter {
   uint64_t Fuel;
   InterpEngine Engine;
   AnalysisManager *AM;
+  uint64_t JitThreshold = 0; ///< 0 = jit::defaultJitThreshold().
 
 public:
   /// \p Fuel bounds the number of executed instructions (default generous;
   /// protects tests against accidental infinite loops). \p AM, when given,
-  /// caches decoded functions across runs (AnalysisKind::Bytecode) so an
-  /// unchanged function is decoded once for profile + measurement; without
-  /// a manager the interpreter decodes privately per instance.
+  /// caches decoded functions and native code across runs
+  /// (AnalysisKind::Bytecode / NativeCode) so an unchanged function is
+  /// decoded once — and its JIT hotness accumulates — across profile +
+  /// measurement; without a manager the interpreter caches privately per
+  /// instance.
   explicit Interpreter(Module &M, uint64_t Fuel = 200'000'000,
                        InterpEngine Engine = defaultInterpEngine(),
                        AnalysisManager *AM = nullptr)
       : M(M), Fuel(Fuel), Engine(Engine), AM(AM) {}
 
   InterpEngine engine() const { return Engine; }
+
+  /// Native engine only: call count at which a function is JIT-compiled.
+  /// 0 keeps the process default (SRP_JIT_THRESHOLD, else 2); 1 compiles
+  /// on first call — what the parity suites use to force the JIT path.
+  void setJitThreshold(uint64_t T) { JitThreshold = T; }
 
   /// Runs \p EntryName (default "main") with the given arguments.
   ExecutionResult run(const std::string &EntryName = "main",

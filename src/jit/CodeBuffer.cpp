@@ -1,0 +1,83 @@
+//===- jit/CodeBuffer.cpp - W^X executable code allocation ----------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeBuffer.h"
+
+#include <utility>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define SRP_JIT_HOST_OK 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define SRP_JIT_HOST_OK 0
+#endif
+
+using namespace srp::jit;
+
+bool srp::jit::nativeJitSupported() { return SRP_JIT_HOST_OK; }
+
+CodeBuffer::~CodeBuffer() { reset(); }
+
+CodeBuffer::CodeBuffer(CodeBuffer &&O) noexcept
+    : Base(std::exchange(O.Base, nullptr)), Bytes(std::exchange(O.Bytes, 0)),
+      Executable(std::exchange(O.Executable, false)) {}
+
+CodeBuffer &CodeBuffer::operator=(CodeBuffer &&O) noexcept {
+  if (this != &O) {
+    reset();
+    Base = std::exchange(O.Base, nullptr);
+    Bytes = std::exchange(O.Bytes, 0);
+    Executable = std::exchange(O.Executable, false);
+  }
+  return *this;
+}
+
+void CodeBuffer::reset() {
+#if SRP_JIT_HOST_OK
+  if (Base)
+    ::munmap(Base, Bytes);
+#endif
+  Base = nullptr;
+  Bytes = 0;
+  Executable = false;
+}
+
+bool CodeBuffer::allocate(size_t WantBytes) {
+  reset();
+#if SRP_JIT_HOST_OK
+  if (WantBytes == 0)
+    return false;
+  const size_t Page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  Bytes = (WantBytes + Page - 1) / Page * Page;
+  void *P = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED) {
+    Bytes = 0;
+    return false;
+  }
+  Base = static_cast<uint8_t *>(P);
+  return true;
+#else
+  (void)WantBytes;
+  return false;
+#endif
+}
+
+bool CodeBuffer::finalize() {
+#if SRP_JIT_HOST_OK
+  if (!Base || Executable)
+    return false;
+  if (::mprotect(Base, Bytes, PROT_READ | PROT_EXEC) != 0) {
+    reset();
+    return false;
+  }
+  Executable = true;
+  return true;
+#else
+  return false;
+#endif
+}

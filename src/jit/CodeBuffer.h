@@ -1,0 +1,63 @@
+//===- jit/CodeBuffer.h - W^X executable code allocation -------*- C++ -*-===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One mmap'd allocation for JIT-compiled machine code, with a strict
+/// W^X lifecycle: the region is mapped read+write for emission, flipped
+/// to read+execute by finalize(), and is never writable and executable at
+/// the same time. The buffer owns the mapping and munmaps on destruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_JIT_CODEBUFFER_H
+#define SRP_JIT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace srp::jit {
+
+/// True when this build and host can map and execute generated x86-64
+/// code (x86-64 + POSIX mmap). On other hosts the native tier degrades
+/// to the bytecode engine and the JIT tests skip.
+bool nativeJitSupported();
+
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+  CodeBuffer(CodeBuffer &&O) noexcept;
+  CodeBuffer &operator=(CodeBuffer &&O) noexcept;
+
+  /// Maps a fresh writable, non-executable region of at least \p Bytes.
+  /// Any previous mapping is released. Returns false when the host cannot
+  /// map code (see nativeJitSupported) or mmap fails.
+  bool allocate(size_t Bytes);
+
+  /// Flips the mapping to read+execute; the write mapping is gone. Must
+  /// be called exactly once, after emission. Returns false on failure
+  /// (the mapping is released, data() becomes null).
+  bool finalize();
+
+  /// Releases the mapping.
+  void reset();
+
+  uint8_t *data() { return Base; }
+  const uint8_t *data() const { return Base; }
+  size_t size() const { return Bytes; }
+  bool executable() const { return Executable; }
+
+private:
+  uint8_t *Base = nullptr;
+  size_t Bytes = 0;
+  bool Executable = false;
+};
+
+} // namespace srp::jit
+
+#endif // SRP_JIT_CODEBUFFER_H

@@ -67,6 +67,7 @@ std::string srp::pipelineOptionsKey(const PipelineOptions &Opts) {
      << ";pressure=" << (Opts.MeasurePressure ? 1 : 0)
      << ";nocache=" << (Opts.DisableAnalysisCache ? 1 : 0)
      << ";interp=" << interpEngineName(Opts.Interp)
+     << ";jit=" << Opts.JitThreshold
      << ";boundary=" << (Opts.Promo.CountBoundaryOps ? 1 : 0)
      << ";web=" << (Opts.Promo.WebGranularity ? 1 : 0)
      << ";store-elim=" << (Opts.Promo.AllowStoreElimination ? 1 : 0)
@@ -123,8 +124,20 @@ std::string srp::resultToJson(const PipelineResult &R,
      << (R.RunBefore.Interp.WalkFallbackCalls +
          R.RunAfter.Interp.WalkFallbackCalls)
      << ",\n"
+     << "    \"functions_compiled\": "
+     << (R.RunBefore.Interp.FunctionsCompiled +
+         R.RunAfter.Interp.FunctionsCompiled)
+     << ",\n"
+     << "    \"native_calls\": "
+     << (R.RunBefore.Interp.NativeCalls + R.RunAfter.Interp.NativeCalls)
+     << ",\n"
+     << "    \"deopts\": "
+     << (R.RunBefore.Interp.Deopts + R.RunAfter.Interp.Deopts) << ",\n"
      << "    \"decode_seconds\": "
      << (R.RunBefore.Interp.DecodeSeconds + R.RunAfter.Interp.DecodeSeconds)
+     << ",\n"
+     << "    \"compile_seconds\": "
+     << (R.RunBefore.Interp.CompileSeconds + R.RunAfter.Interp.CompileSeconds)
      << ",\n"
      << "    \"profile_exec_seconds\": " << R.RunBefore.Interp.ExecSeconds
      << ",\n"

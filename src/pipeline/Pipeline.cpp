@@ -121,6 +121,7 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
                             [&](Module &Mod, AnalysisManager &AM,
                                 std::vector<std::string> &Errors) {
     Interpreter Interp(Mod, 200'000'000, Opts.Interp, &AM);
+    Interp.setJitThreshold(Opts.JitThreshold);
     R.RunBefore = Interp.run(Opts.EntryFunction);
     if (!R.RunBefore.Ok) {
       Errors.push_back("profile run failed: " + R.RunBefore.Error);
@@ -268,6 +269,7 @@ PipelineResult PipelineBuilder::run(std::unique_ptr<Module> M) {
     // stage left untouched reuse their decoded bytecode (decode-cache-hits
     // in --stats-json counts them).
     Interpreter Interp(Mod, 200'000'000, Opts.Interp, &AM);
+    Interp.setJitThreshold(Opts.JitThreshold);
     R.RunAfter = Interp.run(Opts.EntryFunction);
     if (!R.RunAfter.Ok) {
       Errors.push_back("measurement run failed: " + R.RunAfter.Error);

@@ -74,8 +74,14 @@ struct PipelineOptions {
   /// variable has the same effect without a rebuild.
   bool DisableAnalysisCache = false;
   /// Execution engine for the profile and measurement runs (srpc
-  /// -interp=walk|bytecode; both produce identical ExecutionResults).
+  /// -interp=walk|bytecode|native; all produce identical
+  /// ExecutionResults).
   InterpEngine Interp = defaultInterpEngine();
+  /// Native engine only: call count at which a function is JIT-compiled.
+  /// 0 keeps the process default (SRP_JIT_THRESHOLD, else 2 — profile run
+  /// warms the ledger, measurement runs natively); 1 compiles on first
+  /// call, which the parity suites use to force the JIT path.
+  uint64_t JitThreshold = 0;
 };
 
 /// Immutable, cheaply copyable Mini-C source text. Copies share one

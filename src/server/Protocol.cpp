@@ -37,6 +37,9 @@ std::string srp::server::encodeCompileRequest(const CompileJob &Job,
   }
   if (O.Interp != Defaults.Interp)
     R.set("interp", json::Value::string(interpEngineName(O.Interp)));
+  if (O.JitThreshold != Defaults.JitThreshold)
+    R.set("jit_threshold",
+          json::Value::integer(static_cast<int64_t>(O.JitThreshold)));
   if (O.MeasurePressure != Defaults.MeasurePressure)
     R.set("measure_pressure", json::Value::boolean(O.MeasurePressure));
   if (O.DisableAnalysisCache != Defaults.DisableAnalysisCache)
@@ -102,6 +105,8 @@ bool srp::server::decodeCompileRequest(const json::Value &Req,
       return false;
     }
   }
+  if (const json::Value *V = Req.find("jit_threshold"))
+    O.JitThreshold = static_cast<uint64_t>(V->asInt(0));
   if (const json::Value *V = Req.find("measure_pressure"))
     O.MeasurePressure = V->asBool(O.MeasurePressure);
   if (const json::Value *V = Req.find("no_analysis_cache"))

@@ -6,9 +6,10 @@
 ///
 /// \file
 /// Sweeps generated programs through the six-mode differential oracle,
-/// Strictness::Full between-pass verification, and walk/bytecode parity
-/// (gen/Corpus.h), with remark-coverage feedback steering generation
-/// toward under-exercised promoters and §4.3 rejection reasons.
+/// Strictness::Full between-pass verification, and engine parity — walk
+/// and native(JIT) against bytecode (gen/Corpus.h) — with remark-coverage
+/// feedback steering generation toward under-exercised promoters and
+/// §4.3 rejection reasons.
 ///
 ///   srp-corpus -seeds=50                      # the tier-1 smoke sweep
 ///   srp-corpus -seeds=1000 -threads=8         # the full nightly sweep
@@ -158,8 +159,37 @@ int main(int argc, char **argv) {
              }
              return false;
            });
-  OP.flag("no-parity", "skip the walk-vs-bytecode parity runs",
-          [&] { Opts.Check.EngineParity = false; });
+  OP.flag("no-parity", "skip every engine-parity run (walk and native)",
+          [&] {
+            Opts.Check.EngineParity = false;
+            Opts.Check.NativeParity = false;
+          });
+  OP.value("engines", "<list>",
+           "comma-separated parity engines to run against bytecode "
+           "(default walk,native; \"none\" disables parity)",
+           [&](const std::string &V) {
+             Opts.Check.EngineParity = false;
+             Opts.Check.NativeParity = false;
+             if (V == "none")
+               return true;
+             size_t Pos = 0;
+             while (Pos <= V.size()) {
+               size_t Comma = V.find(',', Pos);
+               std::string E = V.substr(Pos, Comma == std::string::npos
+                                                 ? std::string::npos
+                                                 : Comma - Pos);
+               if (E == "walk")
+                 Opts.Check.EngineParity = true;
+               else if (E == "native")
+                 Opts.Check.NativeParity = true;
+               else
+                 return false;
+               if (Comma == std::string::npos)
+                 break;
+               Pos = Comma + 1;
+             }
+             return true;
+           });
   OP.flag("no-feedback", "disable coverage-guided profile steering",
           [&] { Opts.Feedback = false; });
   OP.flag("require-coverage",

@@ -36,6 +36,7 @@
 #include "support/Statistics.h"
 #include "support/Trace.h"
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -168,12 +169,25 @@ int main(int argc, char **argv) {
           "rebuild every analysis on each request (also: "
           "SRP_DISABLE_ANALYSIS_CACHE=1)",
           [&] { Opts.DisableAnalysisCache = true; });
-  OP.value("interp", "<bytecode|walk>",
+  OP.value("interp", "<bytecode|walk|native>",
            "execution engine for the profile and measurement runs "
-           "(default bytecode; walk is the reference tree-walker; also: "
+           "(default bytecode; walk is the reference tree-walker; native "
+           "adds the hotness-tiered x86-64 baseline JIT; also: "
            "SRP_INTERP)",
            [&](const std::string &V) {
              return parseInterpEngine(V, Opts.Interp);
+           });
+  OP.value("jit-threshold", "<n>",
+           "with -interp=native: call count at which a function is "
+           "JIT-compiled (default 2, 1 = first call; also: "
+           "SRP_JIT_THRESHOLD)",
+           [&](const std::string &V) {
+             char *End = nullptr;
+             unsigned long long N = std::strtoull(V.c_str(), &End, 10);
+             if (End == V.c_str() || *End)
+               return false;
+             Opts.JitThreshold = N;
+             return true;
            });
   OP.flag("analyze",
           "static analysis only: run the IR checkers and the source "

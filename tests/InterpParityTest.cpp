@@ -1,17 +1,20 @@
-//===- tests/InterpParityTest.cpp - walk vs bytecode differential parity --===//
+//===- tests/InterpParityTest.cpp - three-engine differential parity ------===//
 //
 // Part of the srp project: SSA-based scalar register promotion.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Differential parity between the two interpreter engines: the reference
-/// tree-walker and the bytecode tier must produce byte-identical
+/// Differential parity between the three interpreter engines: the
+/// reference tree-walker, the bytecode tier, and the native (JIT) tier
+/// (forced to compile on first call) must produce byte-identical
 /// ExecutionResults — exit value, printed output, dynamic counts, block
 /// and edge frequencies, final memory, and on failing runs the exact trap
 /// message — on every workload x promotion-mode combination and on every
 /// trap path (bounds, wild pointers, stack overflow, arity, use-before-def,
-/// and fuel exhaustion at exact instruction boundaries).
+/// and fuel exhaustion at exact instruction boundaries). Trap and fuel
+/// cases are where the native tier's deopt machinery must land on the
+/// same instruction the other engines trap at.
 ///
 /// The InterpParityHeavyTest matrix is scheduled under the `heavy` ctest
 /// label; the whole file also runs as the tier-1 `srp_interp_parity` gate
@@ -57,8 +60,10 @@ void expectSameResult(const ExecutionResult &Walk, const ExecutionResult &BC,
   EXPECT_EQ(Walk.EdgeCounts, BC.EdgeCounts) << What;
 }
 
-/// Runs \p M under both engines with identical fuel and compares.
-/// Returns the walk result for further assertions.
+/// Runs \p M under all three engines with identical fuel and compares.
+/// The native run compiles on first call (threshold 1) so the JIT path is
+/// actually exercised, not just warmed. Returns the walk result for
+/// further assertions.
 ExecutionResult expectParity(Module &M, const std::string &What,
                              uint64_t Fuel = DefaultFuel,
                              const std::string &Entry = "main") {
@@ -66,7 +71,11 @@ ExecutionResult expectParity(Module &M, const std::string &What,
       Interpreter(M, Fuel, InterpEngine::Walk).run(Entry);
   ExecutionResult B =
       Interpreter(M, Fuel, InterpEngine::Bytecode).run(Entry);
-  expectSameResult(W, B, What);
+  expectSameResult(W, B, What + " [bytecode]");
+  Interpreter NI(M, Fuel, InterpEngine::Native);
+  NI.setJitThreshold(1);
+  ExecutionResult N = NI.run(Entry);
+  expectSameResult(W, N, What + " [native]");
   return W;
 }
 

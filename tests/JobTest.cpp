@@ -118,8 +118,10 @@ TEST(JobTest, ReportSchemaIsPinned) {
   EXPECT_EQ(Doc.get("exit_value").asInt(-1), 45);
 
   for (const char *K : {"engine", "functions_decoded", "decode_cache_hits",
-                        "walk_fallback_calls", "decode_seconds",
-                        "profile_exec_seconds", "measure_exec_seconds"})
+                        "walk_fallback_calls", "functions_compiled",
+                        "native_calls", "deopts", "decode_seconds",
+                        "compile_seconds", "profile_exec_seconds",
+                        "measure_exec_seconds"})
     EXPECT_TRUE(Doc.get("interp").has(K)) << "interp." << K;
   for (const char *K : {"strictness", "passes_verified", "checks_run",
                         "diagnostics", "wall_seconds"})

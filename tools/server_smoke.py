@@ -6,9 +6,13 @@ mixed-mode jobs through `srpc --connect`, and checks that every remote
 report is behaviourally identical to a local one-shot run of the same
 job: same ok / exit_value / printed output / final-memory digest /
 static+dynamic operation counts. The job list deliberately repeats
-(workload, mode) pairs so the server's job cache answers some requests,
-and the gate finishes with a stats query and a clean `--shutdown`,
-asserting the daemon drains and exits 0.
+(workload, mode) pairs so the server's job cache answers some requests.
+A follow-up phase resubmits already-cached pairs with `-interp=native`:
+those must miss the bytecode cache entries (the engine and JIT threshold
+are part of the job fingerprint), match a local native run, and hit on
+their own resubmission — an exact miss count pins the fingerprint. The
+gate finishes with a stats query and a clean `--shutdown`, asserting
+the daemon drains and exits 0.
 
 This is the end-to-end slice of tests/ServerTest.cpp: real processes,
 real socket, the exact CLI a user types.
@@ -40,8 +44,9 @@ def run(cmd, **kw):
     return subprocess.run(cmd, capture_output=True, text=True, **kw)
 
 
-def report_for(args, workload, mode, remote):
+def report_for(args, workload, mode, remote, extra=()):
     cmd = [args.srpc, f"--mode={mode}", "--stats-json", "--quiet"]
+    cmd += list(extra)
     if remote:
         cmd += ["--connect", f"--socket={args.socket}"]
     cmd.append(workload)
@@ -121,19 +126,54 @@ def main():
             if local is not None and remote is not None:
                 compare(workload, mode, local, remote)
 
+        # Native-tier phase: resubmit pairs the bytecode phase already
+        # cached, now with -interp=native. The engine is part of the
+        # job-cache fingerprint, so these must MISS the bytecode entries
+        # (a collision would hand back a report saying engine=bytecode),
+        # behave identically to a local native run, and hit the cache on
+        # their own resubmission. Twice each -> 4 extra jobs, 2 extra
+        # distinct fingerprints.
+        native_flags = ["--interp=native", "--jit-threshold=1"]
+        native_jobs = [(workloads[0], MODES[0]), (workloads[1], MODES[1])]
+        for workload, mode in native_jobs * 2:
+            local = report_for(args, workload, mode, remote=False,
+                               extra=native_flags)
+            remote = report_for(args, workload, mode, remote=True,
+                                extra=native_flags)
+            if local is not None and remote is not None:
+                compare(workload, mode, local, remote)
+                tag = f"{os.path.basename(workload)} mode={mode}"
+                engine = remote.get("interp", {}).get("engine")
+                check(engine == "native",
+                      f"{tag}: remote native job reported engine="
+                      f"{engine!r} — job-cache fingerprint collision "
+                      f"with the bytecode entry")
+
+        total = len(jobs) + 2 * len(native_jobs)
         stats_proc = run([args.srpc, "--server-stats",
                           f"--socket={args.socket}"])
         if check(stats_proc.returncode == 0,
                  f"--server-stats exited {stats_proc.returncode}"):
             stats = json.loads(stats_proc.stdout)
-            check(stats.get("jobs_submitted") == len(jobs),
+            check(stats.get("jobs_submitted") == total,
                   f"jobs_submitted={stats.get('jobs_submitted')}, "
-                  f"expected {len(jobs)}")
+                  f"expected {total}")
             check(stats.get("jobs_failed") == 0,
                   f"jobs_failed={stats.get('jobs_failed')}")
-            hits = stats.get("job_cache", {}).get("hits", 0)
-            check(hits >= len(jobs) - 12,
-                  f"expected >= {len(jobs) - 12} cache hits on repeated "
+            cache = stats.get("job_cache", {})
+            hits = cache.get("hits", 0)
+            # Distinct bytecode fingerprints + distinct native ones;
+            # every other submission must be a hit. An exact miss count
+            # pins the fingerprint: a native/bytecode collision would
+            # show fewer misses, a spuriously run-sensitive key more.
+            distinct = len(set(jobs)) + len(set(native_jobs))
+            check(cache.get("misses") == distinct,
+                  f"expected exactly {distinct} distinct job "
+                  f"fingerprints ({len(set(jobs))} bytecode + "
+                  f"{len(set(native_jobs))} native), got "
+                  f"{cache.get('misses')} misses")
+            check(hits == total - distinct,
+                  f"expected {total - distinct} cache hits on repeated "
                   f"jobs, got {hits}")
 
         check(run([args.srpc, "--shutdown",
