@@ -148,6 +148,16 @@ void AnalysisManager::recordHit(AnalysisKind K) {
     trace::instant("analysis", std::string("hit:") + analysisKindName(K));
 }
 
+namespace {
+SRP_HISTOGRAM(BuildMicros, "analysis", "build-micros",
+              "Wall time of one analysis build (us), nested builds "
+              "included in the outer observation");
+} // namespace
+
+void AnalysisManager::recordBuildTime(double Seconds) {
+  BuildMicros.observeSeconds(Seconds);
+}
+
 void AnalysisManager::recordMiss(AnalysisKind K) {
   ++Stats.Misses;
   ++NumCacheMisses;

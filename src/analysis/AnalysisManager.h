@@ -46,6 +46,7 @@
 #include "analysis/Dominators.h"
 #include "analysis/Intervals.h"
 #include "ir/CFGEdit.h"
+#include "support/Timer.h"
 #include "support/Trace.h"
 #include <array>
 #include <cassert>
@@ -303,6 +304,9 @@ private:
   void invalidateOne(Function &F, AnalysisKind K);
   void recordHit(AnalysisKind K);
   void recordMiss(AnalysisKind K);
+  /// Feeds the analysis.build-micros histogram (out-of-line so the
+  /// header-only get<T> template needs no static metric of its own).
+  static void recordBuildTime(double Seconds);
 
   template <class T> static void destroyAs(void *P) {
     delete static_cast<T *>(P);
@@ -357,7 +361,9 @@ template <class T> T &AnalysisManager::get(Function &F) {
     if (trace::enabled())
       Span.begin("analysis",
                  std::string("build:") + analysisKindName(Traits::Kind));
+    const double T0 = monotonicSeconds();
     Built = Traits::build(F, *this); // may recurse into get()
+    recordBuildTime(monotonicSeconds() - T0);
   }
   Slot &S = slot(F, Traits::Kind); // re-fetch: build() may have touched the map
   S.Ptr = Built.release();

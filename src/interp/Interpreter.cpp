@@ -61,6 +61,8 @@ SRP_STATISTIC(NumNativeCalls, "interp", "native-calls",
               "Calls executed by JIT-compiled code");
 SRP_STATISTIC(NumNativeDeopts, "interp", "native-deopts",
               "Native frames that deopted into the bytecode loop");
+SRP_HISTOGRAM(JitCompileMicros, "interp", "jit-compile-micros",
+              "Wall time of one baseline-JIT function compile (us)");
 } // namespace
 
 const char *srp::interpEngineName(InterpEngine E) {
@@ -429,7 +431,9 @@ private:
     L.Sig = ImageSig;
     const bool Ok = jit::compileFunction(*NC, DF, L);
     Span.end();
-    R.Interp.CompileSeconds += monotonicSeconds() - T0;
+    const double Elapsed = monotonicSeconds() - T0;
+    R.Interp.CompileSeconds += Elapsed;
+    JitCompileMicros.observeSeconds(Elapsed);
     if (!Ok)
       return nullptr;
     ++R.Interp.FunctionsCompiled;

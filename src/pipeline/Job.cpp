@@ -11,6 +11,7 @@
 #include "support/Trace.h"
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -19,19 +20,52 @@ using namespace srp;
 namespace {
 SRP_STATISTIC(NumParallelJobs, "pipeline", "parallel-jobs",
               "Jobs executed through runPipelineParallel");
+SRP_HISTOGRAM(JobMicros, "pipeline", "job-micros",
+              "End-to-end wall time of one compile job (us)");
+
+/// The single execution point every consumer funnels through (one-shot
+/// CLI, parallel driver, server workers): runs the pipeline with the
+/// job's observability capture armed on the calling thread, so remarks
+/// and trace events from concurrent jobs never interleave, and the bytes
+/// a `--connect` client receives come from the same code path as a local
+/// run's.
+PipelineResult executeJob(const CompileJob &Job) {
+  std::optional<RemarkEngine> RE;
+  std::optional<ScopedThreadRemarkSink> SinkGuard;
+  std::optional<trace::LocalCapture> Capture;
+  if (Job.WantRemarks) {
+    RE.emplace();
+    RE->setPassFilter(Job.RemarksFilter);
+    SinkGuard.emplace(*RE);
+  }
+  if (Job.WantTrace)
+    Capture.emplace();
+
+  PipelineResult R;
+  PipelineBuilder B;
+  B.options(Job.Opts);
+  if (Job.InputIsIR) {
+    auto M = parseIR(Job.Source.str(), R.Errors);
+    if (M)
+      R = B.run(std::move(M));
+  } else {
+    R = B.run(Job.Source);
+  }
+
+  if (Job.WantRemarks) {
+    R.Remarks = RE->remarks();
+    R.RemarksCaptured = true;
+  }
+  if (Job.WantTrace)
+    R.TraceJson = Capture->toChromeJson();
+  JobMicros.observeSeconds(R.WallSeconds);
+  return R;
+}
 } // namespace
 
 JobResult srp::runCompileJob(const CompileJob &Job) {
   JobResult Out;
-  PipelineBuilder B;
-  B.options(Job.Opts);
-  if (Job.InputIsIR) {
-    PipelineResult R;
-    auto M = parseIR(Job.Source.str(), R.Errors);
-    Out.Pipeline = M ? B.run(std::move(M)) : std::move(R);
-  } else {
-    Out.Pipeline = B.run(Job.Source);
-  }
+  Out.Pipeline = executeJob(Job);
   Out.ReportJson = resultToJson(Out.Pipeline, Job);
   return Out;
 }
@@ -76,6 +110,19 @@ std::string srp::pipelineOptionsKey(const PipelineOptions &Opts) {
   return OS.str();
 }
 
+namespace {
+/// Canonical spelling of a job's observability requests. Folded into the
+/// fingerprint and the cache key — a cached entry must carry exactly the
+/// capture (remarks on/off, filter, trace on/off) its submission asked
+/// for, or a hit could replay the wrong bytes — but kept out of
+/// pipelineOptionsKey, which stays purely semantic.
+std::string observabilityKey(const CompileJob &Job) {
+  return std::string("remarks=") + (Job.WantRemarks ? "1" : "0") +
+         ";filter=" + Job.RemarksFilter +
+         ";trace=" + (Job.WantTrace ? "1" : "0");
+}
+} // namespace
+
 uint64_t srp::jobFingerprint(const CompileJob &Job) {
   auto fnv = [](uint64_t H, const std::string &S) {
     for (unsigned char C : S) {
@@ -88,6 +135,7 @@ uint64_t srp::jobFingerprint(const CompileJob &Job) {
   H = fnv(H, Job.Source.str());
   H = fnv(H, pipelineOptionsKey(Job.Opts));
   H = fnv(H, Job.InputIsIR ? "ir" : "mc");
+  H = fnv(H, observabilityKey(Job));
   return H;
 }
 
@@ -107,6 +155,8 @@ std::string srp::resultToJson(const PipelineResult &R,
      << "  \"exit_value\": " << R.RunAfter.ExitValue << ",\n"
      << "  \"passes\": " << passRecordsToJson(R.Passes, 1) << ",\n"
      << "  \"statistics\": " << stats::toJson(stats::snapshot(), 1)
+     << ",\n"
+     << "  \"telemetry\": " << stats::metricsToJson(stats::metrics(), 1)
      << ",\n"
      << "  \"analysis\": " << analysisCacheStatsToJson(R.Analysis, 1)
      << ",\n"
@@ -203,7 +253,26 @@ std::string srp::resultToJson(const PipelineResult &R,
      << "    \"edges\": " << R.Pressure.Edges << ",\n"
      << "    \"colors_needed\": " << R.Pressure.ColorsNeeded << ",\n"
      << "    \"max_live\": " << R.Pressure.MaxLive << "\n"
-     << "  }\n"
+     << "  },\n"
+     << "  \"remarks\": ";
+  if (R.RemarksCaptured)
+    OS << remarksToJson(R.Remarks, 1);
+  else
+    OS << "null";
+  OS << ",\n"
+     << "  \"trace\": ";
+  if (!R.TraceJson.empty()) {
+    // The capture is a complete JSON document ending in '\n'; embed it
+    // verbatim minus the terminator (its own inner layout is already
+    // byte-stable, which is what matters for report diffs).
+    std::string T = R.TraceJson;
+    while (!T.empty() && T.back() == '\n')
+      T.pop_back();
+    OS << T;
+  } else {
+    OS << "null";
+  }
+  OS << "\n"
      << "}\n";
   return OS.str();
 }
@@ -213,11 +282,12 @@ std::string srp::resultToJson(const PipelineResult &R,
 //===----------------------------------------------------------------------===
 
 std::string JobCache::keyOf(const CompileJob &Job) const {
-  // Fingerprint plus the exact options key and source length: a 64-bit
-  // hash collision alone can never alias two different jobs.
+  // Fingerprint plus the exact options/observability keys and source
+  // length: a 64-bit hash collision alone can never alias two jobs.
   return std::to_string(jobFingerprint(Job)) + "#" +
          std::to_string(Job.Source.str().size()) + "#" +
-         (Job.InputIsIR ? "ir#" : "mc#") + pipelineOptionsKey(Job.Opts);
+         (Job.InputIsIR ? "ir#" : "mc#") + pipelineOptionsKey(Job.Opts) +
+         "#" + observabilityKey(Job);
 }
 
 JobCache::EntryPtr JobCache::lookup(const CompileJob &Job) {
@@ -265,6 +335,9 @@ JobCache::EntryPtr JobCache::makeEntry(const CompileJob &Job,
   E->FinalMemoryHash = finalMemoryHash(R.RunAfter);
   E->Errors = R.Errors;
   E->ReportJson = ReportJson;
+  if (R.RemarksCaptured)
+    E->RemarksJson = remarksToJson(R.Remarks);
+  E->TraceJson = R.TraceJson;
   return E;
 }
 
@@ -284,7 +357,8 @@ size_t JobCache::size() const {
 
 std::vector<PipelineResult>
 srp::runPipelineParallel(const std::vector<CompileJob> &Jobs,
-                         unsigned Threads, const JobDoneFn &OnDone) {
+                         unsigned Threads, const JobDoneFn &OnDone,
+                         const char *TrackPrefix) {
   std::vector<PipelineResult> Results(Jobs.size());
   if (Jobs.empty())
     return Results;
@@ -300,7 +374,8 @@ srp::runPipelineParallel(const std::vector<CompileJob> &Jobs,
   // The single-threaded path stays on the caller's track.
   auto Worker = [&](unsigned WorkerId, bool Pooled) {
     if (Pooled && trace::enabled()) {
-      trace::setThreadName("worker-" + std::to_string(WorkerId));
+      trace::setThreadName(std::string(TrackPrefix) + "/worker-" +
+                           std::to_string(WorkerId));
       trace::instant("job", "worker-start");
     }
     for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
@@ -310,17 +385,7 @@ srp::runPipelineParallel(const std::vector<CompileJob> &Jobs,
         TraceSpan Span;
         if (trace::enabled())
           Span.begin("job", Jobs[I].Name);
-        if (Jobs[I].InputIsIR) {
-          PipelineResult R;
-          auto M = parseIR(Jobs[I].Source.str(), R.Errors);
-          Results[I] = M ? PipelineBuilder()
-                               .options(Jobs[I].Opts)
-                               .run(std::move(M))
-                         : std::move(R);
-        } else {
-          Results[I] =
-              PipelineBuilder().options(Jobs[I].Opts).run(Jobs[I].Source);
-        }
+        Results[I] = executeJob(Jobs[I]);
       }
       ++NumParallelJobs;
       if (OnDone)

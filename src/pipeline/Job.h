@@ -53,6 +53,15 @@ struct CompileJob {
   SourceText Source;  ///< Mini-C source (or textual IR, see InputIsIR)
   PipelineOptions Opts;
   bool InputIsIR = false; ///< parse Source as textual IR, not Mini-C
+
+  /// Observability requests. These travel with the job (a `--connect`
+  /// client sets them in the wire request) and are folded into
+  /// jobFingerprint — but not into pipelineOptionsKey, which stays
+  /// purely semantic — so a cached result always carries the capture the
+  /// submission asked for and can replay it byte-identically.
+  bool WantRemarks = false;     ///< capture remarks into the result
+  std::string RemarksFilter;    ///< pass filter ("" = every pass)
+  bool WantTrace = false;       ///< capture a per-job Chrome trace
 };
 
 /// What one job produced: the pipeline result plus the serialised
@@ -122,6 +131,13 @@ public:
     uint64_t FinalMemoryHash = 0;
     std::vector<std::string> Errors;
     std::string ReportJson;
+    /// Captured observability, replayed byte-identically on a hit.
+    /// RemarksJson is the remarksToJson document ("" when the job did not
+    /// request remarks — WantRemarks is in the cache key, so every entry
+    /// for a requesting job has it, even if empty of remarks); TraceJson
+    /// is the per-job Chrome trace document, "" when not requested.
+    std::string RemarksJson;
+    std::string TraceJson;
   };
   using EntryPtr = std::shared_ptr<const Entry>;
 
@@ -169,10 +185,14 @@ using JobDoneFn =
 /// 1 = sequential in the calling thread). Results are returned in job
 /// order and are identical to running the jobs sequentially: jobs share
 /// no mutable state except the statistics registry, whose counters are
-/// atomic and accumulate order-independently.
+/// atomic and accumulate order-independently. \p TrackPrefix names the
+/// pool's trace tracks ("<prefix>/worker-N"), so merged timelines tell
+/// this driver's workers apart from other subsystems' pools (the compile
+/// server passes "server").
 std::vector<PipelineResult>
 runPipelineParallel(const std::vector<CompileJob> &Jobs, unsigned Threads = 0,
-                    const JobDoneFn &OnDone = nullptr);
+                    const JobDoneFn &OnDone = nullptr,
+                    const char *TrackPrefix = "pipeline");
 
 } // namespace srp
 

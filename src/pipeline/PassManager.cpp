@@ -23,6 +23,8 @@ SRP_STATISTIC(NumPassesRun, "pipeline", "passes-run",
               "Passes executed across all pipeline runs");
 SRP_STATISTIC(NumVerifyFailures, "pipeline", "verify-failures",
               "Post-pass verifier failures across all pipeline runs");
+SRP_HISTOGRAM(PassMicros, "pipeline", "pass-micros",
+              "Wall time of one pass execution (us)");
 } // namespace
 
 void PassManager::addPass(std::string Name, PassFn Fn) {
@@ -107,6 +109,7 @@ bool PassManager::run(Module &M, AnalysisManager &AM,
       ScopedTimer T(Rec.WallSeconds);
       PassOk = Passes[I].second(M, AM, Errors);
     }
+    PassMicros.observeSeconds(Rec.WallSeconds);
     if (!PassOk) {
       Rec.Failed = true;
       // Make sure an aborting pass left at least one attributed message.

@@ -39,6 +39,7 @@
 #include "promotion/SuperblockPromotion.h"
 #include "promotion/PromotionOptions.h"
 #include "regalloc/Coloring.h"
+#include "support/Remarks.h"
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +87,16 @@ struct PipelineResult {
   /// End-to-end wall time of this run (compile + passes + measure runs).
   /// Feeds the per-job `wall_seconds` of bench_workload_matrix.
   double WallSeconds = 0;
+
+  /// Per-job observability capture (CompileJob::WantRemarks/WantTrace).
+  /// Remarks holds the run's remarks in emission order when
+  /// RemarksCaptured is set (an empty capture is distinct from "not
+  /// requested"); TraceJson holds the run's single-track Chrome trace
+  /// document, "" when tracing was not requested. Both are captured
+  /// per-thread, so concurrent jobs never interleave (docs/SERVER.md).
+  std::vector<Remark> Remarks;
+  bool RemarksCaptured = false;
+  std::string TraceJson;
 };
 
 /// Fluent pipeline configuration and driver. A builder owns the

@@ -134,6 +134,22 @@ bool Client::requestStats(std::string &StatsJson, std::string &Err) {
   return true;
 }
 
+bool Client::requestMetrics(std::string &PrometheusText, std::string &Err) {
+  std::string Resp;
+  if (!roundTrip("{\"op\":\"metrics\"}", Resp, Err))
+    return false;
+  json::Value V;
+  if (!json::parse(Resp, V, Err))
+    return false;
+  const json::Value *P = V.find("prometheus");
+  if (!V.get("ok").asBool(false) || !P || !P->isString()) {
+    Err = "server refused metrics request";
+    return false;
+  }
+  PrometheusText = P->asString();
+  return true;
+}
+
 bool Client::requestShutdown(std::string &Err) {
   std::string Resp;
   if (!roundTrip("{\"op\":\"shutdown\"}", Resp, Err))

@@ -52,6 +52,10 @@ public:
   /// {"op":"stats"} — raw JSON stats object text in \p StatsJson.
   bool requestStats(std::string &StatsJson, std::string &Err);
 
+  /// {"op":"metrics"} — the server's process-wide metrics registry in
+  /// Prometheus text exposition format, in \p PrometheusText.
+  bool requestMetrics(std::string &PrometheusText, std::string &Err);
+
   /// {"op":"shutdown"} — asks the server to drain and exit.
   bool requestShutdown(std::string &Err);
 

@@ -61,6 +61,12 @@ std::string srp::server::encodeCompileRequest(const CompileJob &Job,
   if (O.Promo.ProfitThreshold != Defaults.Promo.ProfitThreshold)
     R.set("profit_threshold",
           json::Value::integer(O.Promo.ProfitThreshold));
+  if (Job.WantRemarks)
+    R.set("want_remarks", json::Value::boolean(true));
+  if (!Job.RemarksFilter.empty())
+    R.set("remarks_filter", json::Value::string(Job.RemarksFilter));
+  if (Job.WantTrace)
+    R.set("want_trace", json::Value::boolean(true));
   return R.dump();
 }
 
@@ -121,6 +127,12 @@ bool srp::server::decodeCompileRequest(const json::Value &Req,
     O.Promo.DirectAliasedStores = V->asBool(false);
   if (const json::Value *V = Req.find("profit_threshold"))
     O.Promo.ProfitThreshold = V->asInt(0);
+  if (const json::Value *V = Req.find("want_remarks"))
+    Job.WantRemarks = V->asBool(false);
+  if (const json::Value *V = Req.find("remarks_filter"))
+    Job.RemarksFilter = V->asString();
+  if (const json::Value *V = Req.find("want_trace"))
+    Job.WantTrace = V->asBool(false);
   return true;
 }
 
@@ -145,6 +157,10 @@ std::string srp::server::encodeCompileResponse(uint64_t Id,
     Errs.push(json::Value::string(M));
   R.set("errors", std::move(Errs));
   R.set("report", json::Value::string(E.ReportJson));
+  if (!E.RemarksJson.empty())
+    R.set("remarks_json", json::Value::string(E.RemarksJson));
+  if (!E.TraceJson.empty())
+    R.set("trace_json", json::Value::string(E.TraceJson));
   return R.dump();
 }
 
@@ -189,5 +205,7 @@ bool srp::server::decodeCompileResponse(const json::Value &Resp,
     if (E->isString() && !E->asString().empty())
       Out.Errors.push_back(E->asString());
   Out.ReportJson = Resp.get("report").asString();
+  Out.RemarksJson = Resp.get("remarks_json").asString();
+  Out.TraceJson = Resp.get("trace_json").asString();
   return true;
 }

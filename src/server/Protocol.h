@@ -10,13 +10,18 @@
 /// object on one line; requests carry an "op" discriminator:
 ///
 ///   {"op":"compile","id":1,"name":"loop.mc","source":"...","mode":"paper"}
-///   {"op":"ping"} / {"op":"stats"} / {"op":"shutdown"}
+///   {"op":"ping"} / {"op":"stats"} / {"op":"metrics"} / {"op":"shutdown"}
 ///
 /// A compile response echoes the id and carries the behavioural fields
 /// (exit value, printed output, final-memory digest) plus the complete
 /// `srpc --stats-json` report as an embedded string — the exact bytes
 /// resultToJson produced, so a client can print a report byte-identical
-/// to a local run.
+/// to a local run. A request may additionally set "want_remarks" /
+/// "remarks_filter" / "want_trace" (the CompileJob observability fields);
+/// the response then carries the captured documents as embedded strings
+/// ("remarks_json", "trace_json"), again the exact local-run bytes —
+/// replayed from the JobCache on a hit. The "metrics" op returns the
+/// process-wide Prometheus snapshot ({"ok":true,"prometheus":"..."}).
 ///
 /// Encode/decode here is shared by the server loop, the client
 /// (`srpc --connect`), and the bench load generator, so the two sides
@@ -49,6 +54,8 @@ struct CompileResponse {
   uint64_t FinalMemoryHash = 0;
   std::vector<std::string> Errors; ///< pipeline or protocol errors
   std::string ReportJson;          ///< the full --stats-json document
+  std::string RemarksJson;         ///< remarksToJson document, "" if none
+  std::string TraceJson;           ///< per-job trace document, "" if none
 };
 
 /// Serialises \p Job as a one-line compile request. Every option that

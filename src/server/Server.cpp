@@ -34,6 +34,13 @@ SRP_STATISTIC(NumServerCacheMisses, "server", "cache-misses",
               "Jobs that required a pipeline run");
 SRP_STATISTIC(NumServerBackpressure, "server", "backpressure-waits",
               "Times a connection reader blocked on a full job queue");
+SRP_HISTOGRAM(QueueWaitMicros, "server", "queue-wait-micros",
+              "Time a job spent queued before dispatch (us)");
+SRP_HISTOGRAM(ServiceMicros, "server", "service-micros",
+              "Pipeline wall time of one served job (us), cache hits "
+              "excluded");
+SRP_GAUGE(QueueDepth, "server", "queue-depth",
+          "Jobs currently waiting in the dispatch queue");
 } // namespace
 
 /// One accepted client. Shared between its reader thread and any queued
@@ -267,6 +274,15 @@ void CompileServer::handleLine(const std::shared_ptr<Connection> &Conn,
     respond(Conn, R.dump());
     return;
   }
+  if (Op == "metrics") {
+    // The scrape endpoint: the whole process-global registry (counters,
+    // gauges, histograms) in Prometheus text exposition format.
+    json::Value R = json::Value::object();
+    R.set("ok", json::Value::boolean(true));
+    R.set("prometheus", json::Value::string(stats::metricsToPrometheusText()));
+    respond(Conn, R.dump());
+    return;
+  }
   if (Op == "shutdown") {
     json::Value R = json::Value::object();
     R.set("ok", json::Value::boolean(true));
@@ -328,7 +344,9 @@ bool CompileServer::enqueue(QueuedJob QJ) {
   });
   if (Stopping.load())
     return false;
+  QJ.EnqueuedAt = monotonicSeconds();
   Queue.push_back(std::move(QJ));
+  QueueDepth.set(static_cast<int64_t>(Queue.size()));
   QueueNotEmpty.notify_one();
   return true;
 }
@@ -353,11 +371,16 @@ void CompileServer::dispatchLoop() {
         Batch.push_back(std::move(Queue.front()));
         Queue.pop_front();
       }
+      QueueDepth.set(static_cast<int64_t>(Queue.size()));
       QueueNotFull.notify_all();
     }
 
+    const double DequeuedAt = monotonicSeconds();
+    for (const QueuedJob &QJ : Batch)
+      QueueWaitMicros.observeSeconds(DequeuedAt - QJ.EnqueuedAt);
+
     if (trace::enabled() && !NamedTrack) {
-      trace::setThreadName("server-dispatch");
+      trace::setThreadName("server/dispatch");
       NamedTrack = true;
     }
     ++NumServerBatches;
@@ -377,11 +400,14 @@ void CompileServer::dispatchLoop() {
                       "batch(" + std::to_string(Jobs.size()) + ")");
 
     // One response per job as it finishes, on the worker that ran it —
-    // the batch is a scheduling unit, not a response barrier.
+    // the batch is a scheduling unit, not a response barrier. Workers
+    // carry server-prefixed trace tracks ("server/worker-N") so merged
+    // timelines tell them apart from local pipeline pools.
     runPipelineParallel(
         Jobs, Opts.Threads,
         [&](size_t I, const PipelineResult &R) {
           const QueuedJob &QJ = Batch[I];
+          ServiceMicros.observeSeconds(R.WallSeconds);
           std::string Report = resultToJson(R, QJ.Job);
           JobCache::EntryPtr E = JobCache::makeEntry(QJ.Job, R, Report);
           Cache.insert(QJ.Job, E);
@@ -402,7 +428,8 @@ void CompileServer::dispatchLoop() {
                          QJ.Job.Name.c_str(), R.Ok ? "ok" : "FAILED");
           respond(QJ.Conn, encodeCompileResponse(QJ.Id, *E,
                                                  /*CacheHit=*/false));
-        });
+        },
+        /*TrackPrefix=*/"server");
   }
 }
 

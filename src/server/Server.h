@@ -127,6 +127,7 @@ private:
     std::shared_ptr<Connection> Conn;
     uint64_t Id = 0;
     CompileJob Job;
+    double EnqueuedAt = 0; ///< feeds the server.queue-wait-micros histogram
   };
 
   void acceptLoop();

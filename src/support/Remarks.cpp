@@ -15,6 +15,11 @@ namespace {
 /// pipeline run that emits into it (setSink is called on the same thread
 /// that later spawns workers, and thread creation synchronises).
 std::atomic<RemarkEngine *> GlobalSink{nullptr};
+
+/// The calling thread's override (remarks::setThreadSink). Shadows the
+/// global sink so a server worker's per-job capture never sees remarks
+/// from jobs running concurrently on other workers.
+thread_local RemarkEngine *ThreadSink = nullptr;
 } // namespace
 
 const char *srp::remarkKindName(RemarkKind K) {
@@ -30,12 +35,20 @@ const char *srp::remarkKindName(RemarkKind K) {
 }
 
 RemarkEngine *srp::remarks::sink() {
+  if (RemarkEngine *RE = ThreadSink)
+    return RE;
+  return GlobalSink.load(std::memory_order_relaxed);
+}
+
+RemarkEngine *srp::remarks::globalSink() {
   return GlobalSink.load(std::memory_order_relaxed);
 }
 
 void srp::remarks::setSink(RemarkEngine *RE) {
   GlobalSink.store(RE, std::memory_order_relaxed);
 }
+
+void srp::remarks::setThreadSink(RemarkEngine *RE) { ThreadSink = RE; }
 
 std::string Remark::argValue(const std::string &Key) const {
   for (const RemarkArg &A : Args) {

@@ -151,13 +151,25 @@ public:
 
 namespace remarks {
 
-/// The installed sink, or null (the common, zero-cost case). Emission
-/// sites branch on this; see the header comment.
+/// The sink the calling thread should emit into: the thread-local
+/// override when one is installed (per-job capture on a server worker),
+/// else the process-global sink, else null (the common, zero-cost case).
+/// Emission sites branch on this; see the header comment.
 RemarkEngine *sink();
+
+/// The process-global sink (ignoring any thread-local override), or null.
+RemarkEngine *globalSink();
 
 /// Installs \p RE as the process-global sink (null uninstalls). The caller
 /// keeps ownership and must outlive the installation.
 void setSink(RemarkEngine *RE);
+
+/// Installs \p RE as the calling thread's sink (null uninstalls). While
+/// set it shadows the global sink for this thread only, which is how the
+/// compile server captures one job's remarks without interleaving
+/// concurrent jobs (each worker arms its own override for the duration
+/// of the job it is running).
+void setThreadSink(RemarkEngine *RE);
 
 } // namespace remarks
 
@@ -166,12 +178,24 @@ class ScopedRemarkSink {
   RemarkEngine *Prev;
 
 public:
-  explicit ScopedRemarkSink(RemarkEngine &RE) : Prev(remarks::sink()) {
+  explicit ScopedRemarkSink(RemarkEngine &RE) : Prev(remarks::globalSink()) {
     remarks::setSink(&RE);
   }
   ~ScopedRemarkSink() { remarks::setSink(Prev); }
   ScopedRemarkSink(const ScopedRemarkSink &) = delete;
   ScopedRemarkSink &operator=(const ScopedRemarkSink &) = delete;
+};
+
+/// Installs a calling-thread-only sink for a scope (per-job capture; see
+/// remarks::setThreadSink). Not nestable with itself on one thread.
+class ScopedThreadRemarkSink {
+public:
+  explicit ScopedThreadRemarkSink(RemarkEngine &RE) {
+    remarks::setThreadSink(&RE);
+  }
+  ~ScopedThreadRemarkSink() { remarks::setThreadSink(nullptr); }
+  ScopedThreadRemarkSink(const ScopedThreadRemarkSink &) = delete;
+  ScopedThreadRemarkSink &operator=(const ScopedThreadRemarkSink &) = delete;
 };
 
 /// Renders remarks as a JSON object ({"remark_count": N, "remarks":

@@ -46,12 +46,15 @@ namespace trace {
 namespace detail {
 /// The collection switch. Out-of-line storage, inline fast-path read.
 extern std::atomic<bool> Enabled;
+/// True while a LocalCapture is armed on the calling thread.
+extern thread_local bool LocalArmed;
 } // namespace detail
 
-/// True while collection is on. The only cost paid at a disabled
-/// recording site.
+/// True while collection is on — globally, or locally on this thread via
+/// LocalCapture. The only cost paid at a disabled recording site.
 inline bool enabled() {
-  return detail::Enabled.load(std::memory_order_relaxed);
+  return detail::Enabled.load(std::memory_order_relaxed) ||
+         detail::LocalArmed;
 }
 
 /// Clears every buffer, records the epoch, and enables collection.
@@ -88,8 +91,32 @@ size_t threadCount();
 
 /// Merges every thread's buffer into one Chrome Trace Event JSON document
 /// (`{"traceEvents": [...]}`, plus one `thread_name` metadata row per
-/// track). Call after worker threads have joined.
+/// track). Call after worker threads have joined. With
+/// SRP_TRACE_DETERMINISTIC=1 tracks are ordered by resolved thread name
+/// (ties by registration order) and renumbered sequentially, so merged
+/// multi-worker timelines — including the compile server's — are
+/// byte-stable regardless of which OS thread registered first.
 std::string toChromeJson();
+
+/// Captures the calling thread's events into a private per-thread buffer
+/// for the object's lifetime, independent of (and in addition to) global
+/// collection — the compile server arms one per job so concurrent jobs
+/// never interleave, and the one-shot CLI path uses the same capture so
+/// local and remote `--trace-out` bytes agree by construction. While
+/// armed, `enabled()` is true on this thread; events recorded on other
+/// threads are not seen. Not nestable with itself on one thread.
+class LocalCapture {
+public:
+  LocalCapture();
+  ~LocalCapture();
+  LocalCapture(const LocalCapture &) = delete;
+  LocalCapture &operator=(const LocalCapture &) = delete;
+
+  /// Renders the captured events as a single-track Chrome Trace Event
+  /// document (track name "job", tid 0), same formatting and
+  /// SRP_TRACE_DETERMINISTIC handling as toChromeJson().
+  std::string toChromeJson() const;
+};
 
 } // namespace trace
 
@@ -109,6 +136,10 @@ class TraceSpan {
   std::string Name;
   const char *Cat = nullptr;
   bool Active = false;
+  // Sinks armed at begin() time; end() records to exactly these even if
+  // a switch flipped mid-scope, keeping begin/end paired per sink.
+  bool ToGlobal = false;
+  bool ToLocal = false;
 
 public:
   TraceSpan() = default;

@@ -101,10 +101,15 @@ int runAnalyzeMode(const std::string &File, const std::string &Source,
   return DE.hasErrors() ? 1 : 0;
 }
 
-/// `srpc -connect`: submit the job to a running server and print what a
-/// local run would have printed.
+/// `srpc -connect`: submit the job to a running server and print (and
+/// write) what a local run would have printed. The job carries its
+/// observability requests, so -remarks-json/-trace-out work transparently:
+/// the server captures per job and the response carries the exact bytes a
+/// local run writes — replayed from the job cache on a hit.
 int runConnectMode(const CompileJob &Job, const std::string &SocketPath,
-                   bool Quiet, bool StatsJson) {
+                   bool Quiet, bool StatsJson,
+                   const std::string &RemarksJsonPath,
+                   const std::string &TraceOutPath) {
   server::Client C;
   std::string Err;
   if (!C.connect(SocketPath, Err)) {
@@ -120,6 +125,23 @@ int runConnectMode(const CompileJob &Job, const std::string &SocketPath,
     for (const auto &E : Resp.Errors)
       std::fprintf(stderr, "error: %s\n", E.c_str());
     return 1;
+  }
+  if (!RemarksJsonPath.empty()) {
+    std::ofstream Out(RemarksJsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   RemarksJsonPath.c_str());
+      return 1;
+    }
+    Out << Resp.RemarksJson << "\n";
+  }
+  if (!TraceOutPath.empty()) {
+    std::ofstream Out(TraceOutPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
+      return 1;
+    }
+    Out << Resp.TraceJson;
   }
   if (!Quiet)
     for (int64_t V : Resp.Output)
@@ -139,6 +161,7 @@ int main(int argc, char **argv) {
   bool Analyze = false, DiagJson = false;
   bool Serve = false, Connect = false;
   bool Ping = false, ServerStats = false, Shutdown = false;
+  bool ServerMetricsProm = false;
   server::ServerOptions SrvOpts;
   std::string File, RemarksJsonPath, RemarksFilter, TraceOutPath;
 
@@ -292,6 +315,10 @@ int main(int argc, char **argv) {
           [&] { Ping = true; });
   OP.flag("server-stats", "with -connect: print server counters as JSON",
           [&] { ServerStats = true; });
+  OP.flag("server-metrics-prom",
+          "with -connect: print the server's metrics registry in "
+          "Prometheus text format",
+          [&] { ServerMetricsProm = true; });
   OP.flag("shutdown", "with -connect: ask the server to drain and exit",
           [&] { Shutdown = true; });
   OP.positional("file.mc", [&](const std::string &V) { File = V; });
@@ -327,7 +354,7 @@ int main(int argc, char **argv) {
   }
 
   // Admin ops need a connection but no input file.
-  if (Ping || ServerStats || Shutdown) {
+  if (Ping || ServerStats || ServerMetricsProm || Shutdown) {
     server::Client C;
     std::string Err;
     if (!C.connect(SrvOpts.SocketPath, Err)) {
@@ -348,6 +375,14 @@ int main(int argc, char **argv) {
         return 1;
       }
       std::printf("%s\n", StatsJsonText.c_str());
+    }
+    if (ServerMetricsProm) {
+      std::string Prom;
+      if (!C.requestMetrics(Prom, Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fputs(Prom.c_str(), stdout);
     }
     if (Shutdown) {
       if (!C.requestShutdown(Err)) {
@@ -379,13 +414,18 @@ int main(int argc, char **argv) {
   Job.Source = SourceText(SS.str());
   Job.Opts = Opts;
   Job.InputIsIR = InputIsIR;
+  // Observability requests travel with the job: the same fields drive
+  // the in-process capture and the server-side capture, so the bytes
+  // written below are identical either way.
+  Job.WantRemarks = !RemarksJsonPath.empty();
+  Job.RemarksFilter = RemarksFilter;
+  Job.WantTrace = !TraceOutPath.empty();
 
   if (Connect) {
     // The server runs the pipeline; options that need the in-process
-    // result (IR dumps, remark/trace sinks) stay local-only.
+    // result object (IR dumps, text reports) stay local-only. Remarks
+    // and traces travel over the wire (see runConnectMode).
     const char *LocalOnly = PrintBefore || PrintAfter ? "-print-ir-*"
-                            : !RemarksJsonPath.empty() ? "-remarks-json"
-                            : !TraceOutPath.empty()    ? "-trace-out"
                             : TimePasses               ? "-time-passes"
                             : Stats                    ? "-stats"
                             : Counts                   ? "-counts"
@@ -396,7 +436,8 @@ int main(int argc, char **argv) {
                    LocalOnly);
       return 2;
     }
-    return runConnectMode(Job, SrvOpts.SocketPath, Quiet, StatsJson);
+    return runConnectMode(Job, SrvOpts.SocketPath, Quiet, StatsJson,
+                          RemarksJsonPath, TraceOutPath);
   }
 
   // With -stats-json, stdout must stay pure JSON: IR dumps and the
@@ -407,45 +448,38 @@ int main(int argc, char **argv) {
   // already been transformed; for -print-ir-before run a None-mode
   // pipeline first.
   if (PrintBefore) {
+    // The extra None-mode run stays out of the reported job's capture.
     CompileJob NoneJob = Job;
     NoneJob.Opts.Mode = PromotionMode::None;
+    NoneJob.WantRemarks = false;
+    NoneJob.WantTrace = false;
     JobResult R0 = runCompileJob(NoneJob);
     if (R0.Pipeline.M)
       std::fprintf(Txt, ";; IR before promotion\n%s\n",
                    toString(*R0.Pipeline.M).c_str());
   }
 
-  // Observability sinks cover only the reported pipeline run (the extra
-  // None-mode run behind -print-ir-before stays out of the picture).
-  RemarkEngine Remarks;
-  if (!RemarksJsonPath.empty()) {
-    Remarks.setPassFilter(RemarksFilter);
-    remarks::setSink(&Remarks);
-  }
-  if (!TraceOutPath.empty())
-    trace::start();
-
   JobResult Res = runCompileJob(Job);
   const PipelineResult &R = Res.Pipeline;
 
+  // The job API captured per-job (same path the server takes); write
+  // the documents out. Byte layout matches what a -connect run receives.
   if (!RemarksJsonPath.empty()) {
-    remarks::setSink(nullptr);
     std::ofstream Out(RemarksJsonPath);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write %s\n",
                    RemarksJsonPath.c_str());
       return 1;
     }
-    Out << remarksToJson(Remarks.remarks()) << "\n";
+    Out << remarksToJson(R.Remarks) << "\n";
   }
   if (!TraceOutPath.empty()) {
-    trace::stop();
     std::ofstream Out(TraceOutPath);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
       return 1;
     }
-    Out << trace::toChromeJson();
+    Out << R.TraceJson;
   }
 
   if (!R.Ok) {

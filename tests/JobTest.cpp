@@ -101,9 +101,10 @@ TEST(JobTest, ReportSchemaIsPinned) {
 
   const char *TopLevel[] = {"file",     "mode",         "entry",
                             "ok",       "errors",       "exit_value",
-                            "passes",   "statistics",   "analysis",
-                            "interp",   "verification", "validation",
-                            "counts",   "exec",         "pressure"};
+                            "passes",   "statistics",   "telemetry",
+                            "analysis", "interp",       "verification",
+                            "validation", "counts",     "exec",
+                            "pressure", "remarks",      "trace"};
   std::vector<std::string> Keys;
   for (const auto &KV : Doc.members())
     Keys.push_back(KV.first);
@@ -141,6 +142,13 @@ TEST(JobTest, ReportSchemaIsPinned) {
     EXPECT_TRUE(Doc.get("exec").has(K)) << "exec." << K;
   for (const char *K : {"values", "edges", "colors_needed", "max_live"})
     EXPECT_TRUE(Doc.get("pressure").has(K)) << "pressure." << K;
+
+  // Telemetry is the full registry view; remarks/trace are null unless
+  // the job asked for capture (WantRemarks/WantTrace).
+  for (const char *K : {"counters", "gauges", "histograms"})
+    EXPECT_TRUE(Doc.get("telemetry").has(K)) << "telemetry." << K;
+  EXPECT_TRUE(Doc.get("remarks").isNull());
+  EXPECT_TRUE(Doc.get("trace").isNull());
 
   // exec carries the behavioural fields the server parity test compares.
   const json::Value &Out = Doc.get("exec").get("output");

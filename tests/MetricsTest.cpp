@@ -1,0 +1,234 @@
+//===- tests/MetricsTest.cpp - Metrics registry tests ---------------------===//
+//
+// Part of the srp project: SSA-based scalar register promotion.
+//
+//===----------------------------------------------------------------------===//
+//
+// The histogram/gauge side of the telemetry plane: bucket-edge placement,
+// shard-merge determinism under concurrency, the Prometheus text
+// exposition golden, and the JSON rendering contract that the report's
+// "telemetry" section relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace srp;
+
+namespace {
+
+// Registered once per process (the registry rejects duplicates); each
+// test resets the values it cares about instead of re-registering.
+SRP_HISTOGRAM(TestHist, "test", "hist-micros", "test-only latency histogram");
+SRP_GAUGE(TestGauge, "test", "gauge-depth", "test-only depth gauge");
+
+TEST(MetricsTest, BucketEdgesArePowersOfTwo) {
+  // Bucket I holds upperBound(I-1) < V <= upperBound(I); bucket 0 takes
+  // 0 and 1, the last bucket is the +Inf overflow.
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 0u);
+  EXPECT_EQ(Histogram::bucketFor(2), 1u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 2u);
+  EXPECT_EQ(Histogram::bucketFor(5), 3u);
+
+  // A power of two sits in its own bucket; one past it moves up.
+  for (unsigned K = 1; K <= 26; ++K) {
+    const uint64_t P = uint64_t(1) << K;
+    EXPECT_EQ(Histogram::bucketFor(P), K) << "V=2^" << K;
+    EXPECT_EQ(Histogram::bucketFor(P - 1), K == 1 ? 0u : K)
+        << "V=2^" << K << "-1";
+    if (K < 26) {
+      EXPECT_EQ(Histogram::bucketFor(P + 1), K + 1) << "V=2^" << K << "+1";
+    }
+  }
+
+  // Everything past 2^26 lands in the overflow bucket.
+  const unsigned Last = HistogramSnapshot::NumBuckets - 1;
+  EXPECT_EQ(Histogram::bucketFor((uint64_t(1) << 26) + 1), Last);
+  EXPECT_EQ(Histogram::bucketFor(UINT64_MAX), Last);
+
+  // upperBound mirrors the placement rule.
+  EXPECT_EQ(HistogramSnapshot::upperBound(0), 1u);
+  EXPECT_EQ(HistogramSnapshot::upperBound(1), 2u);
+  EXPECT_EQ(HistogramSnapshot::upperBound(26), uint64_t(1) << 26);
+  EXPECT_EQ(HistogramSnapshot::upperBound(Last), UINT64_MAX);
+
+  // Every representable value maps into a bucket whose bound admits it.
+  for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(7), uint64_t(1000),
+                     uint64_t(1) << 20, (uint64_t(1) << 26) - 1}) {
+    unsigned I = Histogram::bucketFor(V);
+    EXPECT_LE(V, HistogramSnapshot::upperBound(I)) << "V=" << V;
+    if (I) {
+      EXPECT_GT(V, HistogramSnapshot::upperBound(I - 1)) << "V=" << V;
+    }
+  }
+}
+
+TEST(MetricsTest, ObserveSecondsConvertsToMicros) {
+  TestHist.resetForTesting();
+  TestHist.observeSeconds(0.001);  // 1000us -> bucket 10 (<= 1024)
+  TestHist.observeSeconds(-5.0);   // clamps to 0 -> bucket 0
+  HistogramSnapshot S = TestHist.snapshot();
+  EXPECT_EQ(S.Count, 2u);
+  EXPECT_EQ(S.Sum, 1000u);
+  EXPECT_EQ(S.Buckets[10], 1u);
+  EXPECT_EQ(S.Buckets[0], 1u);
+}
+
+TEST(MetricsTest, ConcurrentShardMergeIsDeterministic) {
+  // Every thread gets its own shard stripe; the merged snapshot must be
+  // the order-independent sum regardless of interleaving. Run the whole
+  // experiment twice: identical inputs -> identical snapshots.
+  const unsigned Threads = 8, PerThread = 500;
+  HistogramSnapshot Runs[2];
+  for (HistogramSnapshot &Out : Runs) {
+    TestHist.resetForTesting();
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([T] {
+        for (unsigned I = 0; I != PerThread; ++I)
+          TestHist.observe((uint64_t(1) << (T % 12)) + I % 2);
+      });
+    for (std::thread &Th : Pool)
+      Th.join();
+    Out = TestHist.snapshot();
+  }
+  for (const HistogramSnapshot &S : Runs) {
+    EXPECT_EQ(S.Count, uint64_t(Threads) * PerThread);
+    uint64_t BucketTotal = 0;
+    for (uint64_t B : S.Buckets)
+      BucketTotal += B;
+    EXPECT_EQ(BucketTotal, S.Count);
+  }
+  EXPECT_EQ(Runs[0].Sum, Runs[1].Sum);
+  for (unsigned I = 0; I != HistogramSnapshot::NumBuckets; ++I)
+    EXPECT_EQ(Runs[0].Buckets[I], Runs[1].Buckets[I]) << "bucket " << I;
+}
+
+TEST(MetricsTest, GaugeUpAndDown) {
+  TestGauge.set(0);
+  TestGauge.add(5);
+  TestGauge.sub(2);
+  EXPECT_EQ(TestGauge.get(), 3);
+  TestGauge.set(-7);
+  EXPECT_EQ(TestGauge.get(), -7);
+  MetricsSnapshot M = stats::metrics();
+  ASSERT_TRUE(M.Gauges.count("test.gauge-depth"));
+  EXPECT_EQ(M.Gauges["test.gauge-depth"], -7);
+  TestGauge.set(0);
+}
+
+TEST(MetricsTest, RegistryMergesAllKinds) {
+  MetricsSnapshot M = stats::metrics();
+  EXPECT_TRUE(M.Histograms.count("test.hist-micros"));
+  EXPECT_TRUE(M.Gauges.count("test.gauge-depth"));
+  // The counter registry is shared with stats::snapshot().
+  EXPECT_EQ(M.Counters.size(), stats::snapshot().size());
+  // Real instrumentation from the telemetry plane is registered.
+  for (const char *Name :
+       {"pipeline.pass-micros", "analysis.build-micros",
+        "pipeline.job-micros", "interp.jit-compile-micros",
+        "server.queue-wait-micros", "server.service-micros"})
+    EXPECT_TRUE(M.Histograms.count(Name)) << Name;
+  EXPECT_TRUE(M.Gauges.count("server.queue-depth"));
+}
+
+TEST(MetricsTest, PrometheusTextGolden) {
+  TestHist.resetForTesting();
+  TestGauge.set(4);
+  TestHist.observe(1);
+  TestHist.observe(3);
+  TestHist.observe(3);
+  TestHist.observe(UINT64_MAX); // overflow bucket
+
+  std::string Text = stats::metricsToPrometheusText();
+  // Equal snapshots render byte-identically.
+  EXPECT_EQ(Text, stats::metricsToPrometheusText());
+
+  // Exact exposition block for the test gauge.
+  EXPECT_NE(Text.find("# HELP srp_test_gauge_depth test-only depth gauge\n"
+                      "# TYPE srp_test_gauge_depth gauge\n"
+                      "srp_test_gauge_depth 4\n"),
+            std::string::npos)
+      << Text;
+
+  // Exact histogram block: cumulative buckets, +Inf last, then sum/count.
+  std::string Want = "# HELP srp_test_hist_micros test-only latency "
+                     "histogram\n"
+                     "# TYPE srp_test_hist_micros histogram\n"
+                     "srp_test_hist_micros_bucket{le=\"1\"} 1\n"
+                     "srp_test_hist_micros_bucket{le=\"2\"} 1\n"
+                     "srp_test_hist_micros_bucket{le=\"4\"} 3\n";
+  size_t At = Text.find(Want);
+  ASSERT_NE(At, std::string::npos) << Text;
+  // All later finite buckets stay at 3 (cumulative), +Inf reaches 4.
+  for (unsigned I = 3; I + 1 < HistogramSnapshot::NumBuckets; ++I) {
+    std::string Line = "srp_test_hist_micros_bucket{le=\"" +
+                       std::to_string(HistogramSnapshot::upperBound(I)) +
+                       "\"} 3\n";
+    EXPECT_NE(Text.find(Line, At), std::string::npos) << Line;
+  }
+  EXPECT_NE(Text.find("srp_test_hist_micros_bucket{le=\"+Inf\"} 4\n", At),
+            std::string::npos);
+  std::string Tail = "srp_test_hist_micros_sum " +
+                     std::to_string(uint64_t(1) + 3 + 3 + UINT64_MAX) +
+                     "\n"
+                     "srp_test_hist_micros_count 4\n";
+  EXPECT_NE(Text.find(Tail, At), std::string::npos) << Text;
+
+  // Kind ordering: every counter family precedes every gauge family
+  // precedes every histogram family (scan the "# TYPE" lines).
+  std::vector<std::string> Kinds;
+  for (size_t Pos = 0; (Pos = Text.find("# TYPE ", Pos)) != std::string::npos;
+       ++Pos) {
+    size_t End = Text.find('\n', Pos);
+    std::string Line = Text.substr(Pos, End - Pos);
+    Kinds.push_back(Line.substr(Line.rfind(' ') + 1));
+  }
+  ASSERT_FALSE(Kinds.empty());
+  std::vector<std::string> Sorted;
+  for (const char *K : {"counter", "gauge", "histogram"})
+    for (const std::string &Kind : Kinds)
+      if (Kind == K)
+        Sorted.push_back(Kind);
+  EXPECT_EQ(Kinds, Sorted) << "families not grouped counter/gauge/histogram";
+
+  TestGauge.set(0);
+  TestHist.resetForTesting();
+}
+
+TEST(MetricsTest, MetricsToJsonShape) {
+  TestHist.resetForTesting();
+  TestHist.observe(2);
+  MetricsSnapshot M = stats::metrics();
+  std::string J = stats::metricsToJson(M);
+  // Byte-stable for equal snapshots.
+  EXPECT_EQ(J, stats::metricsToJson(M));
+  EXPECT_NE(J.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"gauges\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"histograms\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"test.hist-micros\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"sum\": 2"), std::string::npos);
+  TestHist.resetForTesting();
+}
+
+TEST(MetricsTest, ResetForTestingClearsEverything) {
+  TestHist.observe(100);
+  TestGauge.set(9);
+  stats::resetForTesting();
+  HistogramSnapshot S = TestHist.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Sum, 0u);
+  for (uint64_t B : S.Buckets)
+    EXPECT_EQ(B, 0u);
+  EXPECT_EQ(TestGauge.get(), 0);
+}
+
+} // namespace

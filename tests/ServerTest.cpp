@@ -16,7 +16,10 @@
 #include "server/Client.h"
 #include "server/Server.h"
 #include "support/JSON.h"
+#include "support/Remarks.h"
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <mutex>
 #include <string>
@@ -88,6 +91,9 @@ TEST(ServerTest, ProtocolRequestRoundTrip) {
   J.Opts.Promo.ProfitThreshold = 7;
   J.Opts.Promo.WebGranularity = false;
   J.InputIsIR = false;
+  J.WantRemarks = true;
+  J.RemarksFilter = "mem2reg";
+  J.WantTrace = true;
 
   std::string Line = encodeCompileRequest(J, 42);
   json::Value Req;
@@ -104,6 +110,9 @@ TEST(ServerTest, ProtocolRequestRoundTrip) {
   EXPECT_EQ(Back.Opts.Mode, J.Opts.Mode);
   EXPECT_EQ(Back.Opts.Promo.ProfitThreshold, J.Opts.Promo.ProfitThreshold);
   EXPECT_EQ(Back.Opts.Promo.WebGranularity, J.Opts.Promo.WebGranularity);
+  EXPECT_EQ(Back.WantRemarks, J.WantRemarks);
+  EXPECT_EQ(Back.RemarksFilter, J.RemarksFilter);
+  EXPECT_EQ(Back.WantTrace, J.WantTrace);
   // Same work on both sides of the wire: same cache identity.
   EXPECT_EQ(jobFingerprint(Back), jobFingerprint(J));
   EXPECT_EQ(pipelineOptionsKey(Back.Opts), pipelineOptionsKey(J.Opts));
@@ -360,6 +369,155 @@ TEST(ServerTest, ProtocolErrorsAreAnsweredAndCounted) {
   EXPECT_TRUE(R.Ok);
 
   EXPECT_EQ(S.Srv.stats().ProtocolErrors, 3u);
+}
+
+// Observability over the wire: a job submitted with WantRemarks/WantTrace
+// must come back with the exact bytes a local one-shot run produces —
+// the server executes through the same executeJob capture path, and
+// SRP_TRACE_DETERMINISTIC=1 replaces wall-clock timestamps with sequence
+// numbers so the comparison is byte-exact, not merely structural.
+TEST(ServerTest, RemarksAndTraceRoundTripMatchOneShot) {
+  ::setenv("SRP_TRACE_DETERMINISTIC", "1", 1);
+
+  CompileJob J = makeJob(overlappingProgram(2), PromotionMode::Paper,
+                         "observed.mc");
+  J.WantRemarks = true;
+  J.WantTrace = true;
+
+  JobResult Local = runCompileJob(J);
+  ASSERT_TRUE(Local.ok());
+  ASSERT_TRUE(Local.Pipeline.RemarksCaptured);
+  ASSERT_FALSE(Local.Pipeline.TraceJson.empty());
+  const std::string WantRemarks = remarksToJson(Local.Pipeline.Remarks);
+  const std::string WantTrace = Local.Pipeline.TraceJson;
+
+  ServerOptions O;
+  O.SocketPath = testSocketPath("observability");
+  O.Threads = 2;
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  Client Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect(O.SocketPath, Err)) << Err;
+
+  CompileResponse R1;
+  ASSERT_TRUE(Cl.compile(J, R1, Err)) << Err;
+  ASSERT_TRUE(R1.Ok);
+  EXPECT_FALSE(R1.CacheHit);
+  EXPECT_EQ(R1.RemarksJson, WantRemarks);
+  EXPECT_EQ(R1.TraceJson, WantTrace);
+
+  // Cache-hit replay: the stored entry carries the original documents,
+  // byte-identical on resubmission.
+  CompileResponse R2;
+  ASSERT_TRUE(Cl.compile(J, R2, Err)) << Err;
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_TRUE(R2.CacheHit);
+  EXPECT_EQ(R2.RemarksJson, WantRemarks);
+  EXPECT_EQ(R2.TraceJson, WantTrace);
+
+  ::unsetenv("SRP_TRACE_DETERMINISTIC");
+}
+
+// The observability request is part of the job identity: the same source
+// with different remark filters (or no capture at all) must occupy
+// distinct cache slots — a collision would replay another variant's
+// documents — while a plain job stays document-free.
+TEST(ServerTest, RemarksFilterIsPartOfJobIdentity) {
+  ServerOptions O;
+  O.SocketPath = testSocketPath("remarkfilter");
+  O.Threads = 1;
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  Client Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect(O.SocketPath, Err)) << Err;
+
+  CompileJob Plain = makeJob(overlappingProgram(0), PromotionMode::Paper,
+                             "filtered.mc");
+  CompileJob All = Plain;
+  All.WantRemarks = true;
+  CompileJob Filtered = Plain;
+  Filtered.WantRemarks = true;
+  Filtered.RemarksFilter = "mem2reg";
+
+  // Distinct fingerprints, same semantic options key.
+  EXPECT_NE(jobFingerprint(Plain), jobFingerprint(All));
+  EXPECT_NE(jobFingerprint(All), jobFingerprint(Filtered));
+  EXPECT_EQ(pipelineOptionsKey(Plain.Opts), pipelineOptionsKey(All.Opts));
+
+  CompileResponse RPlain, RAll, RFiltered;
+  ASSERT_TRUE(Cl.compile(Plain, RPlain, Err)) << Err;
+  ASSERT_TRUE(Cl.compile(All, RAll, Err)) << Err;
+  ASSERT_TRUE(Cl.compile(Filtered, RFiltered, Err)) << Err;
+  ASSERT_TRUE(RPlain.Ok && RAll.Ok && RFiltered.Ok);
+
+  // Three submissions, three pipeline runs: no variant hit another's slot.
+  EXPECT_FALSE(RPlain.CacheHit);
+  EXPECT_FALSE(RAll.CacheHit);
+  EXPECT_FALSE(RFiltered.CacheHit);
+  EXPECT_EQ(S.Srv.stats().JobsCompleted, 3u);
+
+  EXPECT_TRUE(RPlain.RemarksJson.empty());
+  ASSERT_FALSE(RAll.RemarksJson.empty());
+  ASSERT_FALSE(RFiltered.RemarksJson.empty());
+
+  // The filtered document matches a local filtered run and is a strict
+  // subset of the unfiltered one.
+  JobResult Local = runCompileJob(Filtered);
+  ASSERT_TRUE(Local.ok());
+  EXPECT_EQ(RFiltered.RemarksJson, remarksToJson(Local.Pipeline.Remarks));
+  EXPECT_LT(RFiltered.RemarksJson.size(), RAll.RemarksJson.size());
+  EXPECT_NE(RFiltered.RemarksJson.find("mem2reg"), std::string::npos);
+}
+
+// The `metrics` op serves the process-wide registry in Prometheus text
+// form: service-time histogram populated by the jobs the server just ran,
+// queue-depth gauge present, byte-stable across back-to-back scrapes of
+// an idle server.
+TEST(ServerTest, MetricsOpServesPrometheusSnapshot) {
+  ServerOptions O;
+  O.SocketPath = testSocketPath("metrics");
+  O.Threads = 1;
+  RunningServer S(O);
+  ASSERT_TRUE(S.Started);
+
+  Client Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect(O.SocketPath, Err)) << Err;
+
+  CompileJob J = makeJob(overlappingProgram(1), PromotionMode::Paper,
+                         "metrics.mc");
+  CompileResponse R;
+  ASSERT_TRUE(Cl.compile(J, R, Err)) << Err;
+  ASSERT_TRUE(R.Ok);
+
+  std::string Prom;
+  ASSERT_TRUE(Cl.requestMetrics(Prom, Err)) << Err;
+  EXPECT_NE(Prom.find("# TYPE srp_server_service_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("srp_server_service_micros_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE srp_server_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE srp_server_queue_wait_micros histogram"),
+            std::string::npos);
+
+  // The histogram counted at least this server's job (the registry is
+  // process-global, so parallel pipelines may have added more).
+  size_t CountAt = Prom.find("srp_server_service_micros_count ");
+  ASSERT_NE(CountAt, std::string::npos);
+  long Count = std::strtol(
+      Prom.c_str() + CountAt + std::strlen("srp_server_service_micros_count "),
+      nullptr, 10);
+  EXPECT_GE(Count, 1);
+
+  // Idle server: consecutive scrapes are byte-identical.
+  std::string Prom2;
+  ASSERT_TRUE(Cl.requestMetrics(Prom2, Err)) << Err;
+  EXPECT_EQ(Prom, Prom2);
 }
 
 TEST(ServerTest, PingStatsShutdownLifecycle) {

@@ -172,7 +172,8 @@ TEST(TraceTest, ParallelDriverOneTrackPerWorker) {
 
   std::string J = trace::toChromeJson();
   EXPECT_TRUE(balancedJson(J)) << J;
-  for (const char *W : {"worker-0", "worker-1", "worker-2"})
+  for (const char *W :
+       {"pipeline/worker-0", "pipeline/worker-1", "pipeline/worker-2"})
     EXPECT_NE(J.find(std::string("\"args\": {\"name\": \"") + W + "\"}"),
               std::string::npos)
         << "missing track " << W;

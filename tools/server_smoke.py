@@ -10,9 +10,18 @@ static+dynamic operation counts. The job list deliberately repeats
 A follow-up phase resubmits already-cached pairs with `-interp=native`:
 those must miss the bytecode cache entries (the engine and JIT threshold
 are part of the job fingerprint), match a local native run, and hit on
-their own resubmission — an exact miss count pins the fingerprint. The
-gate finishes with a stats query and a clean `--shutdown`, asserting
-the daemon drains and exits 0.
+their own resubmission — an exact miss count pins the fingerprint.
+
+An observability phase then submits jobs with `--remarks-json` and
+`--trace-out` over `--connect` (under SRP_TRACE_DETERMINISTIC=1) and
+diffs the written files byte-for-byte against a local one-shot run —
+including on the cache-hit resubmission, which must replay the stored
+documents, and a `--remarks-filter` variant, which must occupy its own
+cache slot. Finally the gate scrapes `--server-metrics-prom` and
+validates the Prometheus exposition (family headers, cumulative
+buckets, populated service-time histogram, byte-stable across two
+idle scrapes), queries stats, and finishes with a clean `--shutdown`,
+asserting the daemon drains and exits 0.
 
 This is the end-to-end slice of tests/ServerTest.cpp: real processes,
 real socket, the exact CLI a user types.
@@ -81,6 +90,132 @@ def compare(workload, mode, local, remote):
                   f"local={lsec.get(key)!r} remote={rsec.get(key)!r}")
 
 
+def observability_phase(args, workdir):
+    """Remarks/trace byte parity: local one-shot vs --connect vs cache hit.
+
+    Returns the number of submissions and distinct fingerprints it adds
+    to the server's accounting (the caller's exact cache assertions).
+    """
+    workload = os.path.join(args.workload_dir, "compress.mc")
+
+    def paths(tag):
+        return (os.path.join(workdir, tag + ".remarks.json"),
+                os.path.join(workdir, tag + ".trace.json"))
+
+    def run_with(tag, remote, extra=()):
+        remarks, trace = paths(tag)
+        cmd = [args.srpc, "--mode=paper", "--quiet",
+               f"--remarks-json={remarks}", f"--trace-out={trace}"]
+        cmd += list(extra)
+        if remote:
+            cmd += ["--connect", f"--socket={args.socket}"]
+        cmd.append(workload)
+        proc = run(cmd)
+        check(proc.returncode == 0,
+              f"observability {tag} exited {proc.returncode}:\n{proc.stderr}")
+        return remarks, trace
+
+    def diff(what, a, b):
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            da, db = fa.read(), fb.read()
+        if not check(da == db, f"{what}: {os.path.basename(a)} and "
+                               f"{os.path.basename(b)} differ "
+                               f"({len(da)} vs {len(db)} bytes)"):
+            return
+        check(len(da) > 0, f"{what}: {os.path.basename(a)} is empty")
+
+    lr, lt = run_with("local", remote=False)
+    rr, rt = run_with("remote", remote=True)
+    diff("remarks local-vs-remote", lr, rr)
+    diff("trace local-vs-remote", lt, rt)
+
+    # Same job again: answered from the cache, documents replayed
+    # byte-identically.
+    hr, ht = run_with("remote-hit", remote=True)
+    diff("remarks cache-hit replay", rr, hr)
+    diff("trace cache-hit replay", rt, ht)
+
+    # A filtered-remarks job is a distinct fingerprint with a smaller
+    # remarks document that still matches its local one-shot twin.
+    filt = ["--remarks-filter=mem2reg"]
+    flr, _ = run_with("local-filtered", remote=False, extra=filt)
+    frr, _ = run_with("remote-filtered", remote=True, extra=filt)
+    diff("filtered remarks local-vs-remote", flr, frr)
+    check(os.path.getsize(frr) < os.path.getsize(rr),
+          "filtered remarks document is not smaller than the full one")
+
+    return 3, 2  # submissions, distinct fingerprints
+
+
+def validate_prometheus(args):
+    """Scrapes --server-metrics-prom and validates the exposition text."""
+    proc = run([args.srpc, "--server-metrics-prom", f"--socket={args.socket}"])
+    if not check(proc.returncode == 0,
+                 f"--server-metrics-prom exited {proc.returncode}:"
+                 f"\n{proc.stderr}"):
+        return
+    text = proc.stdout
+    families = {}  # name -> type
+    series = {}    # full series name (no labels) -> [(labels, value)]
+    for line in text.splitlines():
+        if not line:
+            check(False, "blank line in Prometheus exposition")
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            families[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name_labels, _, value = line.rpartition(" ")
+        name, _, labels = name_labels.partition("{")
+        check(name.startswith("srp_"),
+              f"metric without srp_ prefix: {name}")
+        try:
+            series.setdefault(name, []).append((labels.rstrip("}"),
+                                                float(value)))
+        except ValueError:
+            check(False, f"unparseable sample line: {line!r}")
+
+    for fam, kind in families.items():
+        if kind == "histogram":
+            buckets = series.get(fam + "_bucket", [])
+            check(len(buckets) > 0, f"{fam}: no bucket series")
+            values = [v for _, v in buckets]
+            check(values == sorted(values),
+                  f"{fam}: cumulative buckets not non-decreasing")
+            check(buckets[-1][0] == 'le="+Inf"',
+                  f"{fam}: last bucket is {buckets[-1][0]}, not +Inf")
+            count = series.get(fam + "_count", [("", -1)])[0][1]
+            check(values and values[-1] == count,
+                  f"{fam}: +Inf bucket {values[-1] if values else None} "
+                  f"!= count {count}")
+        else:
+            check(fam in series, f"{fam}: TYPE header but no sample")
+
+    for fam, kind in (("srp_server_service_micros", "histogram"),
+                      ("srp_server_queue_wait_micros", "histogram"),
+                      ("srp_server_queue_depth", "gauge"),
+                      ("srp_server_jobs_submitted", "counter")):
+        check(families.get(fam) == kind,
+              f"expected {fam} family of type {kind}, got "
+              f"{families.get(fam)}")
+    served = series.get("srp_server_service_micros_count", [("", 0)])[0][1]
+    check(served >= 1, "service-time histogram never observed a job")
+
+    # The server is idle now: a second scrape must be byte-identical —
+    # except the connection counter, which this very scrape bumps (each
+    # CLI invocation is a new connection).
+    def stable(t):
+        return "\n".join(l for l in t.splitlines()
+                         if not l.startswith("srp_server_connections "))
+
+    again = run([args.srpc, "--server-metrics-prom",
+                 f"--socket={args.socket}"])
+    check(again.returncode == 0 and stable(again.stdout) == stable(text),
+          "idle server scrapes are not byte-identical")
+
+
 def wait_for_server(args, deadline=10.0):
     end = time.monotonic() + deadline
     while time.monotonic() < end:
@@ -105,6 +240,14 @@ def main():
     for w in workloads:
         if not os.path.exists(w):
             sys.exit(f"missing workload {w}")
+
+    # Deterministic trace timestamps (sequence numbers) for the whole
+    # process tree, so the observability phase can diff trace documents
+    # byte-for-byte across local/remote/cache-hit runs.
+    os.environ["SRP_TRACE_DETERMINISTIC"] = "1"
+    workdir = os.path.join(os.path.dirname(args.socket) or ".",
+                           f"srp-smoke-obs-{os.getpid()}")
+    os.makedirs(workdir, exist_ok=True)
 
     server = subprocess.Popen(
         [args.srpc, "--serve", f"--socket={args.socket}",
@@ -149,7 +292,12 @@ def main():
                       f"{engine!r} — job-cache fingerprint collision "
                       f"with the bytecode entry")
 
-        total = len(jobs) + 2 * len(native_jobs)
+        # Observability phase: remarks/trace byte parity over the wire,
+        # then validate the Prometheus scrape while jobs have run.
+        obs_total, obs_distinct = observability_phase(args, workdir)
+        validate_prometheus(args)
+
+        total = len(jobs) + 2 * len(native_jobs) + obs_total
         stats_proc = run([args.srpc, "--server-stats",
                           f"--socket={args.socket}"])
         if check(stats_proc.returncode == 0,
@@ -166,12 +314,12 @@ def main():
             # every other submission must be a hit. An exact miss count
             # pins the fingerprint: a native/bytecode collision would
             # show fewer misses, a spuriously run-sensitive key more.
-            distinct = len(set(jobs)) + len(set(native_jobs))
+            distinct = len(set(jobs)) + len(set(native_jobs)) + obs_distinct
             check(cache.get("misses") == distinct,
                   f"expected exactly {distinct} distinct job "
                   f"fingerprints ({len(set(jobs))} bytecode + "
-                  f"{len(set(native_jobs))} native), got "
-                  f"{cache.get('misses')} misses")
+                  f"{len(set(native_jobs))} native + {obs_distinct} "
+                  f"observability), got {cache.get('misses')} misses")
             check(hits == total - distinct,
                   f"expected {total - distinct} cache hits on repeated "
                   f"jobs, got {hits}")
@@ -190,6 +338,8 @@ def main():
     finally:
         if server.poll() is None:
             server.kill()
+        import shutil
+        shutil.rmtree(workdir, ignore_errors=True)
     report_and_exit(server)
 
 
@@ -203,7 +353,8 @@ def report_and_exit(server):
             print("--- server output ---")
             print(out)
         sys.exit(1)
-    print("srp_server_smoke: ok (parity, cache hits, clean shutdown)")
+    print("srp_server_smoke: ok (parity, cache hits, remarks/trace "
+          "byte parity, prometheus scrape, clean shutdown)")
     sys.exit(0)
 
 
